@@ -1,0 +1,48 @@
+//! E4 (bench form) — the cost of splicing a filter into a chain.
+//!
+//! Two measurements:
+//!
+//! * `splice_sync/insert+remove` — inserting and removing a filter in the
+//!   synchronous chain (pure data-structure cost);
+//! * `splice_threaded/insert+remove` — the same operation on the
+//!   thread-per-filter runtime with a live (but idle) stream, which includes
+//!   the pause → drain → reconnect protocol on the detachable pipes and the
+//!   worker thread lifecycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rapidware::filters::{FilterChain, NullFilter};
+use rapidware::proxy::ThreadedChain;
+
+fn bench_sync_splice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("splice_sync");
+    group.sample_size(50);
+    group.bench_function("insert+remove", |b| {
+        let mut chain = FilterChain::new();
+        chain.push_back(Box::new(NullFilter::new())).expect("push");
+        b.iter(|| {
+            chain.insert(0, Box::new(NullFilter::new())).expect("insert");
+            let (removed, flushed) = chain.remove(0).expect("remove");
+            assert!(flushed.is_empty());
+            removed
+        });
+    });
+    group.finish();
+}
+
+fn bench_threaded_splice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("splice_threaded");
+    group.sample_size(20);
+    group.bench_function("insert+remove", |b| {
+        let chain = ThreadedChain::new().expect("chain");
+        chain.push_back(Box::new(NullFilter::new())).expect("push");
+        b.iter(|| {
+            chain.insert(0, Box::new(NullFilter::new())).expect("insert");
+            chain.remove(0).expect("remove")
+        });
+        chain.shutdown().expect("shutdown");
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync_splice, bench_threaded_splice);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! E5 (bench form) — packet throughput of the synchronous filter chain as a
+//! function of depth and of filter kind.
+//!
+//! Groups:
+//!
+//! * `chain_depth/<d>` — d null filters (pure composition overhead);
+//! * `chain_filters/<kind>` — a single real filter processing the paper's
+//!   320-byte audio packets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rapidware::filters::{
+    AudioTranscoderFilter, CompressorFilter, FecEncoderFilter, FilterChain, NullFilter,
+    ScramblerFilter, TranscodeMode,
+};
+use rapidware::media::AudioSource;
+use rapidware::packet::{Packet, StreamId};
+
+const BATCH: usize = 512;
+
+fn audio_batch() -> Vec<Packet> {
+    let mut source = AudioSource::pcm_default(StreamId::new(1));
+    source.take_packets(BATCH)
+}
+
+fn bench_depth(c: &mut Criterion) {
+    let packets = audio_batch();
+    let bytes: u64 = packets.iter().map(|p| p.payload_len() as u64).sum();
+    let mut group = c.benchmark_group("chain_depth");
+    group.sample_size(30);
+    group.throughput(Throughput::Bytes(bytes));
+    for depth in [0usize, 1, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter_batched(
+                || {
+                    let mut chain = FilterChain::new();
+                    for _ in 0..depth {
+                        chain.push_back(Box::new(NullFilter::new())).expect("push");
+                    }
+                    (chain, packets.clone())
+                },
+                |(mut chain, packets)| {
+                    let mut out = 0usize;
+                    for packet in packets {
+                        out += chain.process(packet).expect("process").len();
+                    }
+                    out
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let packets = audio_batch();
+    let bytes: u64 = packets.iter().map(|p| p.payload_len() as u64).sum();
+    let mut group = c.benchmark_group("chain_filters");
+    group.sample_size(30);
+    group.throughput(Throughput::Bytes(bytes));
+    let cases: Vec<(&str, fn() -> Box<dyn rapidware::filters::Filter>)> = vec![
+        ("null", || Box::new(NullFilter::new())),
+        ("fec-encoder(6,4)", || {
+            Box::new(FecEncoderFilter::fec_6_4().expect("valid"))
+        }),
+        ("transcoder", || {
+            Box::new(AudioTranscoderFilter::new(TranscodeMode::StereoToMono))
+        }),
+        ("compressor", || Box::new(CompressorFilter::new())),
+        ("scrambler", || Box::new(ScramblerFilter::new(0x5EED))),
+    ];
+    for (name, factory) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &factory, |b, factory| {
+            b.iter_batched(
+                || {
+                    let mut chain = FilterChain::new();
+                    chain.push_back(factory()).expect("push");
+                    (chain, packets.clone())
+                },
+                |(mut chain, packets)| {
+                    let mut out = 0usize;
+                    for packet in packets {
+                        out += chain.process(packet).expect("process").len();
+                    }
+                    out
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_depth, bench_filters);
+criterion_main!(benches);

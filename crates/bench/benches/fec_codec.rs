@@ -1,0 +1,67 @@
+//! E7 — FEC codec microbenchmarks (encode / decode cost per block).
+//!
+//! The paper's proxy must encode parities online for a live audio stream, so
+//! the per-block cost of the (n, k) erasure code is the budget the rest of
+//! the filter chain lives in.  Criterion groups:
+//!
+//! * `fec_encode/<n>,<k>` — producing the n − k parity shards of one block;
+//! * `fec_decode/<n>,<k>` — recovering the maximum tolerable number of lost
+//!   shards (n − k) from a received block.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rapidware::fec::FecCodec;
+
+const SHARD_LEN: usize = 360; // one 320-byte audio packet + header, roughly
+
+fn sources(k: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| (0..SHARD_LEN).map(|j| ((i * 31 + j * 7 + 1) % 256) as u8).collect())
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fec_encode");
+    group.sample_size(30);
+    for (n, k) in [(6usize, 4usize), (8, 4), (8, 6), (12, 8), (16, 12)] {
+        let codec = FecCodec::new(n, k).expect("valid parameters");
+        let data = sources(k);
+        let refs: Vec<&[u8]> = data.iter().map(|s| s.as_slice()).collect();
+        group.throughput(Throughput::Bytes((SHARD_LEN * k) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n},{k}")), &refs, |b, refs| {
+            b.iter(|| codec.encode(refs).expect("encode"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fec_decode");
+    group.sample_size(30);
+    for (n, k) in [(6usize, 4usize), (8, 4), (8, 6), (12, 8)] {
+        let codec = FecCodec::new(n, k).expect("valid parameters");
+        let data = sources(k);
+        let refs: Vec<&[u8]> = data.iter().map(|s| s.as_slice()).collect();
+        let parities = codec.encode(&refs).expect("encode");
+        // Lose the first n - k source shards: the worst tolerable case.
+        let lost = n - k;
+        let mut available: Vec<(usize, &[u8])> = Vec::new();
+        for (index, shard) in data.iter().enumerate().skip(lost.min(k)) {
+            available.push((index, shard.as_slice()));
+        }
+        for (index, parity) in parities.iter().enumerate() {
+            available.push((k + index, parity.as_slice()));
+        }
+        group.throughput(Throughput::Bytes((SHARD_LEN * k) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n},{k}")),
+            &available,
+            |b, available| {
+                b.iter(|| codec.decode(available, SHARD_LEN).expect("decode"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! E4 — cost of dynamic filter insertion and removal on a running stream.
+//!
+//! The paper's central mechanism is the pause → reconnect splice.  This
+//! experiment measures, on the thread-per-filter runtime, how long an
+//! insertion and a removal take while a live audio stream flows through the
+//! chain, and verifies that no packet is lost or reordered by any splice.
+//!
+//! Run with `cargo run --release -p rapidware-bench --bin e4_insertion_latency`.
+
+use std::time::{Duration, Instant};
+
+use rapidware::filters::NullFilter;
+use rapidware::media::AudioSource;
+use rapidware::packet::StreamId;
+use rapidware::proxy::ThreadedChain;
+use rapidware_bench::rule;
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let index = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[index.min(sorted.len() - 1)]
+}
+
+fn main() {
+    const PACKETS: u64 = 40_000;
+    const SPLICES: usize = 200;
+
+    let chain = ThreadedChain::with_capacity(64).expect("chain");
+    let input = chain.input();
+    let output = chain.output();
+
+    let producer = std::thread::spawn(move || {
+        let mut source = AudioSource::pcm_default(StreamId::new(1));
+        for _ in 0..PACKETS {
+            if input.send(source.next_packet()).is_err() {
+                break;
+            }
+        }
+    });
+    let consumer = std::thread::spawn(move || {
+        let mut seqs = Vec::with_capacity(PACKETS as usize);
+        while let Ok(packet) = output.recv() {
+            seqs.push(packet.seq().value());
+        }
+        seqs
+    });
+
+    let mut insert_times = Vec::with_capacity(SPLICES);
+    let mut remove_times = Vec::with_capacity(SPLICES);
+    for round in 0..SPLICES {
+        let position = round % (chain.len() + 1);
+        let start = Instant::now();
+        chain
+            .insert(position, Box::new(NullFilter::new()))
+            .expect("insert into running chain");
+        insert_times.push(start.elapsed());
+
+        let start = Instant::now();
+        chain.remove(position).expect("remove from running chain");
+        remove_times.push(start.elapsed());
+    }
+
+    producer.join().expect("producer");
+    chain.close_input();
+    let seqs = consumer.join().expect("consumer");
+
+    println!("E4: live splice latency over a {PACKETS}-packet audio stream ({SPLICES} splices)");
+    rule(66);
+    for (label, mut times) in [("insert", insert_times), ("remove", remove_times)] {
+        times.sort_unstable();
+        let total: Duration = times.iter().sum();
+        println!(
+            "{label:>7}: median {:>9.1?}   p90 {:>9.1?}   p99 {:>9.1?}   mean {:>9.1?}",
+            percentile(&times, 0.50),
+            percentile(&times, 0.90),
+            percentile(&times, 0.99),
+            total / times.len() as u32,
+        );
+    }
+    rule(66);
+    let in_order = seqs.iter().enumerate().all(|(i, s)| *s == i as u64);
+    println!(
+        "stream integrity: {} of {} packets delivered, in order: {}",
+        seqs.len(),
+        PACKETS,
+        in_order
+    );
+    println!("chain stats: {:?}", chain.stats());
+    assert_eq!(seqs.len() as u64, PACKETS, "no packet may be lost by a splice");
+    assert!(in_order, "no packet may be reordered by a splice");
+    chain.shutdown().expect("shutdown");
+    println!("expected shape: splices complete in microseconds-to-milliseconds (dominated by");
+    println!("draining in-flight packets), and integrity always holds.");
+}

@@ -1,0 +1,73 @@
+//! E6 — demand-driven (adaptive) FEC during the office-to-conference-room
+//! walk.
+//!
+//! Section 3's motivating scenario: the user starts near the access point
+//! and walks down the hall; loss rises "dramatically over a distance of
+//! several meters"; the RAPIDware observer notices and the responder splices
+//! an FEC encoder into the running stream.  This experiment compares three
+//! policies over the same walk and seed:
+//!
+//! * `none`      — no FEC at all;
+//! * `static`    — FEC(6,4) installed for the whole session;
+//! * `adaptive`  — raplets insert/upgrade/remove the encoder on demand.
+//!
+//! Run with `cargo run --release -p rapidware-bench --bin e6_adaptive_walk`.
+
+use rapidware::netsim::{LinearWalk, SimTime};
+use rapidware::scenario::{FecScenario, ScenarioConfig, ScenarioReport};
+use rapidware_bench::{pct, rule};
+
+fn walk_config() -> ScenarioConfig {
+    ScenarioConfig::figure7()
+        .with_packets(9_000)
+        .with_receivers(1)
+        .with_walk(LinearWalk::new(5.0, 38.0, SimTime::from_secs(60), 1.0))
+}
+
+fn row(label: &str, report: &ScenarioReport) {
+    let receiver = &report.receivers[0];
+    println!(
+        "{:<10}  {:>9}  {:>14}  {:>9.1}%  {:>7}  {:>11}",
+        label,
+        pct(receiver.received_pct()),
+        pct(receiver.reconstructed_pct()),
+        report.overhead() * 100.0,
+        receiver.playout.gaps,
+        report.adaptation_log.len()
+    );
+}
+
+fn main() {
+    println!("E6: adaptive FEC over a 3-minute session; walk starts at t=60s (5 m -> 38 m)");
+    println!(
+        "{:<10}  {:>9}  {:>14}  {:>10}  {:>7}  {:>11}",
+        "policy", "raw recv", "reconstructed", "overhead", "gaps", "adaptations"
+    );
+    rule(72);
+
+    let none = FecScenario::new(walk_config().without_fec()).run();
+    row("none", &none);
+
+    let fixed = FecScenario::new(walk_config().with_fec(6, 4)).run();
+    row("static", &fixed);
+
+    let mut adaptive_config = walk_config();
+    adaptive_config.fec = None;
+    adaptive_config.adaptive = true;
+    let adaptive = FecScenario::new(adaptive_config).run();
+    row("adaptive", &adaptive);
+    rule(72);
+
+    println!("\nadaptation log (adaptive policy):");
+    for record in &adaptive.adaptation_log {
+        println!("  {record}");
+    }
+    println!(
+        "\nfinal sender chain (adaptive policy): {:?}",
+        adaptive.final_sender_filters
+    );
+    println!("\nexpected shape: 'none' degrades sharply once the walk starts; 'static' keeps");
+    println!("quality but pays ~50% parity overhead for the whole session; 'adaptive'");
+    println!("approaches the static policy's quality while paying the overhead only after");
+    println!("loss actually rises.");
+}

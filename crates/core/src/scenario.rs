@@ -1,0 +1,658 @@
+//! End-to-end experiment scenarios.
+//!
+//! [`FecScenario`] reproduces the setup of the paper's evaluation
+//! (Section 5): a proxy receives a live PCM audio stream, optionally runs an
+//! FEC encoder filter over it, and multicasts the result over a simulated
+//! 2 Mbps WaveLAN to one or more wireless receivers, each of which runs an
+//! FEC decoder filter and measures the fraction of packets *received* over
+//! the network versus *reconstructed* after FEC — the two curves of
+//! Figure 7.  The same runner, re-parameterised, drives the loss-vs-distance
+//! sweep, the (n, k) ablation, and the adaptive (observer/responder) walk
+//! scenario.
+
+use std::collections::HashSet;
+
+use rapidware_filters::{FecDecoderFilter, Filter, FilterChain};
+use rapidware_media::{AudioConfig, AudioSource, MediaSink, PlayoutReport};
+use rapidware_netsim::{
+    BernoulliLoss, DistanceLossModel, LinearWalk, SimTime, WirelessLan,
+};
+use rapidware_packet::{LossEvent, Packet, ReceiptStats, SeqNo, StreamId};
+use rapidware_proxy::FilterRegistry;
+use rapidware_raplets::{
+    AdaptationAction, AdaptationEngine, AdaptationRecord, FecResponder, LinkSample,
+    LossRateObserver,
+};
+
+/// Parameters of one [`FecScenario`] run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// RNG seed for the network simulator (runs are reproducible per seed).
+    pub seed: u64,
+    /// Number of source audio packets to transmit.
+    pub packets: u64,
+    /// Audio format (defaults to the paper's 8 kHz stereo 8-bit PCM).
+    pub audio: AudioConfig,
+    /// Static FEC configuration `(n, k)`, if any.
+    pub fec: Option<(usize, usize)>,
+    /// If `true`, start without FEC and let the loss-observer / FEC-responder
+    /// raplets insert, tune, and remove the encoder at run time.
+    pub adaptive: bool,
+    /// Distance of the stationary receivers from the access point, in
+    /// meters.
+    pub distance_m: f64,
+    /// Mobility trace overriding `distance_m` (each receiver walks it).
+    pub walk: Option<LinearWalk>,
+    /// Fixed per-packet loss probability overriding the distance model.
+    pub loss_rate: Option<f64>,
+    /// Number of wireless receivers in the multicast group.
+    pub receivers: usize,
+    /// Width (in packets) of the per-window statistics, as in Figure 7.
+    pub window: u64,
+    /// How often (in source packets) the adaptation engine samples the link.
+    pub sample_interval: u64,
+}
+
+impl ScenarioConfig {
+    /// The operating point of the paper's Figure 7: 8 kHz stereo 8-bit
+    /// audio, FEC(6,4), three wireless laptops 25 m from the access point,
+    /// ≈5184 packets, 432-packet statistics windows.
+    pub fn figure7() -> Self {
+        Self {
+            seed: 2001,
+            packets: 5_184,
+            audio: AudioConfig::pcm_8khz_stereo_8bit(),
+            fec: Some((6, 4)),
+            adaptive: false,
+            distance_m: 25.0,
+            walk: None,
+            loss_rate: None,
+            receivers: 3,
+            window: 432,
+            sample_interval: 50,
+        }
+    }
+
+    /// The adaptive walk scenario of Section 3: the user starts near the
+    /// access point, walks to a conference room down the hall, and the
+    /// raplets insert FEC on the fly once loss rises.
+    pub fn adaptive_walk() -> Self {
+        Self {
+            fec: None,
+            adaptive: true,
+            walk: Some(LinearWalk::office_to_conference_room()),
+            packets: 9_000, // three minutes of audio at 50 packets/s
+            receivers: 1,
+            ..Self::figure7()
+        }
+    }
+
+    /// Overrides the number of source packets.
+    #[must_use]
+    pub fn with_packets(mut self, packets: u64) -> Self {
+        self.packets = packets;
+        self
+    }
+
+    /// Overrides the number of receivers.
+    #[must_use]
+    pub fn with_receivers(mut self, receivers: usize) -> Self {
+        self.receivers = receivers.max(1);
+        self
+    }
+
+    /// Uses the given static FEC configuration.
+    #[must_use]
+    pub fn with_fec(mut self, n: usize, k: usize) -> Self {
+        self.fec = Some((n, k));
+        self
+    }
+
+    /// Disables FEC entirely (the "raw" baseline).
+    #[must_use]
+    pub fn without_fec(mut self) -> Self {
+        self.fec = None;
+        self.adaptive = false;
+        self
+    }
+
+    /// Places the stationary receivers at this distance.
+    #[must_use]
+    pub fn with_distance(mut self, distance_m: f64) -> Self {
+        self.distance_m = distance_m;
+        self
+    }
+
+    /// Uses a fixed loss rate instead of the distance model.
+    #[must_use]
+    pub fn with_loss_rate(mut self, loss_rate: f64) -> Self {
+        self.loss_rate = Some(loss_rate);
+        self
+    }
+
+    /// Uses a mobility trace for every receiver.
+    #[must_use]
+    pub fn with_walk(mut self, walk: LinearWalk) -> Self {
+        self.walk = Some(walk);
+        self
+    }
+
+    /// Overrides the simulator seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the statistics window width.
+    #[must_use]
+    pub fn with_window(mut self, window: u64) -> Self {
+        self.window = window.max(1);
+        self
+    }
+}
+
+/// Per-receiver results of a scenario run.
+#[derive(Debug, Clone)]
+pub struct ReceiverReport {
+    /// Receiver name.
+    pub name: String,
+    /// Per-window receipt / reconstruction statistics (the Figure 7 curves).
+    pub stats: ReceiptStats,
+    /// Playout continuity as seen by the media sink.
+    pub playout: PlayoutReport,
+    /// Parity packets that reached this receiver.
+    pub parity_received: u64,
+}
+
+impl ReceiverReport {
+    /// Percentage of source packets received over the network.
+    pub fn received_pct(&self) -> f64 {
+        self.stats.received_pct()
+    }
+
+    /// Percentage of source packets available after FEC reconstruction.
+    pub fn reconstructed_pct(&self) -> f64 {
+        self.stats.reconstructed_pct()
+    }
+}
+
+/// The results of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Number of source packets transmitted.
+    pub source_packets_sent: u64,
+    /// Number of parity packets transmitted.
+    pub parity_packets_sent: u64,
+    /// Source payload bytes transmitted.
+    pub source_bytes_sent: u64,
+    /// Parity payload bytes transmitted.
+    pub parity_bytes_sent: u64,
+    /// Per-receiver results.
+    pub receivers: Vec<ReceiverReport>,
+    /// The adaptation log (empty for non-adaptive runs).
+    pub adaptation_log: Vec<AdaptationRecord>,
+    /// Snapshot of the sender chain's filters at the end of the run.
+    pub final_sender_filters: Vec<String>,
+}
+
+impl ScenarioReport {
+    /// Bandwidth overhead of FEC: parity bytes as a fraction of source
+    /// bytes.
+    pub fn overhead(&self) -> f64 {
+        if self.source_bytes_sent == 0 {
+            0.0
+        } else {
+            self.parity_bytes_sent as f64 / self.source_bytes_sent as f64
+        }
+    }
+
+    /// Mean raw receipt percentage across receivers.
+    pub fn average_received_pct(&self) -> f64 {
+        average(self.receivers.iter().map(ReceiverReport::received_pct))
+    }
+
+    /// Mean post-reconstruction percentage across receivers.
+    pub fn average_reconstructed_pct(&self) -> f64 {
+        average(self.receivers.iter().map(ReceiverReport::reconstructed_pct))
+    }
+}
+
+fn average(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0u32;
+    for value in values {
+        sum += value;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / f64::from(count)
+    }
+}
+
+struct ReceiverState {
+    name: String,
+    decoder: FecDecoderFilter,
+    sink: MediaSink,
+    received: HashSet<u64>,
+    emitted: HashSet<u64>,
+    parity_received: u64,
+}
+
+/// The audio-multicast-over-wireless experiment runner.
+#[derive(Debug, Clone)]
+pub struct FecScenario {
+    config: ScenarioConfig,
+}
+
+impl FecScenario {
+    /// Creates a runner for the given configuration.
+    pub fn new(config: ScenarioConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration this runner will execute.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Runs the scenario to completion and reports the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration names FEC parameters the codec rejects
+    /// (e.g. `k > n`); all other behaviour is captured in the report.
+    pub fn run(&self) -> ScenarioReport {
+        let config = &self.config;
+        let registry = FilterRegistry::with_builtins();
+
+        // Sender side: audio source feeding a (reconfigurable) filter chain.
+        let mut source = AudioSource::new(StreamId::new(1), config.audio);
+        let mut sender_chain = FilterChain::new();
+        if let (Some((n, k)), false) = (config.fec, config.adaptive) {
+            let spec = rapidware_proxy::FilterSpec::new("fec-encoder")
+                .with_param("n", n.to_string())
+                .with_param("k", k.to_string());
+            sender_chain
+                .push_back(registry.instantiate(&spec).expect("valid fec parameters"))
+                .expect("append to an empty chain");
+        }
+        let mut engine = if config.adaptive {
+            let mut engine = AdaptationEngine::new();
+            engine.add_observer(Box::new(LossRateObserver::paper_default()));
+            engine.add_responder(Box::new(FecResponder::paper_default()));
+            Some(engine)
+        } else {
+            None
+        };
+
+        // The wireless LAN and its receivers.
+        let mut lan = WirelessLan::wavelan_2mbps(config.seed);
+        let (n, k) = config.fec.unwrap_or((6, 4));
+        let mut receivers: Vec<ReceiverState> = (0..config.receivers.max(1))
+            .map(|index| {
+                let name = format!("receiver-{index}");
+                if let Some(loss) = config.loss_rate {
+                    lan.add_receiver(&name, Box::new(BernoulliLoss::new(loss)));
+                } else if let Some(walk) = config.walk {
+                    lan.add_mobile_receiver(
+                        &name,
+                        DistanceLossModel::wavelan_2mbps(),
+                        Box::new(walk),
+                    );
+                } else {
+                    lan.add_receiver_at_distance(&name, config.distance_m);
+                }
+                ReceiverState {
+                    name,
+                    decoder: FecDecoderFilter::new(n, k).expect("valid fec parameters"),
+                    sink: MediaSink::new(),
+                    received: HashSet::new(),
+                    emitted: HashSet::new(),
+                    parity_received: 0,
+                }
+            })
+            .collect();
+
+        let mut report = ScenarioReport {
+            source_packets_sent: 0,
+            parity_packets_sent: 0,
+            source_bytes_sent: 0,
+            parity_bytes_sent: 0,
+            receivers: Vec::new(),
+            adaptation_log: Vec::new(),
+            final_sender_filters: Vec::new(),
+        };
+
+        // Adaptation sampling window, measured at receiver 0.
+        let mut window_sent = 0u64;
+        let mut window_delivered = 0u64;
+
+        for index in 0..config.packets {
+            let packet = source.next_packet();
+            let now = SimTime::from_micros(packet.timestamp_us());
+            let outgoing = sender_chain
+                .process(packet)
+                .expect("scenario filters do not fail");
+            for out_packet in outgoing {
+                Self::broadcast(
+                    &mut lan,
+                    now,
+                    &out_packet,
+                    config.packets,
+                    &mut receivers,
+                    &mut report,
+                    &mut window_sent,
+                    &mut window_delivered,
+                );
+            }
+
+            if let Some(engine) = engine.as_mut() {
+                if (index + 1) % config.sample_interval.max(1) == 0 {
+                    let mut sample = LinkSample::new(now, window_sent, window_delivered);
+                    if let Some(distance) =
+                        lan.receiver_distance(lan.receiver_ids()[0], now)
+                    {
+                        sample = sample.with_distance(distance);
+                    }
+                    let actions = engine.ingest(&sample);
+                    let flushed =
+                        apply_actions_to_chain(&mut sender_chain, &registry, &actions);
+                    for out_packet in flushed {
+                        Self::broadcast(
+                            &mut lan,
+                            now,
+                            &out_packet,
+                            config.packets,
+                            &mut receivers,
+                            &mut report,
+                            &mut window_sent,
+                            &mut window_delivered,
+                        );
+                    }
+                    window_sent = 0;
+                    window_delivered = 0;
+                }
+            }
+        }
+
+        // Flush the tail of the stream (a partial FEC block, if any).
+        let final_time = SimTime::from_micros(config.packets * config.audio.packet_interval_us());
+        let flushed = sender_chain.flush().expect("scenario filters do not fail");
+        for out_packet in flushed {
+            Self::broadcast(
+                &mut lan,
+                final_time,
+                &out_packet,
+                config.packets,
+                &mut receivers,
+                &mut report,
+                &mut window_sent,
+                &mut window_delivered,
+            );
+        }
+
+        // Assemble per-receiver statistics.
+        for state in receivers {
+            let mut stats = ReceiptStats::new(config.window);
+            for seq in 0..config.packets {
+                let event = if state.received.contains(&seq) {
+                    LossEvent::Received
+                } else if state.emitted.contains(&seq) {
+                    LossEvent::Reconstructed
+                } else {
+                    LossEvent::Lost
+                };
+                stats.record(SeqNo::new(seq), event);
+            }
+            let playout = state.sink.report(config.packets);
+            report.receivers.push(ReceiverReport {
+                name: state.name,
+                stats,
+                playout,
+                parity_received: state.parity_received,
+            });
+        }
+        if let Some(engine) = engine.as_mut() {
+            report.adaptation_log = engine.take_log();
+        }
+        report.final_sender_filters = sender_chain.names();
+        report
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn broadcast(
+        lan: &mut WirelessLan,
+        now: SimTime,
+        packet: &Packet,
+        total_sources: u64,
+        receivers: &mut [ReceiverState],
+        report: &mut ScenarioReport,
+        window_sent: &mut u64,
+        window_delivered: &mut u64,
+    ) {
+        let is_payload = packet.kind().is_payload();
+        if is_payload {
+            report.source_packets_sent += 1;
+            report.source_bytes_sent += packet.payload_len() as u64;
+            *window_sent += 1;
+        } else if packet.kind().is_parity() {
+            report.parity_packets_sent += 1;
+            report.parity_bytes_sent += packet.payload_len() as u64;
+        }
+        let records = lan.broadcast(now, packet.wire_len());
+        for (index, record) in records.iter().enumerate() {
+            if !record.is_delivered() {
+                continue;
+            }
+            let state = &mut receivers[index];
+            if is_payload {
+                state.received.insert(packet.seq().value());
+                if index == 0 {
+                    *window_delivered += 1;
+                }
+            } else if packet.kind().is_parity() {
+                state.parity_received += 1;
+            }
+            let mut emitted: Vec<Packet> = Vec::new();
+            if state
+                .decoder
+                .process(packet.clone(), &mut emitted)
+                .is_err()
+            {
+                state.sink.reject_corrupted();
+                continue;
+            }
+            for out in emitted {
+                if !out.kind().is_payload() {
+                    continue;
+                }
+                let seq = out.seq().value();
+                if seq >= total_sources {
+                    continue;
+                }
+                if state.emitted.insert(seq) {
+                    if state.received.contains(&seq) {
+                        state.sink.deliver(&out);
+                    } else {
+                        state.sink.deliver_recovered(&out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Applies adaptation actions to a synchronous chain, returning any packets
+/// flushed out of removed filters (the caller must forward them).
+fn apply_actions_to_chain(
+    chain: &mut FilterChain,
+    registry: &FilterRegistry,
+    actions: &[AdaptationAction],
+) -> Vec<Packet> {
+    let mut flushed = Vec::new();
+    for action in actions {
+        match action {
+            AdaptationAction::Insert { position, spec } => {
+                let filter = registry
+                    .instantiate(spec)
+                    .expect("responder specs reference registered kinds");
+                let position = (*position).min(chain.len());
+                chain
+                    .insert(position, filter)
+                    .expect("position clamped to the chain length");
+            }
+            AdaptationAction::RemoveKind { kind } => {
+                if let Some(position) = position_of_kind(chain, kind) {
+                    let (_, residue) = chain.remove(position).expect("position from names()");
+                    flushed.extend(residue);
+                }
+            }
+            AdaptationAction::ReplaceKind { kind, spec } => {
+                let filter = registry
+                    .instantiate(spec)
+                    .expect("responder specs reference registered kinds");
+                match position_of_kind(chain, kind) {
+                    Some(position) => {
+                        let (_, residue) =
+                            chain.replace(position, filter).expect("position from names()");
+                        flushed.extend(residue);
+                    }
+                    None => chain
+                        .insert(0, filter)
+                        .expect("inserting at the head never fails"),
+                }
+            }
+        }
+    }
+    flushed
+}
+
+fn position_of_kind(chain: &FilterChain, kind: &str) -> Option<usize> {
+    chain.names().iter().position(|name| name.starts_with(kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_short_run_delivers_everything() {
+        let config = ScenarioConfig::figure7()
+            .with_packets(200)
+            .with_receivers(1)
+            .with_loss_rate(0.0);
+        let report = FecScenario::new(config).run();
+        let receiver = &report.receivers[0];
+        assert!((receiver.received_pct() - 100.0).abs() < 1e-9);
+        assert!((receiver.reconstructed_pct() - 100.0).abs() < 1e-9);
+        assert_eq!(report.source_packets_sent, 200);
+        assert_eq!(report.parity_packets_sent, 100, "two parities per 4-packet block");
+        assert!(report.overhead() > 0.0);
+        assert_eq!(receiver.playout.missing, 0);
+    }
+
+    #[test]
+    fn figure7_shape_holds_on_a_short_run() {
+        let config = ScenarioConfig::figure7().with_packets(1_000);
+        let report = FecScenario::new(config).run();
+        for receiver in &report.receivers {
+            // Raw receipt should be high but below 100%, and FEC should
+            // close most of the gap.
+            assert!(receiver.received_pct() < 100.0);
+            assert!(receiver.received_pct() > 95.0);
+            assert!(receiver.reconstructed_pct() >= receiver.received_pct());
+            assert!(receiver.reconstructed_pct() > 99.0);
+        }
+        assert_eq!(report.final_sender_filters, vec!["fec-encoder(6,4)"]);
+    }
+
+    #[test]
+    fn no_fec_baseline_has_no_parity_and_no_recovery() {
+        let config = ScenarioConfig::figure7()
+            .without_fec()
+            .with_packets(500)
+            .with_receivers(1)
+            .with_loss_rate(0.05);
+        let report = FecScenario::new(config).run();
+        assert_eq!(report.parity_packets_sent, 0);
+        let receiver = &report.receivers[0];
+        assert!((receiver.reconstructed_pct() - receiver.received_pct()).abs() < 1e-9);
+        assert!(receiver.received_pct() < 100.0);
+    }
+
+    #[test]
+    fn heavier_loss_needs_stronger_codes() {
+        let weak = FecScenario::new(
+            ScenarioConfig::figure7()
+                .with_packets(1_000)
+                .with_receivers(1)
+                .with_loss_rate(0.15)
+                .with_fec(5, 4)
+                .with_seed(7),
+        )
+        .run();
+        let strong = FecScenario::new(
+            ScenarioConfig::figure7()
+                .with_packets(1_000)
+                .with_receivers(1)
+                .with_loss_rate(0.15)
+                .with_fec(8, 4)
+                .with_seed(7),
+        )
+        .run();
+        assert!(
+            strong.receivers[0].reconstructed_pct() > weak.receivers[0].reconstructed_pct(),
+            "FEC(8,4) must out-recover FEC(5,4) at 15% loss"
+        );
+        assert!(strong.overhead() > weak.overhead());
+    }
+
+    #[test]
+    fn adaptive_walk_inserts_fec_when_loss_rises() {
+        let config = ScenarioConfig::adaptive_walk()
+            .with_packets(4_000)
+            .with_walk(LinearWalk::new(5.0, 40.0, SimTime::from_secs(10), 2.0));
+        let report = FecScenario::new(config).run();
+        assert!(
+            !report.adaptation_log.is_empty(),
+            "the walk must trigger at least one adaptation"
+        );
+        assert!(
+            report.parity_packets_sent > 0,
+            "FEC must have been active for part of the run"
+        );
+        assert!(
+            report
+                .final_sender_filters
+                .iter()
+                .any(|name| name.starts_with("fec-encoder")),
+            "by the end of the walk the encoder should be installed"
+        );
+        // Adaptation should still leave the stream largely intact.
+        assert!(report.receivers[0].reconstructed_pct() > 90.0);
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let config = ScenarioConfig::figure7().with_packets(400).with_receivers(2);
+        let a = FecScenario::new(config.clone()).run();
+        let b = FecScenario::new(config).run();
+        assert_eq!(a.source_packets_sent, b.source_packets_sent);
+        for (ra, rb) in a.receivers.iter().zip(&b.receivers) {
+            assert_eq!(ra.stats.windows(), rb.stats.windows());
+        }
+    }
+
+    #[test]
+    fn report_aggregates_across_receivers() {
+        let config = ScenarioConfig::figure7().with_packets(400).with_receivers(3);
+        let report = FecScenario::new(config).run();
+        assert_eq!(report.receivers.len(), 3);
+        let average = report.average_reconstructed_pct();
+        assert!(average > 0.0 && average <= 100.0);
+        assert!(report.average_received_pct() <= average + 1e-9);
+    }
+}

@@ -1,0 +1,507 @@
+//! Packet-level block framing for the erasure codec.
+//!
+//! The codec in [`crate::FecCodec`] works on equal-length shards, but real
+//! media packets have variable sizes.  The paper's FEC encoder component
+//! "collects the data packets into FEC data blocks of size k" and, when a
+//! group is full, "encoding routines are invoked to produce n − k parity
+//! packets".  [`BlockAssembler`] performs that grouping on the sender side
+//! and [`BlockReconstructor`] undoes it on the receiver side.
+//!
+//! Framing: each source payload is placed in a shard as
+//! `[length: u16 big-endian][payload][zero padding]`, where the shard length
+//! is two bytes more than the largest payload in the block.  Parity shards
+//! produced by the codec therefore carry enough information for the receiver
+//! to recover both the bytes *and* the original length of a lost payload.
+
+use crate::codec::FecCodec;
+use crate::error::FecError;
+
+/// Maximum payload size representable by the two-byte length prefix.
+pub const MAX_PAYLOAD_LEN: usize = u16::MAX as usize;
+
+/// The output of assembling one complete FEC block on the sender side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedBlock {
+    /// Number of source payloads in the block (`k`).
+    pub k: usize,
+    /// Total number of encoded shards (`n`).
+    pub n: usize,
+    /// Common shard length used for this block.
+    pub shard_len: usize,
+    /// The `n − k` parity shards, in index order (`k`, `k + 1`, …, `n − 1`).
+    pub parities: Vec<Vec<u8>>,
+    /// Number of payloads that were real data (the rest were flush padding).
+    pub occupied: usize,
+}
+
+/// A payload recovered by the FEC decoder, tagged with its slot inside the
+/// block (0-based position among the `k` source packets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredPayload {
+    /// Position of the payload within its block (`0..k`).
+    pub slot: usize,
+    /// The recovered payload bytes, with framing removed.
+    pub data: Vec<u8>,
+}
+
+/// Groups source payloads into blocks of `k` and emits parity shards.
+#[derive(Debug)]
+pub struct BlockAssembler {
+    codec: FecCodec,
+    pending: Vec<Vec<u8>>,
+    blocks_emitted: u64,
+}
+
+impl BlockAssembler {
+    /// Creates an assembler for the given codec.
+    pub fn new(codec: FecCodec) -> Self {
+        Self {
+            codec,
+            pending: Vec::new(),
+            blocks_emitted: 0,
+        }
+    }
+
+    /// The codec used by this assembler.
+    pub fn codec(&self) -> &FecCodec {
+        &self.codec
+    }
+
+    /// Number of payloads waiting for the current block to fill.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of complete blocks emitted so far.
+    pub fn blocks_emitted(&self) -> u64 {
+        self.blocks_emitted
+    }
+
+    /// Adds a source payload.  Returns a completed [`EncodedBlock`] when this
+    /// payload fills the current group of `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FecError::CorruptPayload`] if the payload is larger than
+    /// [`MAX_PAYLOAD_LEN`].
+    pub fn push(&mut self, payload: &[u8]) -> Result<Option<EncodedBlock>, FecError> {
+        if payload.len() > MAX_PAYLOAD_LEN {
+            return Err(FecError::CorruptPayload);
+        }
+        self.pending.push(payload.to_vec());
+        if self.pending.len() == self.codec.k() {
+            Ok(Some(self.emit(self.codec.k())?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Completes the current block by padding it with empty payloads, if any
+    /// payloads are pending.  Used at end of stream so the tail of the stream
+    /// is still protected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors (which cannot occur for well-formed state).
+    pub fn flush(&mut self) -> Result<Option<EncodedBlock>, FecError> {
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let occupied = self.pending.len();
+        while self.pending.len() < self.codec.k() {
+            self.pending.push(Vec::new());
+        }
+        Ok(Some(self.emit(occupied)?))
+    }
+
+    fn emit(&mut self, occupied: usize) -> Result<EncodedBlock, FecError> {
+        let shard_len = shard_len_for(&self.pending);
+        let framed: Vec<Vec<u8>> = self
+            .pending
+            .iter()
+            .map(|payload| frame_payload(payload, shard_len))
+            .collect();
+        let shard_refs: Vec<&[u8]> = framed.iter().map(|s| s.as_slice()).collect();
+        let parities = self.codec.encode(&shard_refs)?;
+        self.pending.clear();
+        self.blocks_emitted += 1;
+        Ok(EncodedBlock {
+            k: self.codec.k(),
+            n: self.codec.n(),
+            shard_len,
+            parities,
+            occupied,
+        })
+    }
+}
+
+/// Rebuilds missing source payloads of one block on the receiver side.
+#[derive(Debug)]
+pub struct BlockReconstructor {
+    codec: FecCodec,
+    sources: Vec<Option<Vec<u8>>>,
+    parities: Vec<Option<Vec<u8>>>,
+    shard_len: Option<usize>,
+}
+
+impl BlockReconstructor {
+    /// Creates a reconstructor for one block encoded with `codec`.
+    pub fn new(codec: FecCodec) -> Self {
+        let k = codec.k();
+        let parity_count = codec.parity_count();
+        Self {
+            codec,
+            sources: vec![None; k],
+            parities: vec![None; parity_count],
+            shard_len: None,
+        }
+    }
+
+    /// Records a received source payload occupying `slot` (`0..k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FecError::InvalidShardIndex`] if the slot is out of range.
+    /// Duplicate deliveries of the same slot are ignored.
+    pub fn add_source(&mut self, slot: usize, payload: &[u8]) -> Result<(), FecError> {
+        if slot >= self.codec.k() {
+            return Err(FecError::InvalidShardIndex(slot));
+        }
+        if self.sources[slot].is_none() {
+            self.sources[slot] = Some(payload.to_vec());
+        }
+        Ok(())
+    }
+
+    /// Records a received parity shard with encoded index `k + parity_index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FecError::InvalidShardIndex`] if the parity index is out of
+    /// range, or [`FecError::UnequalShardLengths`] if its length contradicts
+    /// a previously received parity shard.
+    pub fn add_parity(&mut self, parity_index: usize, shard: &[u8]) -> Result<(), FecError> {
+        if parity_index >= self.codec.parity_count() {
+            return Err(FecError::InvalidShardIndex(self.codec.k() + parity_index));
+        }
+        match self.shard_len {
+            Some(len) if len != shard.len() => return Err(FecError::UnequalShardLengths),
+            _ => self.shard_len = Some(shard.len()),
+        }
+        if self.parities[parity_index].is_none() {
+            self.parities[parity_index] = Some(shard.to_vec());
+        }
+        Ok(())
+    }
+
+    /// Slots (`0..k`) whose source payload has not been received.
+    pub fn missing_slots(&self) -> Vec<usize> {
+        self.sources
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
+            .collect()
+    }
+
+    /// Number of distinct shards (sources + parities) received so far.
+    pub fn shards_available(&self) -> usize {
+        self.sources.iter().flatten().count() + self.parities.iter().flatten().count()
+    }
+
+    /// Returns `true` if enough shards have arrived to recover every missing
+    /// source payload.
+    pub fn is_decodable(&self) -> bool {
+        self.missing_slots().is_empty()
+            || (self.shards_available() >= self.codec.k() && self.shard_len.is_some())
+    }
+
+    /// Attempts to recover the missing source payloads.
+    ///
+    /// Returns one [`RecoveredPayload`] per previously missing slot.  Slots
+    /// that were received directly are not returned (the caller already has
+    /// them).  Returns an empty vector if nothing was missing.
+    ///
+    /// # Errors
+    ///
+    /// * [`FecError::NotEnoughShards`] if fewer than `k` shards are present;
+    /// * [`FecError::CorruptPayload`] if a recovered shard's framing is
+    ///   inconsistent (e.g. its length prefix exceeds the shard size).
+    pub fn recover(&self) -> Result<Vec<RecoveredPayload>, FecError> {
+        let missing = self.missing_slots();
+        if missing.is_empty() {
+            return Ok(Vec::new());
+        }
+        let shard_len = self.shard_len.ok_or(FecError::NotEnoughShards {
+            needed: self.codec.k(),
+            available: self.shards_available(),
+        })?;
+
+        // Frame the received sources to the block's shard length and collect
+        // everything we have, indexed the way the codec expects.
+        let framed_sources: Vec<Option<Vec<u8>>> = self
+            .sources
+            .iter()
+            .map(|s| s.as_ref().map(|payload| frame_payload(payload, shard_len)))
+            .collect();
+        let mut available: Vec<(usize, &[u8])> = Vec::new();
+        for (slot, framed) in framed_sources.iter().enumerate() {
+            if let Some(framed) = framed {
+                if framed.len() != shard_len {
+                    return Err(FecError::CorruptPayload);
+                }
+                available.push((slot, framed.as_slice()));
+            }
+        }
+        for (i, parity) in self.parities.iter().enumerate() {
+            if let Some(parity) = parity {
+                available.push((self.codec.k() + i, parity.as_slice()));
+            }
+        }
+
+        let decoded = self.codec.decode(&available, shard_len)?;
+        let mut recovered = Vec::with_capacity(missing.len());
+        for slot in missing {
+            let data = unframe_payload(&decoded[slot])?;
+            recovered.push(RecoveredPayload { slot, data });
+        }
+        Ok(recovered)
+    }
+}
+
+fn shard_len_for(payloads: &[Vec<u8>]) -> usize {
+    2 + payloads.iter().map(Vec::len).max().unwrap_or(0)
+}
+
+fn frame_payload(payload: &[u8], shard_len: usize) -> Vec<u8> {
+    let mut shard = vec![0u8; shard_len.max(payload.len() + 2)];
+    shard[..2].copy_from_slice(&(payload.len() as u16).to_be_bytes());
+    shard[2..2 + payload.len()].copy_from_slice(payload);
+    shard.truncate(shard_len);
+    shard
+}
+
+fn unframe_payload(shard: &[u8]) -> Result<Vec<u8>, FecError> {
+    if shard.len() < 2 {
+        return Err(FecError::CorruptPayload);
+    }
+    let len = u16::from_be_bytes([shard[0], shard[1]]) as usize;
+    if len > shard.len() - 2 {
+        return Err(FecError::CorruptPayload);
+    }
+    Ok(shard[2..2 + len].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec_6_4() -> FecCodec {
+        FecCodec::new(6, 4).unwrap()
+    }
+
+    fn payloads(lens: &[usize]) -> Vec<Vec<u8>> {
+        lens.iter()
+            .enumerate()
+            .map(|(i, &len)| (0..len).map(|j| ((i * 31 + j * 7 + 1) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn assembler_emits_block_every_k_payloads() {
+        let mut assembler = BlockAssembler::new(codec_6_4());
+        let data = payloads(&[100, 120, 80, 100, 60]);
+        assert!(assembler.push(&data[0]).unwrap().is_none());
+        assert!(assembler.push(&data[1]).unwrap().is_none());
+        assert!(assembler.push(&data[2]).unwrap().is_none());
+        let block = assembler.push(&data[3]).unwrap().expect("block complete");
+        assert_eq!(block.k, 4);
+        assert_eq!(block.n, 6);
+        assert_eq!(block.parities.len(), 2);
+        assert_eq!(block.shard_len, 122); // max payload 120 + 2-byte prefix
+        assert_eq!(block.occupied, 4);
+        assert_eq!(assembler.blocks_emitted(), 1);
+        // Fifth payload starts a new block.
+        assert!(assembler.push(&data[4]).unwrap().is_none());
+        assert_eq!(assembler.pending(), 1);
+    }
+
+    #[test]
+    fn flush_pads_partial_block() {
+        let mut assembler = BlockAssembler::new(codec_6_4());
+        let data = payloads(&[50, 60]);
+        assembler.push(&data[0]).unwrap();
+        assembler.push(&data[1]).unwrap();
+        let block = assembler.flush().unwrap().expect("partial block flushed");
+        assert_eq!(block.occupied, 2);
+        assert_eq!(block.parities.len(), 2);
+        assert!(assembler.flush().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut assembler = BlockAssembler::new(codec_6_4());
+        let huge = vec![0u8; MAX_PAYLOAD_LEN + 1];
+        assert_eq!(
+            assembler.push(&huge).unwrap_err(),
+            FecError::CorruptPayload
+        );
+    }
+
+    #[test]
+    fn reconstructor_recovers_single_loss_from_one_parity() {
+        let data = payloads(&[200, 37, 158, 90]);
+        let mut assembler = BlockAssembler::new(codec_6_4());
+        let mut block = None;
+        for payload in &data {
+            if let Some(b) = assembler.push(payload).unwrap() {
+                block = Some(b);
+            }
+        }
+        let block = block.unwrap();
+
+        // Packet in slot 2 is lost; one parity arrives.
+        let mut reconstructor = BlockReconstructor::new(codec_6_4());
+        reconstructor.add_source(0, &data[0]).unwrap();
+        reconstructor.add_source(1, &data[1]).unwrap();
+        reconstructor.add_source(3, &data[3]).unwrap();
+        reconstructor.add_parity(0, &block.parities[0]).unwrap();
+        assert_eq!(reconstructor.missing_slots(), vec![2]);
+        assert!(reconstructor.is_decodable());
+        let recovered = reconstructor.recover().unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].slot, 2);
+        assert_eq!(recovered[0].data, data[2]);
+    }
+
+    #[test]
+    fn reconstructor_recovers_two_losses_from_two_parities() {
+        let data = payloads(&[64, 64, 64, 64]);
+        let mut assembler = BlockAssembler::new(codec_6_4());
+        let mut block = None;
+        for payload in &data {
+            if let Some(b) = assembler.push(payload).unwrap() {
+                block = Some(b);
+            }
+        }
+        let block = block.unwrap();
+
+        let mut reconstructor = BlockReconstructor::new(codec_6_4());
+        reconstructor.add_source(1, &data[1]).unwrap();
+        reconstructor.add_source(2, &data[2]).unwrap();
+        reconstructor.add_parity(0, &block.parities[0]).unwrap();
+        reconstructor.add_parity(1, &block.parities[1]).unwrap();
+        let mut recovered = reconstructor.recover().unwrap();
+        recovered.sort_by_key(|r| r.slot);
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0].slot, 0);
+        assert_eq!(recovered[0].data, data[0]);
+        assert_eq!(recovered[1].slot, 3);
+        assert_eq!(recovered[1].data, data[3]);
+    }
+
+    #[test]
+    fn too_many_losses_cannot_be_recovered() {
+        let data = payloads(&[32, 32, 32, 32]);
+        let mut assembler = BlockAssembler::new(codec_6_4());
+        let mut block = None;
+        for payload in &data {
+            if let Some(b) = assembler.push(payload).unwrap() {
+                block = Some(b);
+            }
+        }
+        let block = block.unwrap();
+
+        // Three sources lost, only one source + two parities = 3 < k.
+        let mut reconstructor = BlockReconstructor::new(codec_6_4());
+        reconstructor.add_source(0, &data[0]).unwrap();
+        reconstructor.add_parity(0, &block.parities[0]).unwrap();
+        reconstructor.add_parity(1, &block.parities[1]).unwrap();
+        assert!(!reconstructor.is_decodable());
+        assert!(matches!(
+            reconstructor.recover().unwrap_err(),
+            FecError::NotEnoughShards { .. }
+        ));
+    }
+
+    #[test]
+    fn nothing_missing_returns_empty() {
+        let data = payloads(&[10, 20, 30, 40]);
+        let mut reconstructor = BlockReconstructor::new(codec_6_4());
+        for (slot, payload) in data.iter().enumerate() {
+            reconstructor.add_source(slot, payload).unwrap();
+        }
+        assert!(reconstructor.is_decodable());
+        assert!(reconstructor.recover().unwrap().is_empty());
+    }
+
+    #[test]
+    fn invalid_indices_rejected() {
+        let mut reconstructor = BlockReconstructor::new(codec_6_4());
+        assert_eq!(
+            reconstructor.add_source(4, &[1]).unwrap_err(),
+            FecError::InvalidShardIndex(4)
+        );
+        assert_eq!(
+            reconstructor.add_parity(2, &[1]).unwrap_err(),
+            FecError::InvalidShardIndex(6)
+        );
+    }
+
+    #[test]
+    fn conflicting_parity_lengths_rejected() {
+        let mut reconstructor = BlockReconstructor::new(codec_6_4());
+        reconstructor.add_parity(0, &[0u8; 10]).unwrap();
+        assert_eq!(
+            reconstructor.add_parity(1, &[0u8; 12]).unwrap_err(),
+            FecError::UnequalShardLengths
+        );
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_ignored() {
+        let data = payloads(&[16, 16, 16, 16]);
+        let mut reconstructor = BlockReconstructor::new(codec_6_4());
+        reconstructor.add_source(0, &data[0]).unwrap();
+        reconstructor.add_source(0, &data[1]).unwrap(); // ignored duplicate
+        assert_eq!(reconstructor.shards_available(), 1);
+    }
+
+    #[test]
+    fn empty_payloads_survive_the_round_trip() {
+        let data = vec![vec![], vec![1, 2, 3], vec![], vec![9]];
+        let mut assembler = BlockAssembler::new(codec_6_4());
+        let mut block = None;
+        for payload in &data {
+            if let Some(b) = assembler.push(payload).unwrap() {
+                block = Some(b);
+            }
+        }
+        let block = block.unwrap();
+        let mut reconstructor = BlockReconstructor::new(codec_6_4());
+        reconstructor.add_source(1, &data[1]).unwrap();
+        reconstructor.add_source(3, &data[3]).unwrap();
+        reconstructor.add_parity(0, &block.parities[0]).unwrap();
+        reconstructor.add_parity(1, &block.parities[1]).unwrap();
+        let mut recovered = reconstructor.recover().unwrap();
+        recovered.sort_by_key(|r| r.slot);
+        assert_eq!(recovered[0].data, data[0]);
+        assert_eq!(recovered[1].data, data[2]);
+    }
+
+    #[test]
+    fn frame_and_unframe_round_trip() {
+        let payload = vec![1u8, 2, 3, 4, 5];
+        let shard = frame_payload(&payload, 12);
+        assert_eq!(shard.len(), 12);
+        assert_eq!(unframe_payload(&shard).unwrap(), payload);
+    }
+
+    #[test]
+    fn unframe_rejects_bad_length_prefix() {
+        let mut shard = frame_payload(&[1, 2, 3], 8);
+        shard[0] = 0xFF;
+        shard[1] = 0xFF;
+        assert_eq!(unframe_payload(&shard).unwrap_err(), FecError::CorruptPayload);
+        assert_eq!(unframe_payload(&[1]).unwrap_err(), FecError::CorruptPayload);
+    }
+}

@@ -1,0 +1,386 @@
+//! The systematic (n, k) erasure codec.
+
+use crate::error::FecError;
+use crate::gf256;
+use crate::matrix::Matrix;
+
+/// A systematic (n, k) block erasure codec over GF(2⁸).
+///
+/// Encoding maps `k` equal-length source shards to `n` encoded shards where
+/// the first `k` encoded shards are the sources themselves and the remaining
+/// `n − k` are parity shards.  **Any** `k` of the `n` encoded shards suffice
+/// to reconstruct all `k` sources.
+///
+/// The generator matrix is derived from a Vandermonde matrix `V` (size
+/// `n × k`) as `G = V · V₀⁻¹`, where `V₀` is the top `k × k` block of `V`.
+/// This makes the top of `G` the identity (hence *systematic*) while
+/// preserving the Vandermonde property that any `k` rows are invertible —
+/// the construction used by Rizzo's `fec` library that the paper builds on.
+#[derive(Debug, Clone)]
+pub struct FecCodec {
+    n: usize,
+    k: usize,
+    /// Full n × k generator matrix (top k rows are the identity).
+    generator: Matrix,
+}
+
+impl FecCodec {
+    /// Creates a codec for the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FecError::InvalidParameters`] unless `0 < k ≤ n ≤ 255`.
+    pub fn new(n: usize, k: usize) -> Result<Self, FecError> {
+        if k == 0 || n < k || n > 255 {
+            return Err(FecError::InvalidParameters { n, k });
+        }
+        let vandermonde = Matrix::vandermonde(n, k);
+        let top = vandermonde.select_rows(&(0..k).collect::<Vec<_>>());
+        let top_inverse = top
+            .inverted()
+            .expect("top block of a Vandermonde matrix is always invertible");
+        let generator = vandermonde.multiply(&top_inverse);
+        Ok(Self { n, k, generator })
+    }
+
+    /// Total number of encoded shards per block.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of source shards per block.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity shards per block (`n − k`).
+    pub fn parity_count(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Redundancy overhead of the code, `(n − k) / k`.
+    pub fn overhead(&self) -> f64 {
+        self.parity_count() as f64 / self.k as f64
+    }
+
+    /// The generator matrix (mainly useful for tests and diagnostics).
+    pub fn generator(&self) -> &Matrix {
+        &self.generator
+    }
+
+    /// Encodes `k` equal-length source shards into `n − k` parity shards.
+    ///
+    /// The source shards themselves are *not* returned (they are transmitted
+    /// unchanged — the code is systematic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FecError::WrongShardCount`] if `sources.len() != k` and
+    /// [`FecError::UnequalShardLengths`] if the shards differ in length.
+    pub fn encode(&self, sources: &[&[u8]]) -> Result<Vec<Vec<u8>>, FecError> {
+        if sources.len() != self.k {
+            return Err(FecError::WrongShardCount {
+                expected: self.k,
+                actual: sources.len(),
+            });
+        }
+        let shard_len = sources.first().map_or(0, |s| s.len());
+        if sources.iter().any(|s| s.len() != shard_len) {
+            return Err(FecError::UnequalShardLengths);
+        }
+        let mut parities = Vec::with_capacity(self.parity_count());
+        for row in self.k..self.n {
+            let mut parity = vec![0u8; shard_len];
+            for (col, source) in sources.iter().enumerate() {
+                let coeff = self.generator.get(row, col);
+                gf256::addmul_slice(&mut parity, source, coeff);
+            }
+            parities.push(parity);
+        }
+        Ok(parities)
+    }
+
+    /// Reconstructs all `k` source shards from any `k` of the `n` encoded
+    /// shards.
+    ///
+    /// `available` holds `(shard_index, shard_data)` pairs where indices
+    /// `0..k` denote source shards and `k..n` denote parity shards (parity
+    /// `i` produced by [`encode`](Self::encode) has index `k + i`).
+    /// `shard_len` is the common shard length; shards whose length differs
+    /// are rejected.
+    ///
+    /// # Errors
+    ///
+    /// * [`FecError::NotEnoughShards`] if fewer than `k` distinct shards are
+    ///   available;
+    /// * [`FecError::InvalidShardIndex`] for out-of-range or duplicate
+    ///   indices;
+    /// * [`FecError::UnequalShardLengths`] if a shard has the wrong length.
+    pub fn decode(
+        &self,
+        available: &[(usize, &[u8])],
+        shard_len: usize,
+    ) -> Result<Vec<Vec<u8>>, FecError> {
+        // Collect up to k distinct shards, preferring source shards (cheaper:
+        // they need no matrix work), then parities.
+        let mut seen = vec![false; self.n];
+        let mut chosen: Vec<(usize, &[u8])> = Vec::with_capacity(self.k);
+        for &(index, data) in available {
+            if index >= self.n {
+                return Err(FecError::InvalidShardIndex(index));
+            }
+            if seen[index] {
+                return Err(FecError::InvalidShardIndex(index));
+            }
+            if data.len() != shard_len {
+                return Err(FecError::UnequalShardLengths);
+            }
+            seen[index] = true;
+            if chosen.len() < self.k {
+                chosen.push((index, data));
+            }
+        }
+        if chosen.len() < self.k {
+            return Err(FecError::NotEnoughShards {
+                needed: self.k,
+                available: chosen.len(),
+            });
+        }
+
+        // Fast path: all k source shards are present.
+        if chosen.iter().all(|(i, _)| *i < self.k) {
+            let mut sources: Vec<Option<&[u8]>> = vec![None; self.k];
+            for &(i, data) in &chosen {
+                sources[i] = Some(data);
+            }
+            if sources.iter().all(Option::is_some) {
+                return Ok(sources
+                    .into_iter()
+                    .map(|s| s.expect("checked above").to_vec())
+                    .collect());
+            }
+        }
+
+        // General path: invert the k × k submatrix of the generator formed by
+        // the chosen shard rows, then multiply it into the shard data.
+        let rows: Vec<usize> = chosen.iter().map(|(i, _)| *i).collect();
+        let submatrix = self.generator.select_rows(&rows);
+        let inverse = submatrix.inverted()?;
+
+        let mut sources = vec![vec![0u8; shard_len]; self.k];
+        for (source_index, source) in sources.iter_mut().enumerate() {
+            for (chosen_pos, &(_, data)) in chosen.iter().enumerate() {
+                let coeff = inverse.get(source_index, chosen_pos);
+                gf256::addmul_slice(source, data, coeff);
+            }
+        }
+        Ok(sources)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sources(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 37 + j * 11 + 5) % 256) as u8).collect())
+            .collect()
+    }
+
+    fn refs(sources: &[Vec<u8>]) -> Vec<&[u8]> {
+        sources.iter().map(|s| s.as_slice()).collect()
+    }
+
+    #[test]
+    fn parameters_are_validated() {
+        assert!(FecCodec::new(6, 4).is_ok());
+        assert!(FecCodec::new(4, 4).is_ok());
+        assert!(matches!(
+            FecCodec::new(3, 4),
+            Err(FecError::InvalidParameters { .. })
+        ));
+        assert!(matches!(
+            FecCodec::new(5, 0),
+            Err(FecError::InvalidParameters { .. })
+        ));
+        assert!(matches!(
+            FecCodec::new(256, 4),
+            Err(FecError::InvalidParameters { .. })
+        ));
+    }
+
+    #[test]
+    fn generator_is_systematic() {
+        let codec = FecCodec::new(6, 4).unwrap();
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(codec.generator().get(r, c), u8::from(r == c));
+            }
+        }
+    }
+
+    #[test]
+    fn accessors_report_parameters() {
+        let codec = FecCodec::new(6, 4).unwrap();
+        assert_eq!(codec.n(), 6);
+        assert_eq!(codec.k(), 4);
+        assert_eq!(codec.parity_count(), 2);
+        assert!((codec.overhead() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_rejects_bad_input() {
+        let codec = FecCodec::new(6, 4).unwrap();
+        let sources = sample_sources(3, 8);
+        assert!(matches!(
+            codec.encode(&refs(&sources)),
+            Err(FecError::WrongShardCount { expected: 4, actual: 3 })
+        ));
+        let mut uneven = sample_sources(4, 8);
+        uneven[2].push(0);
+        assert_eq!(
+            codec.encode(&refs(&uneven)).unwrap_err(),
+            FecError::UnequalShardLengths
+        );
+    }
+
+    #[test]
+    fn all_sources_present_fast_path() {
+        let codec = FecCodec::new(6, 4).unwrap();
+        let sources = sample_sources(4, 32);
+        let available: Vec<(usize, &[u8])> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.as_slice()))
+            .collect();
+        let decoded = codec.decode(&available, 32).unwrap();
+        assert_eq!(decoded, sources);
+    }
+
+    #[test]
+    fn recovers_from_any_k_of_n_shards_fec_6_4() {
+        let codec = FecCodec::new(6, 4).unwrap();
+        let sources = sample_sources(4, 48);
+        let parities = codec.encode(&refs(&sources)).unwrap();
+        let mut shards: Vec<Vec<u8>> = sources.clone();
+        shards.extend(parities);
+
+        // Every 4-subset of the 6 shards must reconstruct the sources.
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                let available: Vec<(usize, &[u8])> = (0..6)
+                    .filter(|&i| i != a && i != b)
+                    .map(|i| (i, shards[i].as_slice()))
+                    .collect();
+                let decoded = codec.decode(&available, 48).unwrap();
+                assert_eq!(decoded, sources, "lost shards {a} and {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_with_larger_parameters() {
+        let codec = FecCodec::new(12, 8).unwrap();
+        let sources = sample_sources(8, 100);
+        let parities = codec.encode(&refs(&sources)).unwrap();
+        // Lose 4 sources; decode from the remaining 4 sources + 4 parities.
+        let mut available: Vec<(usize, &[u8])> = Vec::new();
+        for i in [1usize, 3, 5, 7] {
+            available.push((i, sources[i].as_slice()));
+        }
+        for (j, parity) in parities.iter().enumerate() {
+            available.push((8 + j, parity.as_slice()));
+        }
+        let decoded = codec.decode(&available, 100).unwrap();
+        assert_eq!(decoded, sources);
+    }
+
+    #[test]
+    fn too_few_shards_is_an_error() {
+        let codec = FecCodec::new(6, 4).unwrap();
+        let sources = sample_sources(4, 16);
+        let available: Vec<(usize, &[u8])> = sources
+            .iter()
+            .take(3)
+            .enumerate()
+            .map(|(i, s)| (i, s.as_slice()))
+            .collect();
+        assert_eq!(
+            codec.decode(&available, 16).unwrap_err(),
+            FecError::NotEnoughShards {
+                needed: 4,
+                available: 3
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_indices_rejected() {
+        let codec = FecCodec::new(6, 4).unwrap();
+        let shard = vec![0u8; 8];
+        let dup = vec![
+            (0usize, shard.as_slice()),
+            (0, shard.as_slice()),
+            (1, shard.as_slice()),
+            (2, shard.as_slice()),
+        ];
+        assert_eq!(
+            codec.decode(&dup, 8).unwrap_err(),
+            FecError::InvalidShardIndex(0)
+        );
+        let out_of_range = vec![(6usize, shard.as_slice())];
+        assert_eq!(
+            codec.decode(&out_of_range, 8).unwrap_err(),
+            FecError::InvalidShardIndex(6)
+        );
+    }
+
+    #[test]
+    fn wrong_shard_length_rejected() {
+        let codec = FecCodec::new(6, 4).unwrap();
+        let shard = vec![0u8; 8];
+        let short = vec![0u8; 7];
+        let available = vec![
+            (0usize, shard.as_slice()),
+            (1, shard.as_slice()),
+            (2, shard.as_slice()),
+            (3, short.as_slice()),
+        ];
+        assert_eq!(
+            codec.decode(&available, 8).unwrap_err(),
+            FecError::UnequalShardLengths
+        );
+    }
+
+    #[test]
+    fn rate_one_code_has_no_parity() {
+        let codec = FecCodec::new(4, 4).unwrap();
+        let sources = sample_sources(4, 8);
+        assert!(codec.encode(&refs(&sources)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_source_replication_code() {
+        // (n, 1) is a repetition code: every parity equals the source.
+        let codec = FecCodec::new(3, 1).unwrap();
+        let source = vec![vec![7u8, 8, 9]];
+        let parities = codec.encode(&refs(&source)).unwrap();
+        assert_eq!(parities.len(), 2);
+        for parity in &parities {
+            assert_eq!(parity, &source[0]);
+        }
+        let decoded = codec
+            .decode(&[(2usize, parities[1].as_slice())], 3)
+            .unwrap();
+        assert_eq!(decoded[0], source[0]);
+    }
+
+    #[test]
+    fn zero_length_shards_are_legal() {
+        let codec = FecCodec::new(6, 4).unwrap();
+        let sources = vec![vec![]; 4];
+        let parities = codec.encode(&refs(&sources)).unwrap();
+        assert!(parities.iter().all(|p| p.is_empty()));
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for FEC operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the FEC codec and block framing layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FecError {
+    /// The requested (n, k) parameters are invalid (k = 0, n < k, or
+    /// n > 255, the maximum the GF(2⁸) construction supports).
+    InvalidParameters {
+        /// Requested total number of encoded shards.
+        n: usize,
+        /// Requested number of source shards.
+        k: usize,
+    },
+    /// The number of shards handed to the encoder does not equal `k`.
+    WrongShardCount {
+        /// Number of shards expected.
+        expected: usize,
+        /// Number of shards provided.
+        actual: usize,
+    },
+    /// The shards handed to the encoder or decoder do not all have the same
+    /// length.
+    UnequalShardLengths,
+    /// Fewer than `k` distinct shards are available, so the block cannot be
+    /// reconstructed.
+    NotEnoughShards {
+        /// Shards required (`k`).
+        needed: usize,
+        /// Distinct shards available.
+        available: usize,
+    },
+    /// A shard index is out of range (`>= n`) or duplicated.
+    InvalidShardIndex(usize),
+    /// The decode matrix turned out to be singular.  With distinct shard
+    /// indices this cannot happen for a Vandermonde-derived code; reported
+    /// rather than panicking for defence in depth.
+    SingularMatrix,
+    /// A recovered payload was shorter than its declared length, indicating
+    /// corruption upstream of the decoder.
+    CorruptPayload,
+}
+
+impl fmt::Display for FecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FecError::InvalidParameters { n, k } => {
+                write!(f, "invalid fec parameters (n = {n}, k = {k})")
+            }
+            FecError::WrongShardCount { expected, actual } => {
+                write!(f, "expected {expected} source shards, got {actual}")
+            }
+            FecError::UnequalShardLengths => write!(f, "shards must all have the same length"),
+            FecError::NotEnoughShards { needed, available } => {
+                write!(f, "need {needed} shards to decode, only {available} available")
+            }
+            FecError::InvalidShardIndex(index) => {
+                write!(f, "shard index {index} out of range or duplicated")
+            }
+            FecError::SingularMatrix => write!(f, "decode matrix is singular"),
+            FecError::CorruptPayload => write!(f, "recovered payload is corrupt"),
+        }
+    }
+}
+
+impl Error for FecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_meaningful() {
+        assert!(FecError::InvalidParameters { n: 3, k: 5 }
+            .to_string()
+            .contains("n = 3"));
+        assert!(FecError::NotEnoughShards {
+            needed: 4,
+            available: 2
+        }
+        .to_string()
+        .contains("need 4"));
+        assert!(FecError::InvalidShardIndex(9).to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FecError>();
+    }
+}

@@ -1,0 +1,256 @@
+//! Arithmetic in GF(2⁸), the Galois field with 256 elements.
+//!
+//! Elements are bytes; addition is XOR; multiplication is polynomial
+//! multiplication modulo the primitive polynomial
+//! `x⁸ + x⁴ + x³ + x² + 1` (0x11D), the same field used by Rizzo's erasure
+//! code implementation.  Multiplication and division are table-driven
+//! (exp/log tables built at compile time), so the per-byte cost of encoding
+//! is one table lookup and one addition.
+
+/// The primitive polynomial used to construct the field (without the x⁸ term).
+const PRIMITIVE_POLY: u16 = 0x11D;
+
+/// Size of the multiplicative group of GF(2⁸).
+const GROUP_ORDER: usize = 255;
+
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+const fn build_tables() -> Tables {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < GROUP_ORDER {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    // Duplicate the table so exp[(log a + log b)] never needs a modulo.
+    let mut j = GROUP_ORDER;
+    while j < 512 {
+        exp[j] = exp[j - GROUP_ORDER];
+        j += 1;
+    }
+    Tables { exp, log }
+}
+
+static TABLES: Tables = build_tables();
+
+/// Adds two field elements (XOR).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Subtracts two field elements (identical to addition in GF(2⁸)).
+#[inline]
+pub fn sub(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplies two field elements.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        let idx = TABLES.log[a as usize] as usize + TABLES.log[b as usize] as usize;
+        TABLES.exp[idx]
+    }
+}
+
+/// Divides `a` by `b`.
+///
+/// # Panics
+///
+/// Panics if `b` is zero (division by zero has no meaning in the field).
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        0
+    } else {
+        let idx =
+            TABLES.log[a as usize] as usize + GROUP_ORDER - TABLES.log[b as usize] as usize;
+        TABLES.exp[idx]
+    }
+}
+
+/// Multiplicative inverse of `a`.
+///
+/// # Panics
+///
+/// Panics if `a` is zero.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(256)");
+    TABLES.exp[GROUP_ORDER - TABLES.log[a as usize] as usize]
+}
+
+/// Raises `a` to the power `e`.
+pub fn pow(a: u8, e: u32) -> u8 {
+    if e == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let log_a = TABLES.log[a as usize] as u64;
+    let idx = (log_a * u64::from(e)) % GROUP_ORDER as u64;
+    TABLES.exp[idx as usize]
+}
+
+/// Computes `dst[i] ^= c * src[i]` for every byte — the inner loop of the
+/// encoder and of Gaussian elimination on data rows.
+pub fn addmul_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= *s;
+        }
+        return;
+    }
+    let log_c = TABLES.log[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= TABLES.exp[log_c + TABLES.log[*s as usize] as usize];
+        }
+    }
+}
+
+/// Computes `dst[i] = c * dst[i]` for every byte.
+pub fn mul_slice(dst: &mut [u8], c: u8) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    let log_c = TABLES.log[c as usize] as usize;
+    for d in dst.iter_mut() {
+        if *d != 0 {
+            *d = TABLES.exp[log_c + TABLES.log[*d as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_xor() {
+        assert_eq!(add(0b1010, 0b0110), 0b1100);
+        assert_eq!(sub(0b1010, 0b0110), 0b1100);
+    }
+
+    #[test]
+    fn multiplication_identities() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn known_products() {
+        // 2 * 2 = 4, and a product that wraps through the polynomial:
+        assert_eq!(mul(2, 2), 4);
+        assert_eq!(mul(0x80, 2), 0x1D); // x^8 ≡ x^4+x^3+x^2+1
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+            assert_eq!(div(a, a), 1);
+            assert_eq!(div(mul(a, 7), 7), a);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative() {
+        // Spot-check associativity/commutativity on a grid (full proptest in
+        // tests/proptest_gf256.rs).
+        for a in (0..=255u8).step_by(17) {
+            for b in (0..=255u8).step_by(13) {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in (0..=255u8).step_by(29) {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for a in [0u8, 1, 2, 3, 7, 29, 190, 255] {
+            let mut acc = 1u8;
+            for e in 0..10u32 {
+                assert_eq!(pow(a, e), acc, "a={a} e={e}");
+                acc = mul(acc, a);
+            }
+        }
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = div(5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn inverse_of_zero_panics() {
+        let _ = inv(0);
+    }
+
+    #[test]
+    fn addmul_slice_matches_scalar_ops() {
+        let src: Vec<u8> = (0..64).map(|i| (i * 7 + 3) as u8).collect();
+        let mut dst: Vec<u8> = (0..64).map(|i| (i * 13 + 1) as u8).collect();
+        let expected: Vec<u8> = dst
+            .iter()
+            .zip(&src)
+            .map(|(d, s)| add(*d, mul(29, *s)))
+            .collect();
+        addmul_slice(&mut dst, &src, 29);
+        assert_eq!(dst, expected);
+    }
+
+    #[test]
+    fn addmul_slice_with_zero_and_one() {
+        let src = vec![5u8; 8];
+        let mut dst = vec![3u8; 8];
+        addmul_slice(&mut dst, &src, 0);
+        assert_eq!(dst, vec![3u8; 8]);
+        addmul_slice(&mut dst, &src, 1);
+        assert_eq!(dst, vec![6u8; 8]); // 3 ^ 5
+    }
+
+    #[test]
+    fn mul_slice_scales_in_place() {
+        let mut data = vec![1u8, 2, 3, 0, 255];
+        let expected: Vec<u8> = data.iter().map(|v| mul(*v, 7)).collect();
+        mul_slice(&mut data, 7);
+        assert_eq!(data, expected);
+        mul_slice(&mut data, 0);
+        assert_eq!(data, vec![0; 5]);
+    }
+}

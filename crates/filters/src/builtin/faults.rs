@@ -1,0 +1,250 @@
+//! Fault-injection filters used by tests and experiments.
+//!
+//! These filters deliberately misbehave — dropping, duplicating, or
+//! reordering packets — so the test suite can verify that the rest of the
+//! framework (FEC, reordering buffers, duplicate suppression) copes, and so
+//! experiments can create controlled loss inside a chain without involving
+//! the network simulator.
+
+use std::collections::VecDeque;
+
+use rapidware_packet::Packet;
+
+use crate::error::FilterError;
+use crate::filter::{Filter, FilterDescriptor, FilterOutput};
+
+/// Drops every N-th payload packet (deterministically).
+#[derive(Debug)]
+pub struct DropEveryNth {
+    name: String,
+    n: u64,
+    counter: u64,
+    dropped: u64,
+}
+
+impl DropEveryNth {
+    /// Creates a filter that drops every `n`-th payload packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "drop interval must be non-zero");
+        Self {
+            name: format!("drop-every({n})"),
+            n,
+            counter: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Number of packets dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Filter for DropEveryNth {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, packet: Packet, out: &mut dyn FilterOutput) -> Result<(), FilterError> {
+        if !packet.kind().is_payload() {
+            out.emit(packet);
+            return Ok(());
+        }
+        self.counter += 1;
+        if self.counter % self.n == 0 {
+            self.dropped += 1;
+            return Ok(());
+        }
+        out.emit(packet);
+        Ok(())
+    }
+
+    fn descriptor(&self) -> FilterDescriptor {
+        FilterDescriptor {
+            name: self.name.clone(),
+            kind: "fault-drop".to_string(),
+            parameters: format!("n={}, dropped={}", self.n, self.dropped),
+        }
+    }
+}
+
+/// Duplicates every N-th payload packet.
+#[derive(Debug)]
+pub struct DuplicateFilter {
+    name: String,
+    n: u64,
+    counter: u64,
+    duplicated: u64,
+}
+
+impl DuplicateFilter {
+    /// Creates a filter that duplicates every `n`-th payload packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "duplication interval must be non-zero");
+        Self {
+            name: format!("duplicate-every({n})"),
+            n,
+            counter: 0,
+            duplicated: 0,
+        }
+    }
+
+    /// Number of extra copies emitted so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+}
+
+impl Filter for DuplicateFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, packet: Packet, out: &mut dyn FilterOutput) -> Result<(), FilterError> {
+        if packet.kind().is_payload() {
+            self.counter += 1;
+            if self.counter % self.n == 0 {
+                self.duplicated += 1;
+                out.emit(packet.clone());
+            }
+        }
+        out.emit(packet);
+        Ok(())
+    }
+
+    fn descriptor(&self) -> FilterDescriptor {
+        FilterDescriptor {
+            name: self.name.clone(),
+            kind: "fault-duplicate".to_string(),
+            parameters: format!("n={}, duplicated={}", self.n, self.duplicated),
+        }
+    }
+}
+
+/// Reorders packets by holding them in a small shuffle window and releasing
+/// them in reversed batches.
+#[derive(Debug)]
+pub struct ReorderFilter {
+    name: String,
+    window: usize,
+    held: VecDeque<Packet>,
+}
+
+impl ReorderFilter {
+    /// Creates a filter that reverses the order of every `window` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "reorder window must be non-zero");
+        Self {
+            name: format!("reorder(window={window})"),
+            window,
+            held: VecDeque::new(),
+        }
+    }
+}
+
+impl Filter for ReorderFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, packet: Packet, out: &mut dyn FilterOutput) -> Result<(), FilterError> {
+        self.held.push_back(packet);
+        if self.held.len() >= self.window {
+            while let Some(p) = self.held.pop_back() {
+                out.emit(p);
+            }
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self, out: &mut dyn FilterOutput) -> Result<(), FilterError> {
+        while let Some(p) = self.held.pop_back() {
+            out.emit(p);
+        }
+        Ok(())
+    }
+
+    fn descriptor(&self) -> FilterDescriptor {
+        FilterDescriptor {
+            name: self.name.clone(),
+            kind: "fault-reorder".to_string(),
+            parameters: format!("window={}", self.window),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidware_packet::{PacketKind, SeqNo, StreamId};
+
+    fn packet(seq: u64) -> Packet {
+        Packet::new(StreamId::new(1), SeqNo::new(seq), PacketKind::AudioData, vec![0u8; 8])
+    }
+
+    #[test]
+    fn drop_every_nth_drops_deterministically() {
+        let mut filter = DropEveryNth::new(3);
+        let mut out: Vec<Packet> = Vec::new();
+        for seq in 0..9 {
+            filter.process(packet(seq), &mut out).unwrap();
+        }
+        assert_eq!(out.len(), 6);
+        assert_eq!(filter.dropped(), 3);
+        let seqs: Vec<u64> = out.iter().map(|p| p.seq().value()).collect();
+        assert_eq!(seqs, vec![0, 1, 3, 4, 6, 7]);
+    }
+
+    #[test]
+    fn control_packets_are_never_dropped() {
+        let mut filter = DropEveryNth::new(1);
+        let control = Packet::new(StreamId::new(1), SeqNo::new(0), PacketKind::Control, vec![]);
+        let mut out: Vec<Packet> = Vec::new();
+        filter.process(control.clone(), &mut out).unwrap();
+        filter.process(packet(1), &mut out).unwrap();
+        assert_eq!(out, vec![control]);
+    }
+
+    #[test]
+    fn duplicate_filter_emits_extra_copies() {
+        let mut filter = DuplicateFilter::new(2);
+        let mut out: Vec<Packet> = Vec::new();
+        for seq in 0..4 {
+            filter.process(packet(seq), &mut out).unwrap();
+        }
+        assert_eq!(out.len(), 6);
+        assert_eq!(filter.duplicated(), 2);
+        let copies_of_1 = out.iter().filter(|p| p.seq().value() == 1).count();
+        assert_eq!(copies_of_1, 2);
+    }
+
+    #[test]
+    fn reorder_filter_reverses_windows_and_flushes_remainder() {
+        let mut filter = ReorderFilter::new(3);
+        let mut out: Vec<Packet> = Vec::new();
+        for seq in 0..7 {
+            filter.process(packet(seq), &mut out).unwrap();
+        }
+        filter.flush(&mut out).unwrap();
+        let seqs: Vec<u64> = out.iter().map(|p| p.seq().value()).collect();
+        assert_eq!(seqs, vec![2, 1, 0, 5, 4, 3, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_parameters_panic() {
+        let _ = DropEveryNth::new(0);
+    }
+}

@@ -1,0 +1,542 @@
+//! The FEC decoder filter.
+//!
+//! Installed on the receiving side of a lossy hop (in the paper: on the
+//! mobile host, or in the proxy for the uplink direction), the decoder
+//! forwards source packets as they arrive, absorbs parity packets, and —
+//! whenever a block has lost packets but enough shards survived — rebuilds
+//! the missing packets in their entirety and injects them back into the
+//! stream.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rapidware_fec::{BlockReconstructor, FecCodec, FecError};
+use rapidware_packet::{Packet, PacketKind};
+
+use crate::error::FilterError;
+use crate::filter::{Filter, FilterDescriptor, FilterOutput};
+
+/// Shared counters describing what a [`FecDecoderFilter`] has done.
+#[derive(Debug, Default)]
+pub struct FecDecoderStats {
+    sources_seen: AtomicU64,
+    parities_seen: AtomicU64,
+    recovered: AtomicU64,
+    unrecoverable_blocks: AtomicU64,
+    duplicate_suppressed: AtomicU64,
+}
+
+impl FecDecoderStats {
+    /// Source packets observed.
+    pub fn sources_seen(&self) -> u64 {
+        self.sources_seen.load(Ordering::Relaxed)
+    }
+
+    /// Parity packets observed.
+    pub fn parities_seen(&self) -> u64 {
+        self.parities_seen.load(Ordering::Relaxed)
+    }
+
+    /// Packets reconstructed and re-injected into the stream.
+    pub fn recovered(&self) -> u64 {
+        self.recovered.load(Ordering::Relaxed)
+    }
+
+    /// Blocks that had losses but not enough surviving shards to decode.
+    pub fn unrecoverable_blocks(&self) -> u64 {
+        self.unrecoverable_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Late copies of already-recovered packets that were suppressed.
+    pub fn duplicate_suppressed(&self) -> u64 {
+        self.duplicate_suppressed.load(Ordering::Relaxed)
+    }
+}
+
+struct BlockState {
+    reconstructor: BlockReconstructor,
+    first_seq: u64,
+    recovery_attempted: bool,
+}
+
+/// A composable proxy filter that reconstructs lost packets from FEC parity
+/// packets produced by a matching
+/// [`FecEncoderFilter`](crate::FecEncoderFilter).
+pub struct FecDecoderFilter {
+    name: String,
+    codec: FecCodec,
+    /// Recently seen source packets, so a parity that arrives later can use
+    /// them as shards.  Keyed by sequence number; bounded FIFO.
+    recent_sources: BTreeMap<u64, Packet>,
+    recent_order: VecDeque<u64>,
+    history: usize,
+    /// Blocks keyed by the sequence number of their first source packet.
+    blocks: BTreeMap<u64, BlockState>,
+    /// Sequence numbers this filter has already re-injected.
+    recovered_seqs: HashSet<u64>,
+    forward_parity: bool,
+    stats: Arc<FecDecoderStats>,
+}
+
+impl std::fmt::Debug for FecDecoderFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FecDecoderFilter")
+            .field("name", &self.name)
+            .field("tracked_blocks", &self.blocks.len())
+            .field("recent_sources", &self.recent_sources.len())
+            .field("recovered", &self.stats.recovered())
+            .finish()
+    }
+}
+
+impl FecDecoderFilter {
+    /// Creates a decoder for the given (n, k) parameters.  The parameters
+    /// must match the encoder that produced the parity packets.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FilterError::Fec`] for invalid parameters.
+    pub fn new(n: usize, k: usize) -> Result<Self, FilterError> {
+        let codec = FecCodec::new(n, k)?;
+        Ok(Self {
+            name: format!("fec-decoder({n},{k})"),
+            codec,
+            recent_sources: BTreeMap::new(),
+            recent_order: VecDeque::new(),
+            history: 64 * k.max(1),
+            blocks: BTreeMap::new(),
+            recovered_seqs: HashSet::new(),
+            forward_parity: false,
+            stats: Arc::new(FecDecoderStats::default()),
+        })
+    }
+
+    /// The paper's FEC(6, 4) configuration.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; returns `Result` for uniformity with [`new`](Self::new).
+    pub fn fec_6_4() -> Result<Self, FilterError> {
+        Self::new(6, 4)
+    }
+
+    /// Keeps forwarding parity packets downstream instead of absorbing them
+    /// (useful when chaining decoders for diagnostics).
+    #[must_use]
+    pub fn forwarding_parity(mut self) -> Self {
+        self.forward_parity = true;
+        self
+    }
+
+    /// A handle to the decoder's counters.
+    pub fn stats(&self) -> Arc<FecDecoderStats> {
+        Arc::clone(&self.stats)
+    }
+
+    fn remember_source(&mut self, packet: &Packet) {
+        let seq = packet.seq().value();
+        if self.recent_sources.insert(seq, packet.clone()).is_none() {
+            self.recent_order.push_back(seq);
+            while self.recent_order.len() > self.history {
+                if let Some(old) = self.recent_order.pop_front() {
+                    self.recent_sources.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn try_recover(
+        state: &mut BlockState,
+        k: usize,
+        recovered_seqs: &mut HashSet<u64>,
+        stats: &FecDecoderStats,
+        out: &mut dyn FilterOutput,
+    ) -> Result<bool, FilterError> {
+        if !state.reconstructor.is_decodable() {
+            return Ok(false);
+        }
+        if state.reconstructor.missing_slots().is_empty() {
+            return Ok(true);
+        }
+        match state.reconstructor.recover() {
+            Ok(recovered) => {
+                for payload in recovered {
+                    if payload.data.is_empty() {
+                        // A flush-padded slot (the encoder filled a partial
+                        // block with empty payloads): nothing to re-inject.
+                        continue;
+                    }
+                    let packet = Packet::decode(&payload.data)?;
+                    let seq = packet.seq().value();
+                    debug_assert_eq!(seq, state.first_seq + payload.slot as u64);
+                    if recovered_seqs.insert(seq) {
+                        stats.recovered.fetch_add(1, Ordering::Relaxed);
+                        out.emit(packet);
+                    }
+                }
+                let _ = k;
+                state.recovery_attempted = true;
+                Ok(true)
+            }
+            Err(FecError::NotEnoughShards { .. }) => Ok(false),
+            Err(other) => Err(other.into()),
+        }
+    }
+
+    fn garbage_collect(&mut self) {
+        // Keep a bounded number of open blocks; the oldest ones are closed.
+        const MAX_OPEN_BLOCKS: usize = 64;
+        while self.blocks.len() > MAX_OPEN_BLOCKS {
+            if let Some((&oldest, _)) = self.blocks.iter().next() {
+                if let Some(state) = self.blocks.remove(&oldest) {
+                    if !state.recovery_attempted && !state.reconstructor.missing_slots().is_empty()
+                    {
+                        self.stats
+                            .unrecoverable_blocks
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        // Forget re-injected sequence numbers that are far in the past.
+        if self.recovered_seqs.len() > 4 * self.history {
+            let horizon = self
+                .recent_order
+                .front()
+                .copied()
+                .unwrap_or(0);
+            self.recovered_seqs.retain(|&seq| seq >= horizon);
+        }
+    }
+}
+
+impl Filter for FecDecoderFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, packet: Packet, out: &mut dyn FilterOutput) -> Result<(), FilterError> {
+        match packet.kind() {
+            PacketKind::Parity { index, k, n, .. } => {
+                self.stats.parities_seen.fetch_add(1, Ordering::Relaxed);
+                if usize::from(k) != self.codec.k() || usize::from(n) != self.codec.n() {
+                    return Err(FilterError::Unsupported(format!(
+                        "parity packet for fec({n},{k}) fed to a {} decoder",
+                        self.name
+                    )));
+                }
+                let payload = packet.payload();
+                if payload.len() < 8 {
+                    return Err(FilterError::Internal(
+                        "parity packet payload shorter than its block header".into(),
+                    ));
+                }
+                let first_seq = u64::from_be_bytes(
+                    payload[..8]
+                        .try_into()
+                        .expect("slice of length 8 converts to [u8; 8]"),
+                );
+                let shard = &payload[8..];
+                let parity_index = usize::from(index).saturating_sub(self.codec.k());
+
+                // Attach any already-seen sources of this block.
+                let k = self.codec.k();
+                let sources: Vec<(usize, Packet)> = (0..k as u64)
+                    .filter_map(|slot| {
+                        self.recent_sources
+                            .get(&(first_seq + slot))
+                            .map(|p| (slot as usize, p.clone()))
+                    })
+                    .collect();
+                let codec = self.codec.clone();
+                let state = self.blocks.entry(first_seq).or_insert_with(|| BlockState {
+                    reconstructor: BlockReconstructor::new(codec),
+                    first_seq,
+                    recovery_attempted: false,
+                });
+                for (slot, source) in &sources {
+                    state
+                        .reconstructor
+                        .add_source(*slot, &source.encode())?;
+                }
+                state.reconstructor.add_parity(parity_index, shard)?;
+                Self::try_recover(state, k, &mut self.recovered_seqs, &self.stats, out)?;
+                if self.forward_parity {
+                    out.emit(packet);
+                }
+                self.garbage_collect();
+                Ok(())
+            }
+            kind if kind.is_payload() => {
+                self.stats.sources_seen.fetch_add(1, Ordering::Relaxed);
+                let seq = packet.seq().value();
+                if self.recovered_seqs.contains(&seq) {
+                    // A late copy of a packet we already rebuilt: suppress it
+                    // so downstream never sees a duplicate.
+                    self.stats
+                        .duplicate_suppressed
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                self.remember_source(&packet);
+                // If an open block is waiting for this packet, feed it.
+                let k = self.codec.k() as u64;
+                let wire = packet.encode();
+                let block_key = self
+                    .blocks
+                    .range(..=seq)
+                    .next_back()
+                    .map(|(&first, _)| first)
+                    .filter(|&first| seq < first + k);
+                if let Some(first) = block_key {
+                    let stats = Arc::clone(&self.stats);
+                    if let Some(state) = self.blocks.get_mut(&first) {
+                        state
+                            .reconstructor
+                            .add_source((seq - first) as usize, &wire)?;
+                        Self::try_recover(
+                            state,
+                            k as usize,
+                            &mut self.recovered_seqs,
+                            &stats,
+                            out,
+                        )?;
+                    }
+                }
+                out.emit(packet);
+                Ok(())
+            }
+            _ => {
+                out.emit(packet);
+                Ok(())
+            }
+        }
+    }
+
+    fn descriptor(&self) -> FilterDescriptor {
+        FilterDescriptor {
+            name: self.name.clone(),
+            kind: "fec-decoder".to_string(),
+            parameters: format!(
+                "n={}, k={}, recovered={}",
+                self.codec.n(),
+                self.codec.k(),
+                self.stats.recovered()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::fec_encode::FecEncoderFilter;
+    use rapidware_packet::{SeqNo, StreamId};
+
+    fn audio_packet(seq: u64, len: usize) -> Packet {
+        Packet::with_timestamp(
+            StreamId::new(3),
+            SeqNo::new(seq),
+            PacketKind::AudioData,
+            seq * 20_000,
+            (0..len).map(|i| ((seq * 31 + i as u64 * 7) % 256) as u8).collect::<Vec<u8>>(),
+        )
+    }
+
+    /// Encodes `count` packets through an encoder, returning the encoded
+    /// stream (sources + parities in order).
+    fn encoded_stream(count: u64, len: usize) -> Vec<Packet> {
+        let mut encoder = FecEncoderFilter::fec_6_4().unwrap();
+        let mut out: Vec<Packet> = Vec::new();
+        for seq in 0..count {
+            encoder.process(audio_packet(seq, len), &mut out).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn lossless_stream_passes_through_without_recovery() {
+        let stream = encoded_stream(8, 320);
+        let mut decoder = FecDecoderFilter::fec_6_4().unwrap();
+        let stats = decoder.stats();
+        let mut out: Vec<Packet> = Vec::new();
+        for packet in stream {
+            decoder.process(packet, &mut out).unwrap();
+        }
+        // All 8 sources forwarded, parities absorbed.
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().all(|p| p.kind().is_payload()));
+        assert_eq!(stats.sources_seen(), 8);
+        assert_eq!(stats.parities_seen(), 4);
+        assert_eq!(stats.recovered(), 0);
+    }
+
+    #[test]
+    fn single_loss_per_block_is_recovered_exactly() {
+        let stream = encoded_stream(8, 320);
+        let originals: Vec<Packet> = (0..8).map(|s| audio_packet(s, 320)).collect();
+        let mut decoder = FecDecoderFilter::fec_6_4().unwrap();
+        let stats = decoder.stats();
+        let mut out: Vec<Packet> = Vec::new();
+        for packet in stream {
+            // Drop source packets 2 and 5 (one loss in each block).
+            if packet.kind().is_payload() && matches!(packet.seq().value(), 2 | 5) {
+                continue;
+            }
+            decoder.process(packet, &mut out).unwrap();
+        }
+        assert_eq!(stats.recovered(), 2);
+        assert_eq!(out.len(), 8, "6 received + 2 recovered");
+        // The recovered packets are byte-for-byte identical to the originals.
+        for original in &originals {
+            let found = out
+                .iter()
+                .find(|p| p.seq() == original.seq())
+                .expect("present after recovery");
+            assert_eq!(found, original);
+        }
+    }
+
+    #[test]
+    fn two_losses_in_a_block_need_both_parities() {
+        let stream = encoded_stream(4, 200);
+        let mut decoder = FecDecoderFilter::fec_6_4().unwrap();
+        let stats = decoder.stats();
+        let mut out: Vec<Packet> = Vec::new();
+        for packet in stream {
+            if packet.kind().is_payload() && matches!(packet.seq().value(), 1 | 3) {
+                continue;
+            }
+            decoder.process(packet, &mut out).unwrap();
+        }
+        assert_eq!(stats.recovered(), 2);
+        let mut seqs: Vec<u64> = out.iter().map(|p| p.seq().value()).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn three_losses_in_a_block_are_unrecoverable() {
+        let stream = encoded_stream(4, 200);
+        let mut decoder = FecDecoderFilter::fec_6_4().unwrap();
+        let stats = decoder.stats();
+        let mut out: Vec<Packet> = Vec::new();
+        for packet in stream {
+            if packet.kind().is_payload() && matches!(packet.seq().value(), 1 | 2 | 3) {
+                continue;
+            }
+            decoder.process(packet, &mut out).unwrap();
+        }
+        assert_eq!(stats.recovered(), 0);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn lost_parities_do_not_matter_when_sources_survive() {
+        let stream = encoded_stream(4, 100);
+        let mut decoder = FecDecoderFilter::fec_6_4().unwrap();
+        let mut out: Vec<Packet> = Vec::new();
+        for packet in stream {
+            if packet.kind().is_parity() {
+                continue;
+            }
+            decoder.process(packet, &mut out).unwrap();
+        }
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn late_source_after_recovery_is_suppressed() {
+        let stream = encoded_stream(4, 100);
+        let lost: Vec<Packet> = stream
+            .iter()
+            .filter(|p| p.kind().is_payload() && p.seq().value() == 2)
+            .cloned()
+            .collect();
+        let mut decoder = FecDecoderFilter::fec_6_4().unwrap();
+        let stats = decoder.stats();
+        let mut out: Vec<Packet> = Vec::new();
+        for packet in stream {
+            if packet.kind().is_payload() && packet.seq().value() == 2 {
+                continue; // "lost" (actually just very late)
+            }
+            decoder.process(packet, &mut out).unwrap();
+        }
+        assert_eq!(stats.recovered(), 1);
+        // The late copy now arrives; it must not be emitted a second time.
+        decoder.process(lost[0].clone(), &mut out).unwrap();
+        assert_eq!(stats.duplicate_suppressed(), 1);
+        let copies = out.iter().filter(|p| p.seq().value() == 2).count();
+        assert_eq!(copies, 1);
+    }
+
+    #[test]
+    fn parity_with_mismatched_parameters_is_rejected() {
+        let mut wrong_encoder = FecEncoderFilter::new(8, 6).unwrap();
+        let mut out: Vec<Packet> = Vec::new();
+        for seq in 0..6u64 {
+            wrong_encoder
+                .process(audio_packet(seq, 50), &mut out)
+                .unwrap();
+        }
+        let parity = out
+            .iter()
+            .find(|p| p.kind().is_parity())
+            .cloned()
+            .expect("one block was encoded");
+        let mut decoder = FecDecoderFilter::fec_6_4().unwrap();
+        let mut sink: Vec<Packet> = Vec::new();
+        let err = decoder.process(parity, &mut sink).unwrap_err();
+        assert!(matches!(err, FilterError::Unsupported(_)));
+    }
+
+    #[test]
+    fn forwarding_parity_mode_keeps_parity_packets() {
+        let stream = encoded_stream(4, 64);
+        let mut decoder = FecDecoderFilter::fec_6_4().unwrap().forwarding_parity();
+        let mut out: Vec<Packet> = Vec::new();
+        for packet in stream {
+            decoder.process(packet, &mut out).unwrap();
+        }
+        assert_eq!(out.iter().filter(|p| p.kind().is_parity()).count(), 2);
+    }
+
+    #[test]
+    fn control_packets_pass_through() {
+        let mut decoder = FecDecoderFilter::fec_6_4().unwrap();
+        let control = Packet::new(StreamId::new(1), SeqNo::new(0), PacketKind::Control, vec![9]);
+        let mut out: Vec<Packet> = Vec::new();
+        decoder.process(control.clone(), &mut out).unwrap();
+        assert_eq!(out, vec![control]);
+    }
+
+    #[test]
+    fn reordered_parity_before_sources_still_recovers() {
+        // Reorder so both parities of block 0 arrive before sources 1..3,
+        // and source 0 is lost entirely.
+        let stream = encoded_stream(4, 128);
+        let sources: Vec<Packet> = stream.iter().filter(|p| p.kind().is_payload()).cloned().collect();
+        let parities: Vec<Packet> = stream.iter().filter(|p| p.kind().is_parity()).cloned().collect();
+        let mut decoder = FecDecoderFilter::fec_6_4().unwrap();
+        let stats = decoder.stats();
+        let mut out: Vec<Packet> = Vec::new();
+        for packet in parities {
+            decoder.process(packet, &mut out).unwrap();
+        }
+        for packet in sources.iter().skip(1) {
+            decoder.process(packet.clone(), &mut out).unwrap();
+        }
+        // As soon as k shards are present the decoder rebuilds every missing
+        // slot, so the genuinely lost packet 0 *and* the still-in-flight
+        // packet 3 are both reconstructed; the late real copy of packet 3 is
+        // then suppressed, so downstream sees each packet exactly once.
+        assert_eq!(stats.recovered(), 2);
+        assert_eq!(stats.duplicate_suppressed(), 1);
+        for seq in 0..4u64 {
+            let copies: Vec<&Packet> = out.iter().filter(|p| p.seq().value() == seq).collect();
+            assert_eq!(copies.len(), 1, "seq {seq} delivered exactly once");
+            assert_eq!(copies[0], &sources[seq as usize]);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! The FEC encoder filter.
+//!
+//! This is the Rust port of the proxy component the paper integrates first
+//! into the RAPIDware framework: it "collects the data packets into FEC data
+//! blocks of size k" and, when a group is full, "encoding routines are
+//! invoked to produce n − k parity packets", which are forwarded along with
+//! the data packets toward the wireless sender.
+//!
+//! The filter is *systematic*: source packets pass through unchanged and
+//! immediately (no added latency on the data path); parity packets are
+//! emitted right after the k-th source packet of each block.  Each parity
+//! packet's payload is the 8-byte big-endian sequence number of the first
+//! source packet of the block, followed by the parity shard computed over
+//! the **wire encodings** of the block's source packets — so a receiver can
+//! reconstruct a lost packet in its entirety (header, timestamp, and
+//! payload), not just its payload bytes.
+
+use rapidware_fec::{BlockAssembler, FecCodec};
+use rapidware_packet::{BlockId, Packet, PacketKind, SeqNo};
+
+use crate::error::FilterError;
+use crate::filter::{Filter, FilterDescriptor, FilterOutput, InsertionPoint};
+
+/// A composable proxy filter that adds (n, k) block-erasure parity packets
+/// to a stream.
+#[derive(Debug)]
+pub struct FecEncoderFilter {
+    name: String,
+    assembler: BlockAssembler,
+    /// Sequence number of the first packet of the block being assembled.
+    block_first_seq: Option<SeqNo>,
+    /// Stream/timestamp template for parity packets (copied from the most
+    /// recent source packet).
+    template: Option<Packet>,
+    next_block: BlockId,
+    require_frame_boundary: bool,
+    blocks_encoded: u64,
+    parities_emitted: u64,
+}
+
+impl FecEncoderFilter {
+    /// Creates an encoder with the given (n, k) parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FilterError::Fec`] wrapping
+    /// [`rapidware_fec::FecError::InvalidParameters`] for invalid (n, k).
+    pub fn new(n: usize, k: usize) -> Result<Self, FilterError> {
+        let codec = FecCodec::new(n, k)?;
+        Ok(Self {
+            name: format!("fec-encoder({n},{k})"),
+            assembler: BlockAssembler::new(codec),
+            block_first_seq: None,
+            template: None,
+            next_block: BlockId::new(0),
+            require_frame_boundary: false,
+            blocks_encoded: 0,
+            parities_emitted: 0,
+        })
+    }
+
+    /// The paper's FEC(6, 4) configuration ("we use small groups so as to
+    /// minimize jitter").
+    ///
+    /// # Errors
+    ///
+    /// Never fails; returns `Result` for uniformity with [`new`](Self::new).
+    pub fn fec_6_4() -> Result<Self, FilterError> {
+        Self::new(6, 4)
+    }
+
+    /// Marks this encoder as video-aware: it must be spliced into a running
+    /// chain only at a frame boundary.
+    #[must_use]
+    pub fn frame_aligned(mut self) -> Self {
+        self.require_frame_boundary = true;
+        self
+    }
+
+    /// Number of source packets per block.
+    pub fn k(&self) -> usize {
+        self.assembler.codec().k()
+    }
+
+    /// Total encoded packets per block.
+    pub fn n(&self) -> usize {
+        self.assembler.codec().n()
+    }
+
+    /// Number of complete blocks encoded so far.
+    pub fn blocks_encoded(&self) -> u64 {
+        self.blocks_encoded
+    }
+
+    /// Number of parity packets emitted so far.
+    pub fn parities_emitted(&self) -> u64 {
+        self.parities_emitted
+    }
+
+    fn emit_parities(
+        &mut self,
+        block: rapidware_fec::EncodedBlock,
+        out: &mut dyn FilterOutput,
+    ) -> Result<(), FilterError> {
+        let first_seq = self
+            .block_first_seq
+            .take()
+            .ok_or_else(|| FilterError::Internal("fec block without a first sequence".into()))?;
+        let template = self
+            .template
+            .clone()
+            .ok_or_else(|| FilterError::Internal("fec block without a template packet".into()))?;
+        let block_id = self.next_block;
+        self.next_block = self.next_block.next();
+        self.blocks_encoded += 1;
+
+        for (index, shard) in block.parities.into_iter().enumerate() {
+            let mut payload = Vec::with_capacity(8 + shard.len());
+            payload.extend_from_slice(&first_seq.value().to_be_bytes());
+            payload.extend_from_slice(&shard);
+            let kind = PacketKind::Parity {
+                block: block_id,
+                index: (self.k() + index) as u8,
+                k: self.k() as u8,
+                n: self.n() as u8,
+            };
+            // Parity packets get sequence numbers in a disjoint "parity
+            // space" derived from the block so they never collide with
+            // source sequence numbers at a reordering buffer.
+            let parity_seq = SeqNo::new(u64::MAX / 2 + block_id.value() * self.n() as u64 + index as u64);
+            let parity = Packet::with_timestamp(
+                template.stream(),
+                parity_seq,
+                kind,
+                template.timestamp_us(),
+                payload,
+            );
+            out.emit(parity);
+            self.parities_emitted += 1;
+        }
+        Ok(())
+    }
+}
+
+impl Filter for FecEncoderFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, packet: Packet, out: &mut dyn FilterOutput) -> Result<(), FilterError> {
+        // Non-payload packets (control, parity from an upstream encoder) are
+        // forwarded untouched and do not join a block.
+        if !packet.kind().is_payload() {
+            out.emit(packet);
+            return Ok(());
+        }
+        if self.block_first_seq.is_none() {
+            self.block_first_seq = Some(packet.seq());
+        }
+        self.template = Some(packet.clone());
+        let wire = packet.encode();
+        // The source packet itself is forwarded immediately (systematic
+        // code: zero added latency on the data path).
+        out.emit(packet);
+        if let Some(block) = self.assembler.push(&wire)? {
+            self.emit_parities(block, out)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self, out: &mut dyn FilterOutput) -> Result<(), FilterError> {
+        if let Some(block) = self.assembler.flush()? {
+            self.emit_parities(block, out)?;
+        }
+        Ok(())
+    }
+
+    fn insertion_point(&self) -> InsertionPoint {
+        if self.require_frame_boundary {
+            InsertionPoint::FrameBoundary
+        } else {
+            InsertionPoint::Anywhere
+        }
+    }
+
+    fn descriptor(&self) -> FilterDescriptor {
+        FilterDescriptor {
+            name: self.name.clone(),
+            kind: "fec-encoder".to_string(),
+            parameters: format!(
+                "n={}, k={}, blocks={}, parities={}",
+                self.n(),
+                self.k(),
+                self.blocks_encoded,
+                self.parities_emitted
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidware_packet::{PacketKind, StreamId};
+
+    fn audio_packet(seq: u64, len: usize) -> Packet {
+        Packet::with_timestamp(
+            StreamId::new(3),
+            SeqNo::new(seq),
+            PacketKind::AudioData,
+            seq * 20_000,
+            vec![(seq % 251) as u8; len],
+        )
+    }
+
+    #[test]
+    fn emits_two_parities_every_four_sources_for_6_4() {
+        let mut encoder = FecEncoderFilter::fec_6_4().unwrap();
+        let mut out: Vec<Packet> = Vec::new();
+        for seq in 0..8u64 {
+            encoder.process(audio_packet(seq, 320), &mut out).unwrap();
+        }
+        // 8 sources + 2 blocks * 2 parities.
+        assert_eq!(out.len(), 12);
+        let parities: Vec<&Packet> = out.iter().filter(|p| p.kind().is_parity()).collect();
+        assert_eq!(parities.len(), 4);
+        assert_eq!(encoder.blocks_encoded(), 2);
+        assert_eq!(encoder.parities_emitted(), 4);
+        // Parity metadata is coherent.
+        match parities[0].kind() {
+            PacketKind::Parity { block, index, k, n } => {
+                assert_eq!(block, rapidware_packet::BlockId::new(0));
+                assert_eq!(index, 4);
+                assert_eq!(k, 4);
+                assert_eq!(n, 6);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        // First 8 bytes of the parity payload carry the block's first seq.
+        let first_seq = u64::from_be_bytes(parities[0].payload()[..8].try_into().unwrap());
+        assert_eq!(first_seq, 0);
+        let first_seq = u64::from_be_bytes(parities[2].payload()[..8].try_into().unwrap());
+        assert_eq!(first_seq, 4);
+    }
+
+    #[test]
+    fn source_packets_pass_through_unchanged_and_in_order() {
+        let mut encoder = FecEncoderFilter::fec_6_4().unwrap();
+        let mut out: Vec<Packet> = Vec::new();
+        let inputs: Vec<Packet> = (0..4).map(|s| audio_packet(s, 100 + s as usize)).collect();
+        for packet in &inputs {
+            encoder.process(packet.clone(), &mut out).unwrap();
+        }
+        let sources: Vec<&Packet> = out.iter().filter(|p| p.kind().is_payload()).collect();
+        assert_eq!(sources.len(), 4);
+        for (observed, expected) in sources.iter().zip(&inputs) {
+            assert_eq!(*observed, expected);
+        }
+        // The source packet is emitted *before* the parities of its block.
+        assert!(out[3].kind().is_payload());
+        assert!(out[4].kind().is_parity());
+    }
+
+    #[test]
+    fn flush_protects_a_partial_block() {
+        let mut encoder = FecEncoderFilter::fec_6_4().unwrap();
+        let mut out: Vec<Packet> = Vec::new();
+        encoder.process(audio_packet(0, 64), &mut out).unwrap();
+        encoder.process(audio_packet(1, 64), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        encoder.flush(&mut out).unwrap();
+        assert_eq!(out.len(), 4, "two parities for the padded partial block");
+        assert!(out[2].kind().is_parity());
+    }
+
+    #[test]
+    fn control_packets_are_not_encoded() {
+        let mut encoder = FecEncoderFilter::new(5, 2).unwrap();
+        let mut out: Vec<Packet> = Vec::new();
+        let control = Packet::new(StreamId::new(3), SeqNo::new(9), PacketKind::Control, vec![1]);
+        encoder.process(control.clone(), &mut out).unwrap();
+        encoder.process(audio_packet(0, 10), &mut out).unwrap();
+        encoder.process(audio_packet(1, 10), &mut out).unwrap();
+        // Control forwarded + 2 sources + 3 parities (k=2, n=5).
+        assert_eq!(out.len(), 6);
+        assert_eq!(out[0], control);
+        assert_eq!(out.iter().filter(|p| p.kind().is_parity()).count(), 3);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(FecEncoderFilter::new(2, 4).is_err());
+    }
+
+    #[test]
+    fn frame_aligned_encoder_requires_boundary() {
+        let encoder = FecEncoderFilter::fec_6_4().unwrap().frame_aligned();
+        assert_eq!(encoder.insertion_point(), InsertionPoint::FrameBoundary);
+        let plain = FecEncoderFilter::fec_6_4().unwrap();
+        assert_eq!(plain.insertion_point(), InsertionPoint::Anywhere);
+    }
+
+    #[test]
+    fn descriptor_reports_parameters() {
+        let encoder = FecEncoderFilter::fec_6_4().unwrap();
+        let descriptor = encoder.descriptor();
+        assert_eq!(descriptor.kind, "fec-encoder");
+        assert!(descriptor.parameters.contains("n=6, k=4"));
+        assert_eq!(encoder.name(), "fec-encoder(6,4)");
+    }
+}

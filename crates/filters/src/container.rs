@@ -1,0 +1,133 @@
+//! The [`FilterContainer`]: a named bundle of filters.
+//!
+//! The paper uses a `FilterContainer` to hold an array of `Filter` objects
+//! when new filter implementations are uploaded into a running proxy; the
+//! control manager can ask the container how many filters it holds and for
+//! an enumeration of their names.  The Rust analogue is a simple ordered
+//! collection of boxed filters keyed by name.
+
+use std::fmt;
+
+use crate::filter::{Filter, FilterDescriptor};
+
+/// An ordered, named collection of filters ready to be installed in a proxy.
+pub struct FilterContainer {
+    name: String,
+    filters: Vec<Box<dyn Filter>>,
+}
+
+impl fmt::Debug for FilterContainer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FilterContainer")
+            .field("name", &self.name)
+            .field("filters", &self.filter_names())
+            .finish()
+    }
+}
+
+impl FilterContainer {
+    /// Creates an empty container with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            filters: Vec::new(),
+        }
+    }
+
+    /// Container name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a filter to the container, returning `self` for chaining.
+    #[must_use]
+    pub fn with_filter(mut self, filter: Box<dyn Filter>) -> Self {
+        self.filters.push(filter);
+        self
+    }
+
+    /// Adds a filter to the container.
+    pub fn add(&mut self, filter: Box<dyn Filter>) {
+        self.filters.push(filter);
+    }
+
+    /// Number of filters held (the paper's `getFilterCount`).
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Returns `true` if the container holds no filters.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// Enumeration of the held filters' names (the paper's name
+    /// enumeration method).
+    pub fn filter_names(&self) -> Vec<String> {
+        self.filters.iter().map(|f| f.name().to_string()).collect()
+    }
+
+    /// Descriptors of the held filters.
+    pub fn descriptors(&self) -> Vec<FilterDescriptor> {
+        self.filters.iter().map(|f| f.descriptor()).collect()
+    }
+
+    /// Removes and returns the filter with the given name, if present.
+    pub fn take(&mut self, name: &str) -> Option<Box<dyn Filter>> {
+        let index = self.filters.iter().position(|f| f.name() == name)?;
+        Some(self.filters.remove(index))
+    }
+
+    /// Consumes the container, returning its filters in order.
+    pub fn into_filters(self) -> Vec<Box<dyn Filter>> {
+        self.filters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::null::NullFilter;
+    use crate::builtin::tap::TapFilter;
+
+    #[test]
+    fn container_enumerates_filters() {
+        let container = FilterContainer::new("uploaded-filters")
+            .with_filter(Box::new(NullFilter::new()))
+            .with_filter(Box::new(TapFilter::new("tap")));
+        assert_eq!(container.name(), "uploaded-filters");
+        assert_eq!(container.len(), 2);
+        assert!(!container.is_empty());
+        assert_eq!(container.filter_names(), vec!["null", "tap"]);
+        assert_eq!(container.descriptors().len(), 2);
+        assert!(format!("{container:?}").contains("uploaded-filters"));
+    }
+
+    #[test]
+    fn take_removes_by_name() {
+        let mut container = FilterContainer::new("bundle");
+        container.add(Box::new(NullFilter::new()));
+        container.add(Box::new(TapFilter::new("tap")));
+        let filter = container.take("null").expect("present");
+        assert_eq!(filter.name(), "null");
+        assert_eq!(container.len(), 1);
+        assert!(container.take("null").is_none());
+    }
+
+    #[test]
+    fn into_filters_preserves_order() {
+        let container = FilterContainer::new("bundle")
+            .with_filter(Box::new(TapFilter::new("first")))
+            .with_filter(Box::new(TapFilter::new("second")));
+        let filters = container.into_filters();
+        assert_eq!(filters[0].name(), "first");
+        assert_eq!(filters[1].name(), "second");
+    }
+
+    #[test]
+    fn empty_container() {
+        let container = FilterContainer::new("empty");
+        assert!(container.is_empty());
+        assert!(container.filter_names().is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared by filters and filter chains.
+
+use std::error::Error;
+use std::fmt;
+
+use rapidware_fec::FecError;
+use rapidware_packet::DecodeError;
+
+/// Errors produced by filters and by chain reconfiguration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterError {
+    /// A chain index was out of range for the requested operation.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Current chain length.
+        len: usize,
+    },
+    /// The FEC machinery inside a filter failed.
+    Fec(FecError),
+    /// A filter attempted to decode a packet and the wire data was invalid.
+    Decode(DecodeError),
+    /// A filter received a packet it cannot handle in its current state.
+    Unsupported(String),
+    /// A filter's internal invariant was violated (bug or corrupted input).
+    Internal(String),
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::IndexOutOfRange { index, len } => {
+                write!(f, "filter index {index} out of range for chain of length {len}")
+            }
+            FilterError::Fec(err) => write!(f, "fec error: {err}"),
+            FilterError::Decode(err) => write!(f, "packet decode error: {err}"),
+            FilterError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            FilterError::Internal(what) => write!(f, "internal filter error: {what}"),
+        }
+    }
+}
+
+impl Error for FilterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FilterError::Fec(err) => Some(err),
+            FilterError::Decode(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<FecError> for FilterError {
+    fn from(err: FecError) -> Self {
+        FilterError::Fec(err)
+    }
+}
+
+impl From<DecodeError> for FilterError {
+    fn from(err: DecodeError) -> Self {
+        FilterError::Decode(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = FilterError::Fec(FecError::UnequalShardLengths);
+        assert!(err.to_string().contains("fec error"));
+        assert!(err.source().is_some());
+        let err = FilterError::IndexOutOfRange { index: 5, len: 2 };
+        assert!(err.to_string().contains('5'));
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let err: FilterError = FecError::SingularMatrix.into();
+        assert_eq!(err, FilterError::Fec(FecError::SingularMatrix));
+        let err: FilterError = DecodeError::Truncated.into();
+        assert_eq!(err, FilterError::Decode(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FilterError>();
+    }
+}

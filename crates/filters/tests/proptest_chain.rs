@@ -1,0 +1,127 @@
+//! Property-based tests for the reconfigurable filter chain.
+//!
+//! Invariants under test:
+//!
+//! 1. A chain composed of inverse filter pairs (scrambler/descrambler,
+//!    compressor/decompressor) is payload-preserving for arbitrary packets.
+//! 2. An arbitrary schedule of insertions and removals of null filters never
+//!    loses, duplicates, or reorders packets, and removal always flushes
+//!    buffered data.
+//! 3. FEC encode → arbitrary tolerable loss → decode restores every packet
+//!    byte-for-byte.
+
+use proptest::prelude::*;
+use rapidware_filters::{
+    CompressorFilter, DecompressorFilter, DescramblerFilter, FecDecoderFilter, FecEncoderFilter,
+    FilterChain, NullFilter, ScramblerFilter,
+};
+use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+
+fn packet(seq: u64, payload: Vec<u8>) -> Packet {
+    Packet::new(StreamId::new(1), SeqNo::new(seq), PacketKind::AudioData, payload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Inverse filter pairs restore payloads exactly, regardless of content.
+    #[test]
+    fn inverse_pairs_preserve_payloads(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..600), 1..30),
+        key in any::<u64>(),
+    ) {
+        let mut chain = FilterChain::new();
+        chain.push_back(Box::new(CompressorFilter::new())).unwrap();
+        chain.push_back(Box::new(ScramblerFilter::new(key))).unwrap();
+        chain.push_back(Box::new(DescramblerFilter::new(key))).unwrap();
+        chain.push_back(Box::new(DecompressorFilter::new())).unwrap();
+
+        for (seq, payload) in payloads.iter().enumerate() {
+            let input = packet(seq as u64, payload.clone());
+            let out = chain.process(input.clone()).unwrap();
+            prop_assert_eq!(out.len(), 1);
+            prop_assert_eq!(out[0].payload(), input.payload());
+            prop_assert_eq!(out[0].seq(), input.seq());
+        }
+    }
+
+    /// Arbitrary insert/remove schedules of pass-through filters never
+    /// disturb the stream.
+    #[test]
+    fn insert_remove_schedule_preserves_stream(
+        schedule in proptest::collection::vec((0usize..4, any::<bool>()), 0..30),
+        packets_per_step in 1usize..5,
+    ) {
+        let mut chain = FilterChain::new();
+        let mut next_seq = 0u64;
+        let mut delivered: Vec<u64> = Vec::new();
+
+        for (position, insert) in schedule {
+            if insert {
+                let position = position.min(chain.len());
+                chain.insert(position, Box::new(NullFilter::new())).unwrap();
+            } else if !chain.is_empty() {
+                let position = position.min(chain.len() - 1);
+                let (_filter, flushed) = chain.remove(position).unwrap();
+                delivered.extend(flushed.iter().map(|p| p.seq().value()));
+            }
+            for _ in 0..packets_per_step {
+                let out = chain.process(packet(next_seq, vec![next_seq as u8; 16])).unwrap();
+                delivered.extend(out.iter().map(|p| p.seq().value()));
+                next_seq += 1;
+            }
+        }
+        delivered.extend(chain.flush().unwrap().iter().map(|p| p.seq().value()));
+
+        prop_assert_eq!(delivered.len() as u64, next_seq, "no loss or duplication");
+        for (index, seq) in delivered.iter().enumerate() {
+            prop_assert_eq!(*seq, index as u64, "order preserved");
+        }
+    }
+
+    /// FEC round-trip through the filter pair under any tolerable loss
+    /// pattern restores the original packets exactly.
+    #[test]
+    fn fec_filter_pair_round_trips_under_loss(
+        sizes in proptest::collection::vec(1usize..400, 8),
+        lost_a in 0u64..4,
+        lost_b in 4u64..8,
+    ) {
+        let mut encoder_chain = FilterChain::new();
+        encoder_chain.push_back(Box::new(FecEncoderFilter::fec_6_4().unwrap())).unwrap();
+        let mut decoder_chain = FilterChain::new();
+        decoder_chain.push_back(Box::new(FecDecoderFilter::fec_6_4().unwrap())).unwrap();
+
+        let originals: Vec<Packet> = sizes
+            .iter()
+            .enumerate()
+            .map(|(seq, size)| packet(seq as u64, vec![(seq * 13 + 7) as u8; *size]))
+            .collect();
+
+        let mut encoded = Vec::new();
+        for original in &originals {
+            encoded.extend(encoder_chain.process(original.clone()).unwrap());
+        }
+        encoded.extend(encoder_chain.flush().unwrap());
+
+        // Lose one source packet in each 4-packet block.
+        let mut received = Vec::new();
+        for packet in encoded {
+            if packet.kind().is_payload()
+                && (packet.seq().value() == lost_a || packet.seq().value() == lost_b)
+            {
+                continue;
+            }
+            received.extend(decoder_chain.process(packet).unwrap());
+        }
+
+        for original in &originals {
+            let copies: Vec<&Packet> = received
+                .iter()
+                .filter(|p| p.kind().is_payload() && p.seq() == original.seq())
+                .collect();
+            prop_assert_eq!(copies.len(), 1, "seq {} exactly once", original.seq());
+            prop_assert_eq!(copies[0].payload(), original.payload());
+        }
+    }
+}

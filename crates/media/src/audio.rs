@@ -1,0 +1,197 @@
+//! Synthetic PCM audio source.
+
+use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+
+/// Parameters of a PCM audio stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AudioConfig {
+    /// Samples per second per channel.
+    pub sample_rate_hz: u32,
+    /// Number of channels.
+    pub channels: u8,
+    /// Bits per sample (8 or 16).
+    pub bits_per_sample: u8,
+    /// Duration of audio carried by one packet, in milliseconds.
+    pub packet_duration_ms: u32,
+}
+
+impl AudioConfig {
+    /// The paper's recording format: 8000 samples per second, two channels,
+    /// 8 bits per sample, packetised into 20 ms packets (320 bytes each,
+    /// 50 packets per second).
+    pub fn pcm_8khz_stereo_8bit() -> Self {
+        Self {
+            sample_rate_hz: 8_000,
+            channels: 2,
+            bits_per_sample: 8,
+            packet_duration_ms: 20,
+        }
+    }
+
+    /// Telephone-quality mono audio (8 kHz, 1 channel, 8 bit).
+    pub fn pcm_8khz_mono_8bit() -> Self {
+        Self {
+            sample_rate_hz: 8_000,
+            channels: 1,
+            bits_per_sample: 8,
+            packet_duration_ms: 20,
+        }
+    }
+
+    /// CD-quality audio (44.1 kHz, 2 channels, 16 bit), used by ablation
+    /// experiments that stress the proxy with a higher bit-rate.
+    pub fn pcm_44khz_stereo_16bit() -> Self {
+        Self {
+            sample_rate_hz: 44_100,
+            channels: 2,
+            bits_per_sample: 16,
+            packet_duration_ms: 20,
+        }
+    }
+
+    /// Bytes of PCM data in one packet.
+    pub fn bytes_per_packet(&self) -> usize {
+        let samples = (self.sample_rate_hz as usize * self.packet_duration_ms as usize) / 1_000;
+        samples * self.channels as usize * (self.bits_per_sample as usize / 8)
+    }
+
+    /// Packets generated per second.
+    pub fn packets_per_second(&self) -> f64 {
+        1_000.0 / self.packet_duration_ms as f64
+    }
+
+    /// Stream bit-rate in bits per second (payload only).
+    pub fn bitrate_bps(&self) -> u64 {
+        self.sample_rate_hz as u64 * self.channels as u64 * self.bits_per_sample as u64
+    }
+
+    /// Microseconds of audio per packet.
+    pub fn packet_interval_us(&self) -> u64 {
+        self.packet_duration_ms as u64 * 1_000
+    }
+}
+
+/// A deterministic generator of PCM audio packets.
+///
+/// The payload is a synthetic waveform (a pair of interfering sine-like
+/// integer oscillators), so runs are reproducible and payload corruption is
+/// detectable in tests, but the sizes, rates, and timestamps match a real
+/// capture with the same [`AudioConfig`].
+#[derive(Debug, Clone)]
+pub struct AudioSource {
+    config: AudioConfig,
+    stream: StreamId,
+    next_seq: SeqNo,
+    phase: u64,
+}
+
+impl AudioSource {
+    /// Creates a source for the given stream with the given configuration.
+    pub fn new(stream: StreamId, config: AudioConfig) -> Self {
+        Self {
+            config,
+            stream,
+            next_seq: SeqNo::ZERO,
+            phase: 0,
+        }
+    }
+
+    /// Creates the paper's default source (8 kHz stereo 8-bit, 20 ms packets).
+    pub fn pcm_default(stream: StreamId) -> Self {
+        Self::new(stream, AudioConfig::pcm_8khz_stereo_8bit())
+    }
+
+    /// The audio configuration.
+    pub fn config(&self) -> &AudioConfig {
+        &self.config
+    }
+
+    /// Sequence number of the next packet that will be produced.
+    pub fn next_seq(&self) -> SeqNo {
+        self.next_seq
+    }
+
+    /// Produces the next audio packet.
+    pub fn next_packet(&mut self) -> Packet {
+        let seq = self.next_seq;
+        self.next_seq = seq.next();
+        let len = self.config.bytes_per_packet();
+        let mut payload = Vec::with_capacity(len);
+        for i in 0..len {
+            let t = self.phase + i as u64;
+            // Two incommensurate "oscillators" summed and wrapped: cheap,
+            // deterministic, non-repeating content.
+            let sample = ((t * 37) % 251) as u8 ^ ((t * 11) % 241) as u8;
+            payload.push(sample);
+        }
+        self.phase += len as u64;
+        let timestamp_us = seq.value() * self.config.packet_interval_us();
+        Packet::with_timestamp(self.stream, seq, PacketKind::AudioData, timestamp_us, payload)
+    }
+
+    /// Produces the next `count` packets.
+    pub fn take_packets(&mut self, count: usize) -> Vec<Packet> {
+        (0..count).map(|_| self.next_packet()).collect()
+    }
+
+    /// Number of packets that cover `seconds` of audio.
+    pub fn packets_for_duration(&self, seconds: f64) -> usize {
+        (seconds * self.config.packets_per_second()).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_produces_320_byte_packets_at_50_hz() {
+        let config = AudioConfig::pcm_8khz_stereo_8bit();
+        assert_eq!(config.bytes_per_packet(), 320);
+        assert_eq!(config.packets_per_second(), 50.0);
+        assert_eq!(config.bitrate_bps(), 128_000);
+        assert_eq!(config.packet_interval_us(), 20_000);
+    }
+
+    #[test]
+    fn cd_quality_config_is_bigger() {
+        let config = AudioConfig::pcm_44khz_stereo_16bit();
+        assert_eq!(config.bytes_per_packet(), 3_528);
+        assert_eq!(config.bitrate_bps(), 1_411_200);
+    }
+
+    #[test]
+    fn packets_have_monotone_seq_and_timestamps() {
+        let mut source = AudioSource::pcm_default(StreamId::new(1));
+        let packets = source.take_packets(10);
+        for (i, packet) in packets.iter().enumerate() {
+            assert_eq!(packet.seq().value(), i as u64);
+            assert_eq!(packet.timestamp_us(), i as u64 * 20_000);
+            assert_eq!(packet.kind(), PacketKind::AudioData);
+            assert_eq!(packet.payload_len(), 320);
+            assert_eq!(packet.stream(), StreamId::new(1));
+        }
+        assert_eq!(source.next_seq().value(), 10);
+    }
+
+    #[test]
+    fn payload_content_is_deterministic_and_nonconstant() {
+        let mut a = AudioSource::pcm_default(StreamId::new(1));
+        let mut b = AudioSource::pcm_default(StreamId::new(1));
+        let pa = a.next_packet();
+        let pb = b.next_packet();
+        assert_eq!(pa.payload(), pb.payload());
+        // Not all bytes equal (so corruption is detectable).
+        assert!(pa.payload().iter().any(|&v| v != pa.payload()[0]));
+        // Successive packets differ.
+        assert_ne!(a.next_packet().payload(), pa.payload());
+    }
+
+    #[test]
+    fn packets_for_duration_matches_rate() {
+        let source = AudioSource::pcm_default(StreamId::new(1));
+        assert_eq!(source.packets_for_duration(1.0), 50);
+        assert_eq!(source.packets_for_duration(103.68), 5184);
+        assert_eq!(source.packets_for_duration(0.0), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # rapidware-media — synthetic media workloads
+//!
+//! The paper's experiments transmit a live PCM audio stream ("8000 samples
+//! per second for two 8-bit/sample stereo channels", recorded as a `.WAV`
+//! file) through the proxy, and motivate frame-aware filters with MPEG-style
+//! video streams whose I/B/P frames have different importance.  This crate
+//! generates equivalent *synthetic* workloads: the proxy and FEC machinery
+//! only care about packet sizes, rates, timestamps, and frame structure, not
+//! about the actual audio content, so a deterministic generator exercises
+//! exactly the same code paths as a live capture.
+//!
+//! * [`AudioSource`] — packetised PCM audio with the paper's parameters as
+//!   the default ([`AudioConfig::pcm_8khz_stereo_8bit`]).
+//! * [`VideoSource`] — an MPEG-like group-of-pictures generator producing
+//!   I/P/B frames split across packets, with frame boundaries marked so
+//!   filters can be inserted at the right points.
+//! * [`MediaSink`] — a measurement sink that tracks receipt, gaps, and
+//!   playout continuity at a receiver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod audio;
+mod sink;
+mod video;
+
+pub use audio::{AudioConfig, AudioSource};
+pub use sink::{MediaSink, PlayoutReport};
+pub use video::{GopPattern, VideoConfig, VideoSource};

@@ -1,0 +1,199 @@
+//! Measurement sink for media streams at a receiver.
+
+use std::collections::BTreeSet;
+
+use rapidware_packet::{Packet, SeqNo};
+
+/// Collects delivered packets and summarises playout quality.
+///
+/// The sink is deliberately simple: it answers the questions the paper's
+/// evaluation asks of a receiver — how many packets arrived, how many were
+/// recovered, how many gaps the playout had — without trying to model a
+/// full audio decoder.
+#[derive(Debug, Default)]
+pub struct MediaSink {
+    received: BTreeSet<u64>,
+    recovered: BTreeSet<u64>,
+    bytes: u64,
+    duplicates: u64,
+    corrupted: u64,
+}
+
+/// Summary of what a [`MediaSink`] observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlayoutReport {
+    /// Number of distinct packets that arrived over the network.
+    pub received: u64,
+    /// Number of additional packets recovered by FEC.
+    pub recovered: u64,
+    /// Total payload bytes accepted.
+    pub bytes: u64,
+    /// Duplicate deliveries discarded.
+    pub duplicates: u64,
+    /// Packets rejected as corrupted.
+    pub corrupted: u64,
+    /// Number of distinct playout gaps (maximal runs of missing sequence
+    /// numbers) over the observed range.
+    pub gaps: u64,
+    /// Total missing packets over the observed range.
+    pub missing: u64,
+    /// Fraction of the observed sequence range that is playable (0–1).
+    pub continuity: f64,
+}
+
+impl MediaSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a packet that arrived over the network.
+    pub fn deliver(&mut self, packet: &Packet) {
+        self.accept(packet, false);
+    }
+
+    /// Records a packet that was reconstructed by the FEC decoder.
+    pub fn deliver_recovered(&mut self, packet: &Packet) {
+        self.accept(packet, true);
+    }
+
+    /// Records that a packet failed validation (e.g. checksum mismatch).
+    pub fn reject_corrupted(&mut self) {
+        self.corrupted += 1;
+    }
+
+    fn accept(&mut self, packet: &Packet, recovered: bool) {
+        let seq = packet.seq().value();
+        if self.received.contains(&seq) || self.recovered.contains(&seq) {
+            self.duplicates += 1;
+            return;
+        }
+        if recovered {
+            self.recovered.insert(seq);
+        } else {
+            self.received.insert(seq);
+        }
+        self.bytes += packet.payload_len() as u64;
+    }
+
+    /// Returns `true` if the packet with this sequence number is available
+    /// for playout (received or recovered).
+    pub fn has(&self, seq: SeqNo) -> bool {
+        self.received.contains(&seq.value()) || self.recovered.contains(&seq.value())
+    }
+
+    /// Number of distinct packets accepted so far.
+    pub fn accepted(&self) -> u64 {
+        (self.received.len() + self.recovered.len()) as u64
+    }
+
+    /// Builds a playout report over the sequence range `[0, expected)`.
+    pub fn report(&self, expected: u64) -> PlayoutReport {
+        let mut missing = 0u64;
+        let mut gaps = 0u64;
+        let mut in_gap = false;
+        for seq in 0..expected {
+            let present = self.received.contains(&seq) || self.recovered.contains(&seq);
+            if present {
+                in_gap = false;
+            } else {
+                missing += 1;
+                if !in_gap {
+                    gaps += 1;
+                }
+                in_gap = true;
+            }
+        }
+        let continuity = if expected == 0 {
+            1.0
+        } else {
+            (expected - missing) as f64 / expected as f64
+        };
+        PlayoutReport {
+            received: self.received.len() as u64,
+            recovered: self.recovered.len() as u64,
+            bytes: self.bytes,
+            duplicates: self.duplicates,
+            corrupted: self.corrupted,
+            gaps,
+            missing,
+            continuity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidware_packet::{PacketKind, StreamId};
+
+    fn packet(seq: u64) -> Packet {
+        Packet::new(
+            StreamId::new(1),
+            SeqNo::new(seq),
+            PacketKind::AudioData,
+            vec![0u8; 100],
+        )
+    }
+
+    #[test]
+    fn counts_received_and_recovered_separately() {
+        let mut sink = MediaSink::new();
+        sink.deliver(&packet(0));
+        sink.deliver(&packet(1));
+        sink.deliver_recovered(&packet(2));
+        let report = sink.report(3);
+        assert_eq!(report.received, 2);
+        assert_eq!(report.recovered, 1);
+        assert_eq!(report.missing, 0);
+        assert_eq!(report.gaps, 0);
+        assert_eq!(report.bytes, 300);
+        assert!((report.continuity - 1.0).abs() < 1e-12);
+        assert!(sink.has(SeqNo::new(2)));
+        assert_eq!(sink.accepted(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_discarded() {
+        let mut sink = MediaSink::new();
+        sink.deliver(&packet(0));
+        sink.deliver(&packet(0));
+        sink.deliver_recovered(&packet(0));
+        let report = sink.report(1);
+        assert_eq!(report.received, 1);
+        assert_eq!(report.recovered, 0);
+        assert_eq!(report.duplicates, 2);
+        assert_eq!(report.bytes, 100);
+    }
+
+    #[test]
+    fn gaps_and_missing_are_counted() {
+        let mut sink = MediaSink::new();
+        for seq in [0u64, 1, 4, 5, 9] {
+            sink.deliver(&packet(seq));
+        }
+        let report = sink.report(10);
+        // Missing: 2,3 (one gap), 6,7,8 (one gap) = 5 missing, 2 gaps.
+        assert_eq!(report.missing, 5);
+        assert_eq!(report.gaps, 2);
+        assert!((report.continuity - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupted_packets_are_tracked() {
+        let mut sink = MediaSink::new();
+        sink.reject_corrupted();
+        sink.reject_corrupted();
+        assert_eq!(sink.report(0).corrupted, 2);
+        assert!((sink.report(0).continuity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let sink = MediaSink::new();
+        let report = sink.report(0);
+        assert_eq!(report.received, 0);
+        assert_eq!(report.missing, 0);
+        assert!((report.continuity - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,276 @@
+//! Synthetic MPEG-like video source.
+//!
+//! The paper's motivating example for frame-aware filter insertion is a live
+//! video stream whose FEC filter "places more redundancy in I frames than in
+//! B frames" and must be started "at a frame boundary in the stream".  This
+//! source produces a group-of-pictures (GoP) structure with I, P, and B
+//! frames of different sizes, split into MTU-sized packets whose headers
+//! carry the frame type and a boundary flag on the first packet of each
+//! frame.
+
+use rapidware_packet::{FrameType, Packet, PacketKind, SeqNo, StreamId};
+
+/// The frame-type pattern of one group of pictures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GopPattern {
+    frames: Vec<FrameType>,
+}
+
+impl GopPattern {
+    /// Creates a pattern from an explicit frame sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty or does not start with an I frame.
+    pub fn new(frames: Vec<FrameType>) -> Self {
+        assert!(!frames.is_empty(), "GoP pattern must not be empty");
+        assert_eq!(frames[0], FrameType::I, "GoP pattern must start with an I frame");
+        Self { frames }
+    }
+
+    /// The classic IBBPBBPBB pattern (9-frame GoP).
+    pub fn ibbpbbpbb() -> Self {
+        use FrameType::{B, I, P};
+        Self::new(vec![I, B, B, P, B, B, P, B, B])
+    }
+
+    /// An all-I pattern (e.g. motion-JPEG style), used when every frame must
+    /// be independently decodable.
+    pub fn all_i(len: usize) -> Self {
+        assert!(len > 0, "GoP pattern must not be empty");
+        Self::new(vec![FrameType::I; len])
+    }
+
+    /// Frames per GoP.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Returns `true` if the pattern is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Frame type at position `index % len`.
+    pub fn frame_at(&self, index: usize) -> FrameType {
+        self.frames[index % self.frames.len()]
+    }
+}
+
+/// Parameters of a synthetic video stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VideoConfig {
+    /// Frames per second.
+    pub fps: u32,
+    /// GoP pattern.
+    pub gop: GopPattern,
+    /// Size of an I frame in bytes.
+    pub i_frame_bytes: usize,
+    /// Size of a P frame in bytes.
+    pub p_frame_bytes: usize,
+    /// Size of a B frame in bytes.
+    pub b_frame_bytes: usize,
+    /// Maximum packet payload size.
+    pub mtu: usize,
+}
+
+impl VideoConfig {
+    /// A low-bitrate conference-style stream suitable for a 2 Mbps WLAN:
+    /// 15 fps, IBBPBBPBB, ~64 kB/s.
+    pub fn conference_quality() -> Self {
+        Self {
+            fps: 15,
+            gop: GopPattern::ibbpbbpbb(),
+            i_frame_bytes: 12_000,
+            p_frame_bytes: 4_000,
+            b_frame_bytes: 1_500,
+            mtu: 1_400,
+        }
+    }
+
+    /// Average bytes per GoP.
+    pub fn bytes_per_gop(&self) -> usize {
+        (0..self.gop.len())
+            .map(|i| self.frame_bytes(self.gop.frame_at(i)))
+            .sum()
+    }
+
+    /// Size of a frame of the given type.
+    pub fn frame_bytes(&self, frame: FrameType) -> usize {
+        match frame {
+            FrameType::I => self.i_frame_bytes,
+            FrameType::P => self.p_frame_bytes,
+            FrameType::B => self.b_frame_bytes,
+        }
+    }
+
+    /// Average stream bit-rate in bits per second.
+    pub fn bitrate_bps(&self) -> u64 {
+        let gops_per_second = self.fps as f64 / self.gop.len() as f64;
+        (self.bytes_per_gop() as f64 * 8.0 * gops_per_second) as u64
+    }
+}
+
+/// A deterministic generator of video packets.
+#[derive(Debug, Clone)]
+pub struct VideoSource {
+    config: VideoConfig,
+    stream: StreamId,
+    next_seq: SeqNo,
+    frame_index: u64,
+}
+
+impl VideoSource {
+    /// Creates a source for the given stream.
+    pub fn new(stream: StreamId, config: VideoConfig) -> Self {
+        Self {
+            config,
+            stream,
+            next_seq: SeqNo::ZERO,
+            frame_index: 0,
+        }
+    }
+
+    /// The video configuration.
+    pub fn config(&self) -> &VideoConfig {
+        &self.config
+    }
+
+    /// Index of the next frame that will be produced.
+    pub fn frame_index(&self) -> u64 {
+        self.frame_index
+    }
+
+    /// Produces the packets of the next frame.  The first packet of the
+    /// frame carries `boundary = true`.
+    pub fn next_frame(&mut self) -> Vec<Packet> {
+        let frame_type = self.config.gop.frame_at(self.frame_index as usize);
+        let frame_bytes = self.config.frame_bytes(frame_type);
+        let timestamp_us = self.frame_index * 1_000_000 / self.config.fps as u64;
+        let mut packets = Vec::new();
+        let mut offset = 0usize;
+        let mut first = true;
+        while offset < frame_bytes {
+            let chunk = (frame_bytes - offset).min(self.config.mtu);
+            let payload: Vec<u8> = (0..chunk)
+                .map(|i| {
+                    let t = self.frame_index * 131 + (offset + i) as u64;
+                    ((t * 29 + 17) % 253) as u8
+                })
+                .collect();
+            let seq = self.next_seq;
+            self.next_seq = seq.next();
+            packets.push(Packet::with_timestamp(
+                self.stream,
+                seq,
+                PacketKind::VideoFrame {
+                    frame: frame_type,
+                    boundary: first,
+                },
+                timestamp_us,
+                payload,
+            ));
+            first = false;
+            offset += chunk;
+        }
+        self.frame_index += 1;
+        packets
+    }
+
+    /// Produces all packets for the next `count` frames, flattened.
+    pub fn take_frames(&mut self, count: usize) -> Vec<Packet> {
+        (0..count).flat_map(|_| self.next_frame()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gop_pattern_cycles() {
+        let gop = GopPattern::ibbpbbpbb();
+        assert_eq!(gop.len(), 9);
+        assert!(!gop.is_empty());
+        assert_eq!(gop.frame_at(0), FrameType::I);
+        assert_eq!(gop.frame_at(3), FrameType::P);
+        assert_eq!(gop.frame_at(9), FrameType::I); // wraps
+        assert_eq!(gop.frame_at(10), FrameType::B);
+    }
+
+    #[test]
+    #[should_panic(expected = "start with an I frame")]
+    fn gop_must_start_with_i() {
+        let _ = GopPattern::new(vec![FrameType::B]);
+    }
+
+    #[test]
+    fn all_i_pattern() {
+        let gop = GopPattern::all_i(4);
+        for i in 0..8 {
+            assert_eq!(gop.frame_at(i), FrameType::I);
+        }
+    }
+
+    #[test]
+    fn config_rates() {
+        let config = VideoConfig::conference_quality();
+        assert_eq!(config.bytes_per_gop(), 12_000 + 2 * 4_000 + 6 * 1_500);
+        assert!(config.bitrate_bps() > 300_000);
+        assert_eq!(config.frame_bytes(FrameType::I), 12_000);
+    }
+
+    #[test]
+    fn frames_are_split_at_the_mtu_with_one_boundary() {
+        let mut source = VideoSource::new(StreamId::new(5), VideoConfig::conference_quality());
+        let frame = source.next_frame();
+        // 12000-byte I frame with a 1400-byte MTU = 9 packets.
+        assert_eq!(frame.len(), 9);
+        let boundaries = frame.iter().filter(|p| p.is_insertion_boundary()).count();
+        assert_eq!(boundaries, 1);
+        assert!(frame[0].is_insertion_boundary());
+        let total: usize = frame.iter().map(Packet::payload_len).sum();
+        assert_eq!(total, 12_000);
+        match frame[0].kind() {
+            PacketKind::VideoFrame { frame, boundary } => {
+                assert_eq!(frame, FrameType::I);
+                assert!(boundary);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_are_continuous_across_frames() {
+        let mut source = VideoSource::new(StreamId::new(5), VideoConfig::conference_quality());
+        let packets = source.take_frames(9); // one full GoP
+        for (i, packet) in packets.iter().enumerate() {
+            assert_eq!(packet.seq().value(), i as u64);
+        }
+        assert_eq!(source.frame_index(), 9);
+        // Frame type mix matches the GoP pattern: exactly one I frame worth
+        // of boundary-I packets.
+        let i_boundaries = packets
+            .iter()
+            .filter(|p| {
+                matches!(
+                    p.kind(),
+                    PacketKind::VideoFrame {
+                        frame: FrameType::I,
+                        boundary: true
+                    }
+                )
+            })
+            .count();
+        assert_eq!(i_boundaries, 1);
+    }
+
+    #[test]
+    fn timestamps_follow_frame_rate() {
+        let mut source = VideoSource::new(StreamId::new(5), VideoConfig::conference_quality());
+        let first = source.next_frame();
+        let second = source.next_frame();
+        assert_eq!(first[0].timestamp_us(), 0);
+        assert_eq!(second[0].timestamp_us(), 1_000_000 / 15);
+    }
+}

@@ -1,0 +1,165 @@
+//! A small discrete-event queue.
+//!
+//! The scenario runner and the multicast LAN use this queue to order packet
+//! deliveries and timer expirations in simulated time.  Events scheduled for
+//! the same instant are delivered in FIFO order (a strictly increasing tie
+//! breaker), which keeps runs deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// An event scheduled for a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<T> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// The payload handed back by [`EventQueue::pop`].
+    pub payload: T,
+    sequence: u64,
+}
+
+impl<T: Eq> Ord for ScheduledEvent<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl<T: Eq> PartialOrd for ScheduledEvent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<ScheduledEvent<T>>,
+    next_sequence: u64,
+}
+
+impl<T: Eq> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+impl<T: Eq> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_sequence: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    pub fn schedule(&mut self, time: SimTime, payload: T) {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(ScheduledEvent {
+            time,
+            payload,
+            sequence,
+        });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|event| (event.time, event.payload))
+    }
+
+    /// Removes and returns the earliest event if it fires at or before
+    /// `time`.
+    pub fn pop_until(&mut self, time: SimTime) -> Option<(SimTime, T)> {
+        if self.peek_time().is_some_and(|t| t <= time) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|event| event.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut queue = EventQueue::new();
+        queue.schedule(SimTime::from_millis(5), "c");
+        queue.schedule(SimTime::from_millis(1), "a");
+        queue.schedule(SimTime::from_millis(3), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| queue.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut queue = EventQueue::new();
+        for i in 0..10u32 {
+            queue.schedule(SimTime::from_millis(7), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| queue.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_until_respects_the_horizon() {
+        let mut queue = EventQueue::new();
+        queue.schedule(SimTime::from_millis(10), 'x');
+        queue.schedule(SimTime::from_millis(20), 'y');
+        assert_eq!(queue.pop_until(SimTime::from_millis(5)), None);
+        assert_eq!(
+            queue.pop_until(SimTime::from_millis(10)),
+            Some((SimTime::from_millis(10), 'x'))
+        );
+        assert_eq!(queue.pop_until(SimTime::from_millis(15)), None);
+        assert_eq!(queue.len(), 1);
+        assert!(!queue.is_empty());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut queue = EventQueue::new();
+        assert_eq!(queue.peek_time(), None);
+        queue.schedule(SimTime::from_millis(4), ());
+        queue.schedule(SimTime::from_millis(2), ());
+        assert_eq!(queue.peek_time(), Some(SimTime::from_millis(2)));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let queue: EventQueue<u8> = EventQueue::default();
+        assert!(queue.is_empty());
+        assert_eq!(queue.len(), 0);
+    }
+}

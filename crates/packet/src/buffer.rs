@@ -1,0 +1,275 @@
+//! A reordering / jitter buffer for received packets.
+//!
+//! In the paper's FEC audio proxy (Figure 6), a `PacketBuffer` sits between
+//! each receiver object and the component that consumes packets (the FEC
+//! encoder on the uplink path, the wireless sender on the downlink path).
+//! This module provides that component: packets may arrive out of order,
+//! duplicated, or late, and the buffer re-emits them in sequence order,
+//! tracking what it had to drop.
+
+use std::collections::BTreeMap;
+
+use crate::id::SeqNo;
+use crate::packet::Packet;
+
+/// Outcome of [`PacketBuffer::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferPush {
+    /// The packet was stored and will be released in order.
+    Stored,
+    /// A packet with the same sequence number is already buffered or was
+    /// already released; the duplicate was discarded.
+    Duplicate,
+    /// The packet's sequence number is older than anything the buffer is
+    /// still willing to release (it already moved past it); discarded.
+    TooLate,
+    /// The buffer was full; the packet was discarded.
+    Overflow,
+}
+
+/// A bounded reordering buffer keyed by sequence number.
+///
+/// `PacketBuffer` releases packets in strictly increasing sequence order.
+/// When the buffer fills past `capacity` it gives up on the oldest missing
+/// sequence number and skips ahead, which is the behaviour a live audio
+/// stream wants (waiting forever for a lost packet would stall playout).
+#[derive(Debug)]
+pub struct PacketBuffer {
+    pending: BTreeMap<u64, Packet>,
+    next_seq: u64,
+    capacity: usize,
+    duplicates: u64,
+    too_late: u64,
+    overflows: u64,
+    skipped: u64,
+    released: u64,
+}
+
+impl PacketBuffer {
+    /// Creates a buffer that holds at most `capacity` out-of-order packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "packet buffer capacity must be non-zero");
+        Self {
+            pending: BTreeMap::new(),
+            next_seq: 0,
+            capacity,
+            duplicates: 0,
+            too_late: 0,
+            overflows: 0,
+            skipped: 0,
+            released: 0,
+        }
+    }
+
+    /// Creates a buffer that starts expecting `first` as the next in-order
+    /// sequence number.
+    pub fn starting_at(capacity: usize, first: SeqNo) -> Self {
+        let mut buffer = Self::new(capacity);
+        buffer.next_seq = first.value();
+        buffer
+    }
+
+    /// Offers a packet to the buffer.
+    pub fn push(&mut self, packet: Packet) -> BufferPush {
+        let seq = packet.seq().value();
+        if seq < self.next_seq {
+            self.too_late += 1;
+            return BufferPush::TooLate;
+        }
+        if self.pending.contains_key(&seq) {
+            self.duplicates += 1;
+            return BufferPush::Duplicate;
+        }
+        if self.pending.len() >= self.capacity {
+            // Give up on the oldest gap: advance next_seq to the first
+            // buffered packet so progress can resume.
+            if let Some((&oldest, _)) = self.pending.iter().next() {
+                if seq > oldest {
+                    self.skipped += oldest.saturating_sub(self.next_seq);
+                    self.next_seq = oldest;
+                } else {
+                    self.overflows += 1;
+                    return BufferPush::Overflow;
+                }
+            }
+        }
+        self.pending.insert(seq, packet);
+        BufferPush::Stored
+    }
+
+    /// Removes and returns the next in-order packet, if it has arrived.
+    pub fn pop_ready(&mut self) -> Option<Packet> {
+        if let Some(packet) = self.pending.remove(&self.next_seq) {
+            self.next_seq += 1;
+            self.released += 1;
+            return Some(packet);
+        }
+        None
+    }
+
+    /// Removes and returns every packet that is ready, in order.
+    pub fn drain_ready(&mut self) -> Vec<Packet> {
+        let mut out = Vec::new();
+        while let Some(packet) = self.pop_ready() {
+            out.push(packet);
+        }
+        out
+    }
+
+    /// Abandons the current gap: skips ahead to the oldest buffered packet
+    /// so that [`pop_ready`](Self::pop_ready) can make progress even though
+    /// one or more packets were lost.  Returns how many sequence numbers
+    /// were skipped.
+    pub fn skip_gap(&mut self) -> u64 {
+        if self.pending.contains_key(&self.next_seq) {
+            // The next packet is present: there is no gap to skip.
+            return 0;
+        }
+        match self.pending.keys().next() {
+            Some(&oldest) if oldest > self.next_seq => {
+                let skipped = oldest - self.next_seq;
+                self.skipped += skipped;
+                self.next_seq = oldest;
+                skipped
+            }
+            _ => 0,
+        }
+    }
+
+    /// Sequence number the buffer is waiting for.
+    pub fn next_expected(&self) -> SeqNo {
+        SeqNo::new(self.next_seq)
+    }
+
+    /// Number of packets currently held out of order.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` if no packets are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Number of duplicate packets discarded so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Number of packets that arrived after the buffer had moved past them.
+    pub fn too_late(&self) -> u64 {
+        self.too_late
+    }
+
+    /// Number of packets dropped because the buffer was full.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Number of sequence numbers abandoned as lost.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Number of packets released in order so far.
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::StreamId;
+    use crate::kind::PacketKind;
+
+    fn packet(seq: u64) -> Packet {
+        Packet::new(StreamId::new(1), SeqNo::new(seq), PacketKind::AudioData, vec![seq as u8])
+    }
+
+    #[test]
+    fn releases_in_order_despite_reordered_arrival() {
+        let mut buffer = PacketBuffer::new(16);
+        for seq in [2u64, 0, 1, 4, 3] {
+            assert_eq!(buffer.push(packet(seq)), BufferPush::Stored);
+        }
+        let released: Vec<u64> = buffer.drain_ready().iter().map(|p| p.seq().value()).collect();
+        assert_eq!(released, vec![0, 1, 2, 3, 4]);
+        assert_eq!(buffer.released(), 5);
+    }
+
+    #[test]
+    fn duplicate_packets_are_discarded() {
+        let mut buffer = PacketBuffer::new(8);
+        assert_eq!(buffer.push(packet(0)), BufferPush::Stored);
+        assert_eq!(buffer.push(packet(0)), BufferPush::Duplicate);
+        assert_eq!(buffer.duplicates(), 1);
+        assert_eq!(buffer.drain_ready().len(), 1);
+    }
+
+    #[test]
+    fn late_packets_are_rejected_after_release() {
+        let mut buffer = PacketBuffer::new(8);
+        buffer.push(packet(0));
+        buffer.push(packet(1));
+        buffer.drain_ready();
+        assert_eq!(buffer.push(packet(0)), BufferPush::TooLate);
+        assert_eq!(buffer.too_late(), 1);
+    }
+
+    #[test]
+    fn gap_blocks_until_skipped() {
+        let mut buffer = PacketBuffer::new(8);
+        buffer.push(packet(1)); // 0 missing
+        buffer.push(packet(2));
+        assert!(buffer.pop_ready().is_none());
+        assert_eq!(buffer.skip_gap(), 1);
+        let released: Vec<u64> = buffer.drain_ready().iter().map(|p| p.seq().value()).collect();
+        assert_eq!(released, vec![1, 2]);
+        assert_eq!(buffer.skipped(), 1);
+    }
+
+    #[test]
+    fn overflow_advances_past_old_gap() {
+        let mut buffer = PacketBuffer::new(4);
+        // Sequence 0 never arrives; 1..=4 fill the buffer.
+        for seq in 1..=4u64 {
+            assert_eq!(buffer.push(packet(seq)), BufferPush::Stored);
+        }
+        // Pushing 5 forces the buffer to give up on 0.
+        assert_eq!(buffer.push(packet(5)), BufferPush::Stored);
+        assert_eq!(buffer.skipped(), 1);
+        let released: Vec<u64> = buffer.drain_ready().iter().map(|p| p.seq().value()).collect();
+        assert_eq!(released, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn overflow_rejects_packet_older_than_everything_buffered() {
+        let mut buffer = PacketBuffer::starting_at(2, SeqNo::new(0));
+        buffer.push(packet(5));
+        buffer.push(packet(6));
+        // Buffer full; 4 is older than the oldest buffered packet, so it is
+        // the one that gets rejected.
+        assert_eq!(buffer.push(packet(4)), BufferPush::Overflow);
+        assert_eq!(buffer.overflows(), 1);
+    }
+
+    #[test]
+    fn starting_at_skips_earlier_sequences() {
+        let mut buffer = PacketBuffer::starting_at(8, SeqNo::new(100));
+        assert_eq!(buffer.push(packet(99)), BufferPush::TooLate);
+        assert_eq!(buffer.push(packet(100)), BufferPush::Stored);
+        assert_eq!(buffer.pop_ready().unwrap().seq().value(), 100);
+        assert_eq!(buffer.next_expected(), SeqNo::new(101));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = PacketBuffer::new(0);
+    }
+}

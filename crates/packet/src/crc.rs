@@ -1,0 +1,73 @@
+//! A small, table-driven CRC-32 (IEEE 802.3 polynomial) used to protect the
+//! packet wire format.
+//!
+//! The checksum exists so that tests and fault-injection experiments can
+//! detect payload corruption introduced by a misbehaving filter or by the
+//! network simulator's corruption model; it is not meant to be a
+//! cryptographic integrity mechanism.
+
+/// Computes the CRC-32 (IEEE) of `data`.
+///
+/// ```
+/// // The well-known check value for the ASCII string "123456789".
+/// assert_eq!(rapidware_packet::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        let index = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[index];
+    }
+    !crc
+}
+
+/// Lookup table for the reflected IEEE polynomial 0xEDB88320.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0xAAu8; 64];
+        let original = crc32(&data);
+        data[17] ^= 0x01;
+        assert_ne!(crc32(&data), original);
+    }
+
+    #[test]
+    fn different_lengths_differ() {
+        assert_ne!(crc32(&[0u8; 3]), crc32(&[0u8; 4]));
+    }
+}

@@ -1,0 +1,465 @@
+//! The [`Packet`] type and its wire encoding.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::crc::crc32;
+use crate::id::{BlockId, SeqNo, StreamId};
+use crate::kind::{FrameType, PacketKind};
+
+/// Length, in bytes, of the fixed packet header on the wire.
+///
+/// Layout (big-endian):
+///
+/// | offset | size | field |
+/// |---|---|---|
+/// | 0 | 4 | stream id |
+/// | 4 | 8 | sequence number |
+/// | 12 | 8 | timestamp (µs since stream start) |
+/// | 20 | 1 | kind tag |
+/// | 21 | 1 | frame type / parity index |
+/// | 22 | 1 | flags (bit 0: frame boundary) / parity k |
+/// | 23 | 1 | reserved / parity n |
+/// | 24 | 8 | parity block id |
+/// | 32 | 4 | payload length |
+/// | 36 | 4 | CRC-32 of header-so-far + payload |
+pub const HEADER_LEN: usize = 40;
+
+/// Fixed metadata carried by every packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketHeader {
+    /// Stream this packet belongs to.
+    pub stream: StreamId,
+    /// Per-stream sequence number.
+    pub seq: SeqNo,
+    /// Microseconds since the start of the stream (media timestamp).
+    pub timestamp_us: u64,
+    /// What the packet carries.
+    pub kind: PacketKind,
+}
+
+/// A unit of data flowing through a proxy filter chain.
+///
+/// Packets are cheap to clone: the payload is a reference-counted [`Bytes`]
+/// buffer, so a multicast fan-out to many receivers does not copy the data.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Packet {
+    header: PacketHeader,
+    payload: Bytes,
+}
+
+/// Error returned by [`Packet::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeError {
+    /// The input is shorter than the fixed header.
+    Truncated,
+    /// The payload length field points past the end of the input.
+    BadLength,
+    /// The kind tag is not one of the known packet kinds.
+    UnknownKind(u8),
+    /// The frame-type byte of a video packet is invalid.
+    UnknownFrameType(u8),
+    /// The CRC-32 does not match the header and payload contents.
+    BadChecksum {
+        /// CRC carried by the packet.
+        expected: u32,
+        /// CRC computed over the received bytes.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "packet shorter than header"),
+            DecodeError::BadLength => write!(f, "payload length exceeds packet size"),
+            DecodeError::UnknownKind(tag) => write!(f, "unknown packet kind tag {tag}"),
+            DecodeError::UnknownFrameType(v) => write!(f, "unknown frame type byte {v}"),
+            DecodeError::BadChecksum { expected, actual } => {
+                write!(f, "checksum mismatch (expected {expected:#010x}, got {actual:#010x})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Packet")
+            .field("stream", &self.header.stream)
+            .field("seq", &self.header.seq)
+            .field("kind", &self.header.kind)
+            .field("timestamp_us", &self.header.timestamp_us)
+            .field("payload_len", &self.payload.len())
+            .finish()
+    }
+}
+
+impl Packet {
+    /// Creates a packet with a zero timestamp.
+    pub fn new(
+        stream: StreamId,
+        seq: SeqNo,
+        kind: PacketKind,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        Self::with_timestamp(stream, seq, kind, 0, payload)
+    }
+
+    /// Creates a packet with an explicit media timestamp (µs).
+    pub fn with_timestamp(
+        stream: StreamId,
+        seq: SeqNo,
+        kind: PacketKind,
+        timestamp_us: u64,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        Self {
+            header: PacketHeader {
+                stream,
+                seq,
+                timestamp_us,
+                kind,
+            },
+            payload: payload.into(),
+        }
+    }
+
+    /// Creates a packet from an existing header and payload.
+    pub fn from_parts(header: PacketHeader, payload: impl Into<Bytes>) -> Self {
+        Self {
+            header,
+            payload: payload.into(),
+        }
+    }
+
+    /// The packet header.
+    pub fn header(&self) -> &PacketHeader {
+        &self.header
+    }
+
+    /// Stream identifier.
+    pub fn stream(&self) -> StreamId {
+        self.header.stream
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> SeqNo {
+        self.header.seq
+    }
+
+    /// Media timestamp in microseconds.
+    pub fn timestamp_us(&self) -> u64 {
+        self.header.timestamp_us
+    }
+
+    /// Packet kind.
+    pub fn kind(&self) -> PacketKind {
+        self.header.kind
+    }
+
+    /// Payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Shared handle to the payload (no copy).
+    pub fn payload_bytes(&self) -> Bytes {
+        self.payload.clone()
+    }
+
+    /// Payload length in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Total size on the wire: header plus payload.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// Returns `true` if a filter may be spliced in immediately before this
+    /// packet (see [`PacketKind::is_insertion_boundary`]).
+    pub fn is_insertion_boundary(&self) -> bool {
+        self.header.kind.is_insertion_boundary()
+    }
+
+    /// Returns a copy of this packet with a different sequence number.
+    #[must_use]
+    pub fn with_seq(&self, seq: SeqNo) -> Packet {
+        let mut header = self.header;
+        header.seq = seq;
+        Packet {
+            header,
+            payload: self.payload.clone(),
+        }
+    }
+
+    /// Returns a copy of this packet with a different payload (header
+    /// unchanged); used by transcoders that rewrite packet contents.
+    #[must_use]
+    pub fn with_payload(&self, payload: impl Into<Bytes>) -> Packet {
+        Packet {
+            header: self.header,
+            payload: payload.into(),
+        }
+    }
+
+    /// Encodes the packet into its wire representation.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        buf.put_u32(self.header.stream.value());
+        buf.put_u64(self.header.seq.value());
+        buf.put_u64(self.header.timestamp_us);
+        buf.put_u8(self.header.kind.tag());
+        let (aux0, aux1, aux2, block) = match self.header.kind {
+            PacketKind::VideoFrame { frame, boundary } => {
+                let frame_byte = match frame {
+                    FrameType::I => 0u8,
+                    FrameType::P => 1,
+                    FrameType::B => 2,
+                };
+                (frame_byte, u8::from(boundary), 0u8, 0u64)
+            }
+            PacketKind::Parity { block, index, k, n } => (index, k, n, block.value()),
+            _ => (0, 0, 0, 0),
+        };
+        buf.put_u8(aux0);
+        buf.put_u8(aux1);
+        buf.put_u8(aux2);
+        buf.put_u64(block);
+        buf.put_u32(self.payload.len() as u32);
+        let crc = {
+            let mut scratch = Vec::with_capacity(buf.len() + self.payload.len());
+            scratch.extend_from_slice(&buf);
+            scratch.extend_from_slice(&self.payload);
+            crc32(&scratch)
+        };
+        buf.put_u32(crc);
+        buf.extend_from_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decodes a packet from its wire representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the input is truncated, carries an
+    /// unknown kind or frame type, or fails the CRC check.
+    pub fn decode(wire: &[u8]) -> Result<Packet, DecodeError> {
+        if wire.len() < HEADER_LEN {
+            return Err(DecodeError::Truncated);
+        }
+        let mut cursor = &wire[..];
+        let stream = StreamId::new(cursor.get_u32());
+        let seq = SeqNo::new(cursor.get_u64());
+        let timestamp_us = cursor.get_u64();
+        let tag = cursor.get_u8();
+        let aux0 = cursor.get_u8();
+        let aux1 = cursor.get_u8();
+        let aux2 = cursor.get_u8();
+        let block = cursor.get_u64();
+        let payload_len = cursor.get_u32() as usize;
+        let carried_crc = cursor.get_u32();
+        if wire.len() < HEADER_LEN + payload_len {
+            return Err(DecodeError::BadLength);
+        }
+        let payload = &wire[HEADER_LEN..HEADER_LEN + payload_len];
+        let computed = {
+            let mut scratch = Vec::with_capacity(HEADER_LEN - 4 + payload_len);
+            scratch.extend_from_slice(&wire[..HEADER_LEN - 4]);
+            scratch.extend_from_slice(payload);
+            crc32(&scratch)
+        };
+        if computed != carried_crc {
+            return Err(DecodeError::BadChecksum {
+                expected: carried_crc,
+                actual: computed,
+            });
+        }
+        let kind = match tag {
+            0 => PacketKind::AudioData,
+            1 => {
+                let frame = match aux0 {
+                    0 => FrameType::I,
+                    1 => FrameType::P,
+                    2 => FrameType::B,
+                    other => return Err(DecodeError::UnknownFrameType(other)),
+                };
+                PacketKind::VideoFrame {
+                    frame,
+                    boundary: aux1 != 0,
+                }
+            }
+            2 => PacketKind::Data,
+            3 => PacketKind::Parity {
+                block: BlockId::new(block),
+                index: aux0,
+                k: aux1,
+                n: aux2,
+            },
+            4 => PacketKind::Control,
+            other => return Err(DecodeError::UnknownKind(other)),
+        };
+        Ok(Packet {
+            header: PacketHeader {
+                stream,
+                seq,
+                timestamp_us,
+                kind,
+            },
+            payload: Bytes::copy_from_slice(payload),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_kinds() -> Vec<PacketKind> {
+        vec![
+            PacketKind::AudioData,
+            PacketKind::Data,
+            PacketKind::Control,
+            PacketKind::VideoFrame {
+                frame: FrameType::I,
+                boundary: true,
+            },
+            PacketKind::VideoFrame {
+                frame: FrameType::B,
+                boundary: false,
+            },
+            PacketKind::Parity {
+                block: BlockId::new(77),
+                index: 5,
+                k: 4,
+                n: 6,
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_kinds() {
+        for kind in sample_kinds() {
+            let packet = Packet::with_timestamp(
+                StreamId::new(9),
+                SeqNo::new(123_456),
+                kind,
+                987_654_321,
+                vec![1, 2, 3, 4, 5],
+            );
+            let wire = packet.encode();
+            assert_eq!(wire.len(), packet.wire_len());
+            let decoded = Packet::decode(&wire).unwrap();
+            assert_eq!(decoded, packet, "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let packet = Packet::new(StreamId::new(1), SeqNo::new(0), PacketKind::Control, Vec::new());
+        let decoded = Packet::decode(&packet.encode()).unwrap();
+        assert_eq!(decoded.payload_len(), 0);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let packet = Packet::new(StreamId::new(1), SeqNo::new(1), PacketKind::Data, vec![9; 10]);
+        let wire = packet.encode();
+        assert_eq!(Packet::decode(&wire[..10]).unwrap_err(), DecodeError::Truncated);
+        assert_eq!(
+            Packet::decode(&wire[..HEADER_LEN + 3]).unwrap_err(),
+            DecodeError::BadLength
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let packet = Packet::new(StreamId::new(1), SeqNo::new(1), PacketKind::Data, vec![9; 32]);
+        let mut wire = packet.encode().to_vec();
+        wire[HEADER_LEN + 4] ^= 0xFF;
+        assert!(matches!(
+            Packet::decode(&wire).unwrap_err(),
+            DecodeError::BadChecksum { .. }
+        ));
+    }
+
+    #[test]
+    fn corrupted_header_fails_crc() {
+        let packet = Packet::new(StreamId::new(1), SeqNo::new(1), PacketKind::Data, vec![9; 8]);
+        let mut wire = packet.encode().to_vec();
+        wire[5] ^= 0x10; // flip a bit in the sequence number
+        assert!(matches!(
+            Packet::decode(&wire).unwrap_err(),
+            DecodeError::BadChecksum { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let packet = Packet::new(StreamId::new(1), SeqNo::new(1), PacketKind::Data, vec![1]);
+        let mut wire = packet.encode().to_vec();
+        wire[20] = 200; // kind tag
+        // Recompute CRC so the only failure is the kind tag.
+        let payload_len = 1usize;
+        let crc = {
+            let mut scratch = Vec::new();
+            scratch.extend_from_slice(&wire[..HEADER_LEN - 4]);
+            scratch.extend_from_slice(&wire[HEADER_LEN..HEADER_LEN + payload_len]);
+            crc32(&scratch)
+        };
+        wire[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&crc.to_be_bytes());
+        assert_eq!(Packet::decode(&wire).unwrap_err(), DecodeError::UnknownKind(200));
+    }
+
+    #[test]
+    fn with_seq_and_with_payload_preserve_other_fields() {
+        let packet = Packet::with_timestamp(
+            StreamId::new(2),
+            SeqNo::new(5),
+            PacketKind::AudioData,
+            42,
+            vec![1, 2, 3],
+        );
+        let renumbered = packet.with_seq(SeqNo::new(6));
+        assert_eq!(renumbered.seq(), SeqNo::new(6));
+        assert_eq!(renumbered.timestamp_us(), 42);
+        assert_eq!(renumbered.payload(), packet.payload());
+        let rewritten = packet.with_payload(vec![9]);
+        assert_eq!(rewritten.seq(), SeqNo::new(5));
+        assert_eq!(rewritten.payload(), &[9]);
+    }
+
+    #[test]
+    fn clone_shares_payload_storage() {
+        let packet = Packet::new(StreamId::new(1), SeqNo::new(1), PacketKind::Data, vec![0u8; 1024]);
+        let clone = packet.clone();
+        // Bytes clones share the same backing allocation.
+        assert_eq!(
+            packet.payload_bytes().as_ptr(),
+            clone.payload_bytes().as_ptr()
+        );
+    }
+
+    #[test]
+    fn debug_shows_key_fields() {
+        let packet = Packet::new(StreamId::new(3), SeqNo::new(8), PacketKind::AudioData, vec![1]);
+        let text = format!("{packet:?}");
+        assert!(text.contains("StreamId(3)"));
+        assert!(text.contains("SeqNo(8)"));
+        assert!(text.contains("payload_len"));
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let err = DecodeError::BadChecksum {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(err.to_string().contains("checksum"));
+        assert!(DecodeError::Truncated.to_string().contains("shorter"));
+    }
+}

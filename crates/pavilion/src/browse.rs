@@ -1,0 +1,205 @@
+//! Collaborative browsing: the synthetic web and the packetised workload.
+//!
+//! In Pavilion the leader's proxy fetches each requested resource from the
+//! network and multicasts the contents to the group.  We cannot browse the
+//! 2001 Internet, so [`WebSource`] synthesises resources deterministically
+//! from their URLs (size and content type depend only on the URL string),
+//! and [`BrowsingWorkload`] converts a sequence of page loads into the
+//! packet stream that the leader's proxy multicasts — which is exactly the
+//! traffic the composable-proxy filters then operate on.
+
+use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+
+/// One fetched web resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    /// The resource's URL.
+    pub url: String,
+    /// Content type (`text/html`, `image/jpeg`, …).
+    pub content_type: String,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// A deterministic stand-in for the web: resource properties are a pure
+/// function of the URL.
+#[derive(Debug, Clone, Default)]
+pub struct WebSource {
+    fetches: u64,
+    bytes_served: u64,
+}
+
+fn fnv1a(data: &str) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in data.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+impl WebSource {
+    /// Creates a fresh synthetic web.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetches a URL, returning its (synthetic but deterministic) resource.
+    pub fn fetch(&mut self, url: &str) -> Resource {
+        let hash = fnv1a(url);
+        let (content_type, base, spread): (&str, u64, u64) =
+            if url.ends_with(".jpg") || url.ends_with(".png") || url.contains("/images/") {
+                ("image/jpeg", 20_000, 180_000)
+            } else if url.ends_with(".css") || url.ends_with(".js") {
+                ("text/plain", 2_000, 30_000)
+            } else {
+                ("text/html", 4_000, 60_000)
+            };
+        let size = base + hash % spread;
+        self.fetches += 1;
+        self.bytes_served += size;
+        Resource {
+            url: url.to_string(),
+            content_type: content_type.to_string(),
+            size,
+        }
+    }
+
+    /// Number of fetches served.
+    pub fn fetches(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Total bytes served.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served
+    }
+}
+
+/// Converts page loads into the packet stream the leader's proxy multicasts.
+#[derive(Debug)]
+pub struct BrowsingWorkload {
+    stream: StreamId,
+    mtu: usize,
+    next_seq: SeqNo,
+    web: WebSource,
+}
+
+impl BrowsingWorkload {
+    /// Creates a workload generator for one multicast stream, splitting
+    /// resources into `mtu`-byte packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtu` is zero.
+    pub fn new(stream: StreamId, mtu: usize) -> Self {
+        assert!(mtu > 0, "mtu must be non-zero");
+        Self {
+            stream,
+            mtu,
+            next_seq: SeqNo::ZERO,
+            web: WebSource::new(),
+        }
+    }
+
+    /// Sequence number the next packet will carry.
+    pub fn next_seq(&self) -> SeqNo {
+        self.next_seq
+    }
+
+    /// Access to the underlying synthetic web (for statistics).
+    pub fn web(&self) -> &WebSource {
+        &self.web
+    }
+
+    /// The leader loads `url`: fetch it and return the resource plus the
+    /// packets that carry its contents to the group.
+    pub fn load_url(&mut self, url: &str, timestamp_us: u64) -> (Resource, Vec<Packet>) {
+        let resource = self.web.fetch(url);
+        let mut packets = Vec::new();
+        let mut remaining = resource.size as usize;
+        let mut offset = 0u64;
+        while remaining > 0 {
+            let chunk = remaining.min(self.mtu);
+            let payload: Vec<u8> = (0..chunk)
+                .map(|i| {
+                    let position = offset + i as u64;
+                    (fnv1a(&resource.url).wrapping_add(position) % 251) as u8
+                })
+                .collect();
+            let seq = self.next_seq;
+            self.next_seq = seq.next();
+            packets.push(Packet::with_timestamp(
+                self.stream,
+                seq,
+                PacketKind::Data,
+                timestamp_us,
+                payload,
+            ));
+            remaining -= chunk;
+            offset += chunk as u64;
+        }
+        (resource, packets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetches_are_deterministic_per_url() {
+        let mut web_a = WebSource::new();
+        let mut web_b = WebSource::new();
+        let first = web_a.fetch("http://example.edu/index.html");
+        let second = web_b.fetch("http://example.edu/index.html");
+        assert_eq!(first, second);
+        assert_ne!(first, web_a.fetch("http://example.edu/other.html"));
+        assert_eq!(web_a.fetches(), 2);
+        assert!(web_a.bytes_served() > 0);
+    }
+
+    #[test]
+    fn content_types_follow_extensions() {
+        let mut web = WebSource::new();
+        assert_eq!(web.fetch("http://x/photo.jpg").content_type, "image/jpeg");
+        assert_eq!(web.fetch("http://x/style.css").content_type, "text/plain");
+        assert_eq!(web.fetch("http://x/page").content_type, "text/html");
+        // Images are on average larger than stylesheets.
+        assert!(web.fetch("http://x/images/big.png").size >= 20_000);
+    }
+
+    #[test]
+    fn page_loads_are_packetised_at_the_mtu() {
+        let mut workload = BrowsingWorkload::new(StreamId::new(7), 1_400);
+        let (resource, packets) = workload.load_url("http://example.edu/lecture.html", 1_000);
+        let expected_packets = resource.size.div_ceil(1_400);
+        assert_eq!(packets.len() as u64, expected_packets);
+        let carried: u64 = packets.iter().map(|p| p.payload_len() as u64).sum();
+        assert_eq!(carried, resource.size);
+        for (i, packet) in packets.iter().enumerate() {
+            assert_eq!(packet.seq().value(), i as u64);
+            assert_eq!(packet.kind(), PacketKind::Data);
+            assert_eq!(packet.timestamp_us(), 1_000);
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_continue_across_page_loads() {
+        let mut workload = BrowsingWorkload::new(StreamId::new(7), 1_000);
+        let (_, first) = workload.load_url("http://a", 0);
+        let (_, second) = workload.load_url("http://b", 10);
+        assert_eq!(
+            second[0].seq().value(),
+            first.last().unwrap().seq().value() + 1
+        );
+        assert_eq!(workload.next_seq().value(), (first.len() + second.len()) as u64);
+        assert_eq!(workload.web().fetches(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mtu must be non-zero")]
+    fn zero_mtu_panics() {
+        let _ = BrowsingWorkload::new(StreamId::new(1), 0);
+    }
+}

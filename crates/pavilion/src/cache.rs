@@ -1,0 +1,213 @@
+//! The proxy-side resource cache for memory-limited handhelds.
+//!
+//! "Pocket Pavilion" offloads caching from handheld devices onto their
+//! proxy: the proxy keeps recently multicast resources so that a handheld
+//! that scrolls back (or joins late) does not force a re-fetch over the
+//! wireless link.  The cache is a byte-bounded LRU.
+
+use std::collections::HashMap;
+
+/// Hit/miss statistics of a [`ResourceCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the resource.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Resources evicted to make room.
+    pub evictions: u64,
+    /// Bytes currently cached.
+    pub used_bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (1 when there were no lookups).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A byte-bounded LRU cache of web resources keyed by URL.
+#[derive(Debug)]
+pub struct ResourceCache {
+    capacity_bytes: u64,
+    entries: HashMap<String, CacheEntry>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    size: u64,
+    last_used: u64,
+}
+
+impl ResourceCache {
+    /// Creates a cache bounded to `capacity_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero.
+    pub fn new(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "cache capacity must be non-zero");
+        Self {
+            capacity_bytes,
+            entries: HashMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Creates a cache sized for a device with `cache_memory_kb` of memory,
+    /// reserving a quarter of it for cached resources.
+    pub fn for_device_memory_kb(cache_memory_kb: u64) -> Self {
+        Self::new((cache_memory_kb * 1024 / 4).max(1))
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resources currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a URL, marking it as recently used.  Returns the cached
+    /// size if present.
+    pub fn lookup(&mut self, url: &str) -> Option<u64> {
+        self.clock += 1;
+        match self.entries.get_mut(url) {
+            Some(entry) => {
+                entry.last_used = self.clock;
+                self.stats.hits += 1;
+                Some(entry.size)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a resource of `size` bytes, evicting
+    /// least-recently-used entries until it fits.  Resources larger than
+    /// the whole cache are not cached at all.
+    pub fn insert(&mut self, url: &str, size: u64) {
+        self.clock += 1;
+        if size > self.capacity_bytes {
+            return;
+        }
+        if let Some(entry) = self.entries.get_mut(url) {
+            self.stats.used_bytes = self.stats.used_bytes - entry.size + size;
+            entry.size = size;
+            entry.last_used = self.clock;
+            return;
+        }
+        while self.stats.used_bytes + size > self.capacity_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(url, _)| url.clone());
+            match victim {
+                Some(victim) => {
+                    if let Some(entry) = self.entries.remove(&victim) {
+                        self.stats.used_bytes -= entry.size;
+                        self.stats.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        self.entries.insert(
+            url.to_string(),
+            CacheEntry {
+                size,
+                last_used: self.clock,
+            },
+        );
+        self.stats.used_bytes += size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut cache = ResourceCache::new(10_000);
+        assert_eq!(cache.lookup("http://a"), None);
+        cache.insert("http://a", 500);
+        assert_eq!(cache.lookup("http://a"), Some(500));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.used_bytes, 500);
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        let mut cache = ResourceCache::new(1_000);
+        cache.insert("a", 400);
+        cache.insert("b", 400);
+        // Touch "a" so "b" becomes the LRU victim.
+        cache.lookup("a");
+        cache.insert("c", 400);
+        assert_eq!(cache.lookup("a"), Some(400));
+        assert_eq!(cache.lookup("b"), None, "b was evicted");
+        assert_eq!(cache.lookup("c"), Some(400));
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.stats().used_bytes <= 1_000);
+    }
+
+    #[test]
+    fn oversized_resources_are_not_cached() {
+        let mut cache = ResourceCache::new(100);
+        cache.insert("huge", 1_000);
+        assert_eq!(cache.lookup("huge"), None);
+        assert_eq!(cache.stats().used_bytes, 0);
+    }
+
+    #[test]
+    fn reinserting_updates_size_in_place() {
+        let mut cache = ResourceCache::new(1_000);
+        cache.insert("a", 300);
+        cache.insert("a", 500);
+        assert_eq!(cache.stats().used_bytes, 500);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn device_sized_cache() {
+        let cache = ResourceCache::for_device_memory_kb(2_048);
+        assert_eq!(cache.capacity_bytes(), 2_048 * 1024 / 4);
+        assert!((cache.stats().hit_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = ResourceCache::new(0);
+    }
+}

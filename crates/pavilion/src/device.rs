@@ -1,0 +1,128 @@
+//! Participant device descriptors.
+//!
+//! Heterogeneity is the whole point of the paper: "some using workstations
+//! on high-speed local area networks, and others using wireless
+//! hand-held/wearable devices".  A [`DeviceProfile`] captures the
+//! capabilities that decide which proxy filters a participant needs.
+
+use std::fmt;
+
+/// Broad class of participant device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeviceClass {
+    /// Wired desktop workstation on a fast LAN.
+    Workstation,
+    /// Wireless laptop (WaveLAN-class connectivity).
+    Laptop,
+    /// Wireless palmtop / handheld with little memory and a small screen.
+    Palmtop,
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceClass::Workstation => write!(f, "workstation"),
+            DeviceClass::Laptop => write!(f, "laptop"),
+            DeviceClass::Palmtop => write!(f, "palmtop"),
+        }
+    }
+}
+
+/// Capability descriptor for one participant's device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceProfile {
+    /// Device class.
+    pub class: DeviceClass,
+    /// Sustainable downlink bandwidth in bits per second.
+    pub max_bitrate_bps: u64,
+    /// Memory available for caching content, in kilobytes.
+    pub cache_memory_kb: u64,
+    /// Horizontal display resolution in pixels (drives transcoding).
+    pub screen_width_px: u32,
+    /// Whether the device is attached over a wireless link.
+    pub wireless: bool,
+}
+
+impl DeviceProfile {
+    /// A wired workstation: effectively unconstrained.
+    pub fn workstation() -> Self {
+        Self {
+            class: DeviceClass::Workstation,
+            max_bitrate_bps: 100_000_000,
+            cache_memory_kb: 1_048_576,
+            screen_width_px: 1600,
+            wireless: false,
+        }
+    }
+
+    /// A wireless laptop on a 2 Mbps WaveLAN.
+    pub fn wireless_laptop() -> Self {
+        Self {
+            class: DeviceClass::Laptop,
+            max_bitrate_bps: 2_000_000,
+            cache_memory_kb: 65_536,
+            screen_width_px: 1024,
+            wireless: true,
+        }
+    }
+
+    /// A wireless palmtop: low bandwidth, tiny cache, small screen.
+    pub fn wireless_palmtop() -> Self {
+        Self {
+            class: DeviceClass::Palmtop,
+            max_bitrate_bps: 500_000,
+            cache_memory_kb: 2_048,
+            screen_width_px: 240,
+            wireless: true,
+        }
+    }
+
+    /// Whether this device needs a proxy at all (any wireless or otherwise
+    /// constrained device does).
+    pub fn needs_proxy(&self) -> bool {
+        self.wireless || self.max_bitrate_bps < 10_000_000
+    }
+
+    /// Whether content should be transcoded down for this device.
+    pub fn needs_transcoding(&self) -> bool {
+        self.max_bitrate_bps < 1_000_000 || self.screen_width_px < 640
+    }
+
+    /// Whether the device is memory-limited enough to need a proxy-side
+    /// cache (the Pocket Pavilion case).
+    pub fn needs_proxy_cache(&self) -> bool {
+        self.cache_memory_kb < 16_384
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sensible_orderings() {
+        let workstation = DeviceProfile::workstation();
+        let laptop = DeviceProfile::wireless_laptop();
+        let palmtop = DeviceProfile::wireless_palmtop();
+        assert!(workstation.max_bitrate_bps > laptop.max_bitrate_bps);
+        assert!(laptop.max_bitrate_bps > palmtop.max_bitrate_bps);
+        assert!(laptop.cache_memory_kb > palmtop.cache_memory_kb);
+    }
+
+    #[test]
+    fn proxy_requirements_follow_capabilities() {
+        assert!(!DeviceProfile::workstation().needs_proxy());
+        assert!(DeviceProfile::wireless_laptop().needs_proxy());
+        assert!(DeviceProfile::wireless_palmtop().needs_proxy());
+        assert!(!DeviceProfile::wireless_laptop().needs_transcoding());
+        assert!(DeviceProfile::wireless_palmtop().needs_transcoding());
+        assert!(!DeviceProfile::wireless_laptop().needs_proxy_cache());
+        assert!(DeviceProfile::wireless_palmtop().needs_proxy_cache());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DeviceClass::Workstation.to_string(), "workstation");
+        assert_eq!(DeviceClass::Palmtop.to_string(), "palmtop");
+    }
+}

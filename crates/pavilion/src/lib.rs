@@ -1,0 +1,38 @@
+//! # rapidware-pavilion — the collaborative-session substrate
+//!
+//! RAPIDware extends **Pavilion**, the authors' earlier middleware for
+//! synchronous web-based collaboration: a leader's browser drives a session,
+//! URL requests are multicast to every participant, the requested resources
+//! are fetched once by the leader's proxy and multicast out, a leadership
+//! protocol provides floor control, and per-device proxies adapt content for
+//! resource-limited participants (caching for memory-limited handhelds,
+//! transcoding for low-bandwidth links).
+//!
+//! This crate rebuilds that substrate so the composable-proxy experiments
+//! have a realistic collaborative workload to run over:
+//!
+//! * [`DeviceProfile`] / [`DeviceClass`] — participant capability
+//!   descriptors (wired workstation, wireless laptop, wireless palmtop).
+//! * [`CollaborativeSession`] — membership plus the leadership/floor-control
+//!   protocol (request, grant, release, leader hand-off).
+//! * [`WebSource`] and [`Resource`] — a deterministic synthetic "web" whose
+//!   resource sizes and types depend only on the URL, standing in for the
+//!   live Internet the paper browsed.
+//! * [`ResourceCache`] — the LRU cache a handheld's proxy uses (the
+//!   "Pocket Pavilion" component).
+//! * [`BrowsingWorkload`] — turns a session trace (leader loads URL, floor
+//!   changes hands, …) into the packet stream a proxy carries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod browse;
+mod cache;
+mod device;
+mod session;
+
+pub use browse::{BrowsingWorkload, Resource, WebSource};
+pub use cache::{CacheStats, ResourceCache};
+pub use device::{DeviceClass, DeviceProfile};
+pub use session::{CollaborativeSession, FloorEvent, Member, MemberId, SessionError};

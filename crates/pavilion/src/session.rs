@@ -1,0 +1,327 @@
+//! Session membership and the leadership (floor-control) protocol.
+//!
+//! Pavilion sessions are leader-driven: one participant holds the floor,
+//! that participant's browsing drives everyone else's view, and the floor
+//! can be requested by, and granted to, other participants (Figure 1 of the
+//! paper shows the request/grant exchange between the previous and new
+//! leader).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::device::DeviceProfile;
+
+/// Identifies one participant within a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemberId(u32);
+
+impl MemberId {
+    /// Raw index of the member within its session.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MemberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "member-{}", self.0)
+    }
+}
+
+/// One participant in a collaborative session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Member {
+    /// Identifier within the session.
+    pub id: MemberId,
+    /// Display name.
+    pub name: String,
+    /// The participant's device capabilities.
+    pub device: DeviceProfile,
+}
+
+/// A floor-control event recorded by the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloorEvent {
+    /// A member asked for the floor and was queued.
+    Requested(MemberId),
+    /// The floor was granted to a member (it becomes the leader).
+    Granted(MemberId),
+    /// The leader released the floor with nobody waiting.
+    Released(MemberId),
+    /// A member left the session.
+    Left(MemberId),
+}
+
+/// Errors returned by session operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// The member id does not belong to this session.
+    UnknownMember(MemberId),
+    /// Only the current leader may perform the attempted operation.
+    NotTheLeader(MemberId),
+    /// The session has no members.
+    Empty,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::UnknownMember(id) => write!(f, "unknown member {id}"),
+            SessionError::NotTheLeader(id) => write!(f, "{id} does not hold the floor"),
+            SessionError::Empty => write!(f, "session has no members"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A Pavilion collaborative session: members, leader, and floor queue.
+#[derive(Debug)]
+pub struct CollaborativeSession {
+    name: String,
+    members: Vec<Member>,
+    leader: Option<MemberId>,
+    floor_queue: VecDeque<MemberId>,
+    events: Vec<FloorEvent>,
+}
+
+impl CollaborativeSession {
+    /// Creates an empty session.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            members: Vec::new(),
+            leader: None,
+            floor_queue: VecDeque::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Session name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a participant.  The first participant to join becomes the
+    /// leader.
+    pub fn join(&mut self, name: impl Into<String>, device: DeviceProfile) -> MemberId {
+        let id = MemberId(self.members.len() as u32);
+        self.members.push(Member {
+            id,
+            name: name.into(),
+            device,
+        });
+        if self.leader.is_none() {
+            self.leader = Some(id);
+            self.events.push(FloorEvent::Granted(id));
+        }
+        id
+    }
+
+    /// The current members.
+    pub fn members(&self) -> &[Member] {
+        &self.members
+    }
+
+    /// Looks up a member.
+    pub fn member(&self, id: MemberId) -> Option<&Member> {
+        self.members.iter().find(|m| m.id == id)
+    }
+
+    /// The current leader, if any.
+    pub fn leader(&self) -> Option<MemberId> {
+        self.leader
+    }
+
+    /// Members currently waiting for the floor, in request order.
+    pub fn floor_queue(&self) -> Vec<MemberId> {
+        self.floor_queue.iter().copied().collect()
+    }
+
+    /// The floor-control event log.
+    pub fn events(&self) -> &[FloorEvent] {
+        &self.events
+    }
+
+    /// Members whose devices need a proxy (wireless or constrained).
+    pub fn members_needing_proxies(&self) -> Vec<MemberId> {
+        self.members
+            .iter()
+            .filter(|m| m.device.needs_proxy())
+            .map(|m| m.id)
+            .collect()
+    }
+
+    fn check_member(&self, id: MemberId) -> Result<(), SessionError> {
+        if self.member(id).is_some() {
+            Ok(())
+        } else {
+            Err(SessionError::UnknownMember(id))
+        }
+    }
+
+    /// A member requests the floor.  If nobody holds it the request is
+    /// granted immediately; otherwise the member joins the queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::UnknownMember`] for ids not in this session.
+    pub fn request_floor(&mut self, id: MemberId) -> Result<(), SessionError> {
+        self.check_member(id)?;
+        if self.leader == Some(id) || self.floor_queue.contains(&id) {
+            return Ok(());
+        }
+        if self.leader.is_none() {
+            self.leader = Some(id);
+            self.events.push(FloorEvent::Granted(id));
+        } else {
+            self.floor_queue.push_back(id);
+            self.events.push(FloorEvent::Requested(id));
+        }
+        Ok(())
+    }
+
+    /// The current leader hands the floor to the next requester (or simply
+    /// releases it if nobody is waiting).  Returns the new leader, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::NotTheLeader`] if `id` is not the current
+    /// leader, or [`SessionError::UnknownMember`].
+    pub fn release_floor(&mut self, id: MemberId) -> Result<Option<MemberId>, SessionError> {
+        self.check_member(id)?;
+        if self.leader != Some(id) {
+            return Err(SessionError::NotTheLeader(id));
+        }
+        match self.floor_queue.pop_front() {
+            Some(next) => {
+                self.leader = Some(next);
+                self.events.push(FloorEvent::Granted(next));
+                Ok(Some(next))
+            }
+            None => {
+                self.leader = None;
+                self.events.push(FloorEvent::Released(id));
+                Ok(None)
+            }
+        }
+    }
+
+    /// Removes a member from the session.  If it was the leader, the floor
+    /// passes to the next requester.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::UnknownMember`] for ids not in this session.
+    pub fn leave(&mut self, id: MemberId) -> Result<(), SessionError> {
+        self.check_member(id)?;
+        self.members.retain(|m| m.id != id);
+        self.floor_queue.retain(|&queued| queued != id);
+        self.events.push(FloorEvent::Left(id));
+        if self.leader == Some(id) {
+            self.leader = self.floor_queue.pop_front();
+            if let Some(next) = self.leader {
+                self.events.push(FloorEvent::Granted(next));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_member_session() -> (CollaborativeSession, MemberId, MemberId, MemberId) {
+        let mut session = CollaborativeSession::new("design-review");
+        let alice = session.join("alice", DeviceProfile::workstation());
+        let bob = session.join("bob", DeviceProfile::wireless_laptop());
+        let carol = session.join("carol", DeviceProfile::wireless_palmtop());
+        (session, alice, bob, carol)
+    }
+
+    #[test]
+    fn first_member_becomes_leader() {
+        let (session, alice, _, _) = three_member_session();
+        assert_eq!(session.leader(), Some(alice));
+        assert_eq!(session.members().len(), 3);
+        assert_eq!(session.name(), "design-review");
+        assert_eq!(session.member(alice).unwrap().name, "alice");
+    }
+
+    #[test]
+    fn floor_requests_queue_and_grant_in_order() {
+        let (mut session, alice, bob, carol) = three_member_session();
+        session.request_floor(bob).unwrap();
+        session.request_floor(carol).unwrap();
+        // Duplicate requests are idempotent.
+        session.request_floor(bob).unwrap();
+        assert_eq!(session.floor_queue(), vec![bob, carol]);
+        // Leader passes the floor.
+        assert_eq!(session.release_floor(alice).unwrap(), Some(bob));
+        assert_eq!(session.leader(), Some(bob));
+        assert_eq!(session.release_floor(bob).unwrap(), Some(carol));
+        // Nobody waiting: floor released entirely.
+        assert_eq!(session.release_floor(carol).unwrap(), None);
+        assert_eq!(session.leader(), None);
+        // Next request grabs the free floor immediately.
+        session.request_floor(alice).unwrap();
+        assert_eq!(session.leader(), Some(alice));
+    }
+
+    #[test]
+    fn only_the_leader_can_release() {
+        let (mut session, _alice, bob, _) = three_member_session();
+        assert_eq!(
+            session.release_floor(bob).unwrap_err(),
+            SessionError::NotTheLeader(bob)
+        );
+    }
+
+    #[test]
+    fn unknown_members_are_rejected() {
+        let (mut session, _, _, _) = three_member_session();
+        let ghost = MemberId(99);
+        assert_eq!(
+            session.request_floor(ghost).unwrap_err(),
+            SessionError::UnknownMember(ghost)
+        );
+        assert_eq!(
+            session.leave(ghost).unwrap_err(),
+            SessionError::UnknownMember(ghost)
+        );
+    }
+
+    #[test]
+    fn leader_leaving_hands_off_the_floor() {
+        let (mut session, alice, bob, carol) = three_member_session();
+        session.request_floor(carol).unwrap();
+        session.leave(alice).unwrap();
+        assert_eq!(session.leader(), Some(carol));
+        assert_eq!(session.members().len(), 2);
+        // Bob leaving (not leader) does not change the floor.
+        session.leave(bob).unwrap();
+        assert_eq!(session.leader(), Some(carol));
+        assert!(session
+            .events()
+            .iter()
+            .any(|e| matches!(e, FloorEvent::Left(_))));
+    }
+
+    #[test]
+    fn proxy_needs_follow_device_profiles() {
+        let (session, alice, bob, carol) = three_member_session();
+        let needing = session.members_needing_proxies();
+        assert!(!needing.contains(&alice));
+        assert!(needing.contains(&bob));
+        assert!(needing.contains(&carol));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SessionError::Empty.to_string().contains("no members"));
+        assert!(SessionError::UnknownMember(MemberId(4))
+            .to_string()
+            .contains("member-4"));
+    }
+}

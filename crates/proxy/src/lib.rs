@@ -1,0 +1,71 @@
+//! # rapidware-proxy — the RAPIDware proxy runtime
+//!
+//! This crate assembles detachable streams and composable filters into the
+//! proxy described in Sections 3–4 of the paper:
+//!
+//! * [`ThreadedChain`] — the paper's `ControlThread` plus its filter vector:
+//!   every filter runs on its own thread, filters are connected by
+//!   detachable pipes, and filters can be **inserted, removed, and
+//!   reordered while packets are flowing** using the pause → reconnect
+//!   splice protocol.  Two `EndPoint` handles (the chain's input sender and
+//!   output receiver) plus an empty chain form the paper's "null proxy".
+//! * [`FilterRegistry`] and [`FilterSpec`] — the dynamic-upload path.  The
+//!   paper serialises Java filter objects across the network into a running
+//!   proxy; the Rust equivalent is a serialisable filter *description*
+//!   instantiated through a registry of factories, which exercises the same
+//!   control path (a filter arrives over the control channel, is
+//!   constructed, and is spliced into a live chain) without unsafe dynamic
+//!   code loading.
+//! * [`ControlManager`], [`Command`], [`Response`] — the management
+//!   interface (the paper's Swing GUI, minus the Swing): query a proxy's
+//!   configuration, insert/remove/move filters, upload filter bundles.
+//! * [`Proxy`] — one proxy process: a set of named streams, each with its
+//!   own reconfigurable chain, plus the registry and control plumbing.
+//!
+//! ## Example
+//!
+//! ```
+//! use rapidware_proxy::ThreadedChain;
+//! use rapidware_filters::NullFilter;
+//! use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+//!
+//! # fn main() -> Result<(), rapidware_proxy::ProxyError> {
+//! // A null proxy: two endpoints and no filters.
+//! let chain = ThreadedChain::new()?;
+//! let input = chain.input();
+//! let output = chain.output();
+//!
+//! input.send(Packet::new(StreamId::new(1), SeqNo::new(0), PacketKind::AudioData, vec![1, 2, 3]))
+//!     .expect("chain accepts packets");
+//! assert_eq!(output.recv().expect("forwarded").seq(), SeqNo::new(0));
+//!
+//! // Splice a (do-nothing) filter into the running chain, then keep going.
+//! chain.insert(0, Box::new(NullFilter::new()))?;
+//!
+//! input.send(Packet::new(StreamId::new(1), SeqNo::new(1), PacketKind::AudioData, vec![4, 5, 6]))
+//!     .expect("chain still accepts packets");
+//! chain.close_input();
+//!
+//! let delivered: Vec<_> = std::iter::from_fn(|| output.recv().ok()).collect();
+//! assert_eq!(delivered.len(), 1);
+//! assert_eq!(delivered[0].seq(), SeqNo::new(1));
+//! chain.shutdown()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod control;
+mod error;
+mod proxy;
+mod registry;
+mod threaded;
+
+pub use control::{Command, ControlManager, Response};
+pub use error::ProxyError;
+pub use proxy::{Proxy, ProxyStatus, StreamStatus};
+pub use registry::{FilterRegistry, FilterSpec};
+pub use threaded::{ChainStats, ThreadedChain};

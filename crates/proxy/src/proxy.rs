@@ -1,0 +1,360 @@
+//! The [`Proxy`]: named streams, each with a live-reconfigurable chain.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rapidware_filters::Filter;
+use rapidware_packet::Packet;
+use rapidware_streams::{DetachableReceiver, DetachableSender};
+
+use crate::error::ProxyError;
+use crate::registry::{FilterRegistry, FilterSpec};
+use crate::threaded::{ChainStats, ThreadedChain};
+
+/// A snapshot of one stream's configuration and statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamStatus {
+    /// Stream name.
+    pub name: String,
+    /// Installed filter names, in stream order.
+    pub filters: Vec<String>,
+    /// Runtime counters.
+    pub stats: ChainStats,
+}
+
+/// A snapshot of a whole proxy, as reported to the control manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProxyStatus {
+    /// Proxy name.
+    pub name: String,
+    /// Per-stream snapshots, sorted by stream name.
+    pub streams: Vec<StreamStatus>,
+    /// Filter kinds this proxy can instantiate.
+    pub available_kinds: Vec<String>,
+}
+
+/// One RAPIDware proxy: a set of named streams, a filter registry, and the
+/// machinery to reconfigure any stream's chain at run time.
+pub struct Proxy {
+    name: String,
+    registry: FilterRegistry,
+    streams: BTreeMap<String, ThreadedChain>,
+}
+
+impl fmt::Debug for Proxy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Proxy")
+            .field("name", &self.name)
+            .field("streams", &self.stream_names())
+            .finish()
+    }
+}
+
+impl Proxy {
+    /// Creates a proxy with the built-in filter registry.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_registry(name, FilterRegistry::with_builtins())
+    }
+
+    /// Creates a proxy with a custom registry (e.g. one extended with
+    /// third-party filters).
+    pub fn with_registry(name: impl Into<String>, registry: FilterRegistry) -> Self {
+        Self {
+            name: name.into(),
+            registry,
+            streams: BTreeMap::new(),
+        }
+    }
+
+    /// Proxy name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The filter registry (e.g. to register additional kinds).
+    pub fn registry_mut(&mut self) -> &mut FilterRegistry {
+        &mut self.registry
+    }
+
+    /// Names of the streams currently handled by this proxy.
+    pub fn stream_names(&self) -> Vec<String> {
+        self.streams.keys().cloned().collect()
+    }
+
+    /// Creates a new stream through this proxy and returns its two
+    /// endpoints: a sender the upstream EndPoint writes into and a receiver
+    /// the downstream EndPoint reads from.  The stream starts as a null
+    /// proxy (no filters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::Splice`] if a stream with this name already
+    /// exists.
+    pub fn add_stream(
+        &mut self,
+        name: impl Into<String>,
+    ) -> Result<(DetachableSender<Packet>, DetachableReceiver<Packet>), ProxyError> {
+        let name = name.into();
+        if self.streams.contains_key(&name) {
+            return Err(ProxyError::Splice(format!("stream {name} already exists")));
+        }
+        let chain = ThreadedChain::new()?;
+        let input = chain.input();
+        let output = chain.output();
+        self.streams.insert(name, chain);
+        Ok((input, output))
+    }
+
+    fn chain(&self, stream: &str) -> Result<&ThreadedChain, ProxyError> {
+        self.streams
+            .get(stream)
+            .ok_or_else(|| ProxyError::UnknownStream(stream.to_string()))
+    }
+
+    /// Instantiates a filter from `spec` and splices it into `stream` at
+    /// `position`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownStream`], [`ProxyError::UnknownFilterKind`],
+    /// spec validation errors, or splice errors.
+    pub fn insert_filter(
+        &self,
+        stream: &str,
+        position: usize,
+        spec: &FilterSpec,
+    ) -> Result<(), ProxyError> {
+        let filter = self.registry.instantiate(spec)?;
+        self.insert_filter_boxed(stream, position, filter)
+    }
+
+    /// Splices an already-constructed filter into `stream` at `position`
+    /// (the path used when a filter comes from an uploaded
+    /// [`FilterContainer`](rapidware_filters::FilterContainer)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownStream`] or splice errors.
+    pub fn insert_filter_boxed(
+        &self,
+        stream: &str,
+        position: usize,
+        filter: Box<dyn Filter>,
+    ) -> Result<(), ProxyError> {
+        self.chain(stream)?.insert(position, filter)
+    }
+
+    /// Removes and returns the filter at `position` on `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownStream`], position errors, or splice
+    /// errors.
+    pub fn remove_filter(
+        &self,
+        stream: &str,
+        position: usize,
+    ) -> Result<Box<dyn Filter>, ProxyError> {
+        self.chain(stream)?.remove(position)
+    }
+
+    /// Moves a filter from one position to another on `stream` by removing
+    /// and re-inserting it (two splices, matching how the paper's
+    /// ControlThread reorders its filter vector).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownStream`], position errors, or splice
+    /// errors.
+    pub fn move_filter(&self, stream: &str, from: usize, to: usize) -> Result<(), ProxyError> {
+        let chain = self.chain(stream)?;
+        if to > chain.len().saturating_sub(1) {
+            return Err(ProxyError::PositionOutOfRange {
+                position: to,
+                len: chain.len(),
+            });
+        }
+        let filter = chain.remove(from)?;
+        chain.insert(to, filter)
+    }
+
+    /// Names of the filters installed on `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownStream`] for unknown streams.
+    pub fn filter_names(&self, stream: &str) -> Result<Vec<String>, ProxyError> {
+        Ok(self.chain(stream)?.names())
+    }
+
+    /// Runtime statistics of `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownStream`] for unknown streams.
+    pub fn stream_stats(&self, stream: &str) -> Result<ChainStats, ProxyError> {
+        Ok(self.chain(stream)?.stats())
+    }
+
+    /// A full status snapshot (what the control manager renders).
+    pub fn status(&self) -> ProxyStatus {
+        ProxyStatus {
+            name: self.name.clone(),
+            streams: self
+                .streams
+                .iter()
+                .map(|(name, chain)| StreamStatus {
+                    name: name.clone(),
+                    filters: chain.names(),
+                    stats: chain.stats(),
+                })
+                .collect(),
+            available_kinds: self.registry.kinds(),
+        }
+    }
+
+    /// Shuts down every stream, waiting for all filter threads to exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first worker failure encountered (shutdown continues for
+    /// the remaining streams regardless).
+    pub fn shutdown(&mut self) -> Result<(), ProxyError> {
+        let mut first_error = None;
+        for (_, chain) in std::mem::take(&mut self.streams) {
+            if let Err(err) = chain.shutdown() {
+                first_error.get_or_insert(err);
+            }
+        }
+        match first_error {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Proxy {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidware_packet::{PacketKind, SeqNo, StreamId};
+
+    fn packet(seq: u64) -> Packet {
+        Packet::new(StreamId::new(1), SeqNo::new(seq), PacketKind::AudioData, vec![0u8; 32])
+    }
+
+    #[test]
+    fn add_stream_and_forward_packets() {
+        let mut proxy = Proxy::new("edge-proxy");
+        let (input, output) = proxy.add_stream("audio").unwrap();
+        input.send(packet(0)).unwrap();
+        assert_eq!(output.recv().unwrap().seq().value(), 0);
+        assert_eq!(proxy.stream_names(), vec!["audio"]);
+        assert_eq!(proxy.name(), "edge-proxy");
+        proxy.shutdown().unwrap();
+    }
+
+    #[test]
+    fn duplicate_stream_names_are_rejected() {
+        let mut proxy = Proxy::new("p");
+        proxy.add_stream("audio").unwrap();
+        assert!(proxy.add_stream("audio").is_err());
+    }
+
+    #[test]
+    fn insert_and_remove_filters_by_spec() {
+        let mut proxy = Proxy::new("p");
+        let (input, output) = proxy.add_stream("audio").unwrap();
+        proxy
+            .insert_filter("audio", 0, &FilterSpec::new("fec-encoder"))
+            .unwrap();
+        proxy
+            .insert_filter("audio", 1, &FilterSpec::new("fec-decoder"))
+            .unwrap();
+        assert_eq!(
+            proxy.filter_names("audio").unwrap(),
+            vec!["fec-encoder(6,4)", "fec-decoder(6,4)"]
+        );
+        // Traffic flows through the configured chain.
+        for seq in 0..8 {
+            input.send(packet(seq)).unwrap();
+        }
+        let mut received = Vec::new();
+        for _ in 0..8 {
+            received.push(output.recv().unwrap());
+        }
+        assert_eq!(received.len(), 8);
+
+        let removed = proxy.remove_filter("audio", 0).unwrap();
+        assert_eq!(removed.name(), "fec-encoder(6,4)");
+        assert_eq!(proxy.filter_names("audio").unwrap(), vec!["fec-decoder(6,4)"]);
+        proxy.shutdown().unwrap();
+    }
+
+    #[test]
+    fn unknown_streams_and_kinds_are_reported() {
+        let proxy = Proxy::new("p");
+        assert!(matches!(
+            proxy.insert_filter("nope", 0, &FilterSpec::new("null")),
+            Err(ProxyError::UnknownStream(_))
+        ));
+        assert!(matches!(
+            proxy.filter_names("nope"),
+            Err(ProxyError::UnknownStream(_))
+        ));
+    }
+
+    #[test]
+    fn move_filter_reorders_live_chain() {
+        let mut proxy = Proxy::new("p");
+        let (_input, _output) = proxy.add_stream("s").unwrap();
+        proxy
+            .insert_filter("s", 0, &FilterSpec::new("tap").with_param("name", "a"))
+            .unwrap();
+        proxy
+            .insert_filter("s", 1, &FilterSpec::new("tap").with_param("name", "b"))
+            .unwrap();
+        proxy.move_filter("s", 1, 0).unwrap();
+        assert_eq!(proxy.filter_names("s").unwrap(), vec!["b", "a"]);
+        assert!(proxy.move_filter("s", 0, 5).is_err());
+        proxy.shutdown().unwrap();
+    }
+
+    #[test]
+    fn status_reports_streams_and_kinds() {
+        let mut proxy = Proxy::new("status-proxy");
+        proxy.add_stream("audio").unwrap();
+        proxy.add_stream("video").unwrap();
+        proxy
+            .insert_filter("video", 0, &FilterSpec::new("rate-limiter"))
+            .unwrap();
+        let status = proxy.status();
+        assert_eq!(status.name, "status-proxy");
+        assert_eq!(status.streams.len(), 2);
+        assert_eq!(status.streams[0].name, "audio");
+        assert!(status.streams[1].filters[0].starts_with("rate-limiter"));
+        assert!(status.available_kinds.contains(&"fec-encoder".to_string()));
+        proxy.shutdown().unwrap();
+    }
+
+    #[test]
+    fn stream_stats_track_traffic() {
+        let mut proxy = Proxy::new("p");
+        let (input, output) = proxy.add_stream("s").unwrap();
+        for seq in 0..5 {
+            input.send(packet(seq)).unwrap();
+        }
+        for _ in 0..5 {
+            output.recv().unwrap();
+        }
+        let stats = proxy.stream_stats("s").unwrap();
+        assert_eq!(stats.packets_in, 5);
+        assert_eq!(stats.packets_out, 5);
+        proxy.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,265 @@
+//! The adaptation engine: observers in, actions out.
+
+use std::fmt;
+
+use rapidware_netsim::SimTime;
+use rapidware_proxy::{Proxy, ProxyError};
+
+use crate::observer::{AdaptationEvent, Observer};
+use crate::responder::{AdaptationAction, Responder};
+use crate::sample::LinkSample;
+
+/// One entry of the engine's adaptation log: when, which event, which
+/// actions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptationRecord {
+    /// When the triggering sample was observed.
+    pub time: SimTime,
+    /// The event that fired.
+    pub event: AdaptationEvent,
+    /// The actions the responders requested.
+    pub actions: Vec<AdaptationAction>,
+}
+
+/// Wires a set of observer raplets to a set of responder raplets.
+///
+/// The engine itself performs no I/O and mutates no chain: callers feed it
+/// [`LinkSample`]s and apply the returned [`AdaptationAction`]s to the chain
+/// implementation of their choice.  This mirrors RAPIDware's separation of
+/// adaptive logic (raplets) from core data-path services.
+#[derive(Debug, Default)]
+pub struct AdaptationEngine {
+    observers: Vec<Box<dyn Observer>>,
+    responders: Vec<Box<dyn Responder>>,
+    log: Vec<AdaptationRecord>,
+}
+
+impl AdaptationEngine {
+    /// Creates an engine with no raplets installed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs an observer raplet.
+    pub fn add_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observers.push(observer);
+    }
+
+    /// Installs a responder raplet.
+    pub fn add_responder(&mut self, responder: Box<dyn Responder>) {
+        self.responders.push(responder);
+    }
+
+    /// Names of the installed observers.
+    pub fn observer_names(&self) -> Vec<String> {
+        self.observers.iter().map(|o| o.name().to_string()).collect()
+    }
+
+    /// Names of the installed responders.
+    pub fn responder_names(&self) -> Vec<String> {
+        self.responders.iter().map(|r| r.name().to_string()).collect()
+    }
+
+    /// Feeds one link sample through every observer and routes the raised
+    /// events through every responder, returning the actions to apply.
+    pub fn ingest(&mut self, sample: &LinkSample) -> Vec<AdaptationAction> {
+        let mut all_actions = Vec::new();
+        for observer in &mut self.observers {
+            for event in observer.sample(sample) {
+                let mut actions = Vec::new();
+                for responder in &mut self.responders {
+                    actions.extend(responder.handle(&event));
+                }
+                self.log.push(AdaptationRecord {
+                    time: sample.time,
+                    event,
+                    actions: actions.clone(),
+                });
+                all_actions.extend(actions);
+            }
+        }
+        all_actions
+    }
+
+    /// The full adaptation log so far.
+    pub fn log(&self) -> &[AdaptationRecord] {
+        &self.log
+    }
+
+    /// Drains and returns the adaptation log.
+    pub fn take_log(&mut self) -> Vec<AdaptationRecord> {
+        std::mem::take(&mut self.log)
+    }
+}
+
+impl fmt::Display for AdaptationRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:?} -> {} action(s)", self.time, self.event, self.actions.len())
+    }
+}
+
+/// Applies adaptation actions to a stream of a live (threaded) [`Proxy`].
+///
+/// `RemoveKind`/`ReplaceKind` resolve the position by matching the kind
+/// prefix of the installed filter names (filter names are
+/// `kind(parameters)` by convention).
+///
+/// # Errors
+///
+/// Propagates the first proxy error encountered; earlier actions stay
+/// applied.
+pub fn apply_to_proxy(
+    proxy: &Proxy,
+    stream: &str,
+    actions: &[AdaptationAction],
+) -> Result<(), ProxyError> {
+    for action in actions {
+        match action {
+            AdaptationAction::Insert { position, spec } => {
+                proxy.insert_filter(stream, *position, spec)?;
+            }
+            AdaptationAction::RemoveKind { kind } => {
+                if let Some(position) = position_of_kind(proxy, stream, kind)? {
+                    proxy.remove_filter(stream, position)?;
+                }
+            }
+            AdaptationAction::ReplaceKind { kind, spec } => {
+                if let Some(position) = position_of_kind(proxy, stream, kind)? {
+                    proxy.remove_filter(stream, position)?;
+                    proxy.insert_filter(stream, position, spec)?;
+                } else {
+                    proxy.insert_filter(stream, 0, spec)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn position_of_kind(
+    proxy: &Proxy,
+    stream: &str,
+    kind: &str,
+) -> Result<Option<usize>, ProxyError> {
+    Ok(proxy
+        .filter_names(stream)?
+        .iter()
+        .position(|name| name.starts_with(kind)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::LossRateObserver;
+    use crate::responder::FecResponder;
+    use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+
+    fn engine() -> AdaptationEngine {
+        let mut engine = AdaptationEngine::new();
+        engine.add_observer(Box::new(
+            LossRateObserver::paper_default().with_smoothing(1.0),
+        ));
+        engine.add_responder(Box::new(FecResponder::paper_default()));
+        engine
+    }
+
+    #[test]
+    fn quiet_link_produces_no_actions() {
+        let mut engine = engine();
+        for i in 0..10 {
+            let sample = LinkSample::new(SimTime::from_secs(i), 1000, 998);
+            assert!(engine.ingest(&sample).is_empty());
+        }
+        assert!(engine.log().is_empty());
+    }
+
+    #[test]
+    fn loss_spike_inserts_fec_and_recovery_removes_it() {
+        let mut engine = engine();
+        let actions = engine.ingest(&LinkSample::new(SimTime::from_secs(1), 1000, 930));
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], AdaptationAction::Insert { .. }));
+        // Sustained loss: no further actions (responder is stateful).
+        assert!(engine
+            .ingest(&LinkSample::new(SimTime::from_secs(2), 1000, 930))
+            .is_empty());
+        // Recovery.
+        let actions = engine.ingest(&LinkSample::new(SimTime::from_secs(3), 1000, 1000));
+        assert!(matches!(actions[0], AdaptationAction::RemoveKind { .. }));
+        assert_eq!(engine.log().len(), 2);
+        assert!(engine.log()[0].to_string().contains("action"));
+        let log = engine.take_log();
+        assert_eq!(log.len(), 2);
+        assert!(engine.log().is_empty());
+    }
+
+    #[test]
+    fn names_report_installed_raplets() {
+        let engine = engine();
+        assert_eq!(engine.observer_names().len(), 1);
+        assert!(engine.responder_names()[0].contains("fec-responder"));
+    }
+
+    #[test]
+    fn actions_apply_to_a_live_proxy() {
+        let mut proxy = Proxy::new("adaptive");
+        let (input, output) = proxy.add_stream("audio").unwrap();
+        let mut engine = engine();
+
+        // Loss spike: FEC encoder appears on the live chain.
+        let actions = engine.ingest(&LinkSample::new(SimTime::from_secs(1), 1000, 900));
+        apply_to_proxy(&proxy, "audio", &actions).unwrap();
+        assert_eq!(proxy.filter_names("audio").unwrap(), vec!["fec-encoder(6,4)"]);
+
+        // Traffic still flows through the adapted chain.
+        input
+            .send(Packet::new(
+                StreamId::new(1),
+                SeqNo::new(0),
+                PacketKind::AudioData,
+                vec![0u8; 32],
+            ))
+            .unwrap();
+        assert_eq!(output.recv().unwrap().seq().value(), 0);
+
+        // Heavier loss: encoder replaced by the stronger tier.
+        let actions = engine.ingest(&LinkSample::new(SimTime::from_secs(2), 1000, 1000));
+        apply_to_proxy(&proxy, "audio", &actions).unwrap();
+        let actions = engine.ingest(&LinkSample::new(SimTime::from_secs(3), 1000, 700));
+        apply_to_proxy(&proxy, "audio", &actions).unwrap();
+        assert_eq!(proxy.filter_names("audio").unwrap(), vec!["fec-encoder(8,4)"]);
+
+        // Recovery: encoder removed again.
+        let actions = engine.ingest(&LinkSample::new(SimTime::from_secs(4), 1000, 1000));
+        apply_to_proxy(&proxy, "audio", &actions).unwrap();
+        assert!(proxy.filter_names("audio").unwrap().is_empty());
+        proxy.shutdown().unwrap();
+    }
+
+    #[test]
+    fn remove_kind_for_missing_filter_is_a_no_op() {
+        let mut proxy = Proxy::new("p");
+        proxy.add_stream("s").unwrap();
+        apply_to_proxy(
+            &proxy,
+            "s",
+            &[AdaptationAction::RemoveKind {
+                kind: "fec-encoder".to_string(),
+            }],
+        )
+        .unwrap();
+        assert!(proxy.filter_names("s").unwrap().is_empty());
+        // Replace of a missing kind falls back to an insert at 0.
+        apply_to_proxy(
+            &proxy,
+            "s",
+            &[AdaptationAction::ReplaceKind {
+                kind: "fec-encoder".to_string(),
+                spec: rapidware_proxy::FilterSpec::new("fec-encoder"),
+            }],
+        )
+        .unwrap();
+        assert_eq!(proxy.filter_names("s").unwrap().len(), 1);
+        proxy.shutdown().unwrap();
+    }
+}

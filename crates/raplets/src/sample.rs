@@ -1,0 +1,83 @@
+//! The measurement sample observers consume.
+
+use rapidware_netsim::SimTime;
+
+/// One observation window of a (usually wireless) link: how many packets
+/// were offered to it and how many arrived, plus optional context.
+///
+/// Samples are produced by whatever monitors the link — in the simulator,
+/// the scenario runner compares taps on either side of the wireless hop; on
+/// the paper's testbed this role is played by receiver reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSample {
+    /// When the window ended.
+    pub time: SimTime,
+    /// Packets offered to the link during the window.
+    pub sent: u64,
+    /// Packets that arrived during the window.
+    pub delivered: u64,
+    /// Estimated available bandwidth in bits per second, if known.
+    pub bandwidth_bps: Option<u64>,
+    /// Distance from the access point in meters, if known.
+    pub distance_m: Option<f64>,
+}
+
+impl LinkSample {
+    /// Creates a sample carrying only loss information.
+    pub fn new(time: SimTime, sent: u64, delivered: u64) -> Self {
+        Self {
+            time,
+            sent,
+            delivered,
+            bandwidth_bps: None,
+            distance_m: None,
+        }
+    }
+
+    /// Attaches a bandwidth estimate.
+    #[must_use]
+    pub fn with_bandwidth(mut self, bandwidth_bps: u64) -> Self {
+        self.bandwidth_bps = Some(bandwidth_bps);
+        self
+    }
+
+    /// Attaches the mobile host's distance from the access point.
+    #[must_use]
+    pub fn with_distance(mut self, distance_m: f64) -> Self {
+        self.distance_m = Some(distance_m);
+        self
+    }
+
+    /// The observed loss rate in this window (0 when nothing was sent).
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            1.0 - (self.delivered.min(self.sent) as f64 / self.sent as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_rate_is_computed() {
+        let sample = LinkSample::new(SimTime::ZERO, 200, 190);
+        assert!((sample.loss_rate() - 0.05).abs() < 1e-12);
+        assert_eq!(LinkSample::new(SimTime::ZERO, 0, 0).loss_rate(), 0.0);
+        // Delivered can never exceed sent in the rate computation.
+        assert_eq!(LinkSample::new(SimTime::ZERO, 5, 9).loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn builders_attach_context() {
+        let sample = LinkSample::new(SimTime::from_secs(3), 10, 10)
+            .with_bandwidth(2_000_000)
+            .with_distance(25.0);
+        assert_eq!(sample.bandwidth_bps, Some(2_000_000));
+        assert_eq!(sample.distance_m, Some(25.0));
+        assert_eq!(sample.time, SimTime::from_secs(3));
+    }
+}

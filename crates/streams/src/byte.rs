@@ -1,0 +1,271 @@
+//! Byte-oriented adapters over a detachable pipe.
+//!
+//! The paper's detachable streams are byte streams (`java.io.InputStream` /
+//! `OutputStream` subclasses).  Most of this crate works with typed items
+//! (packets), which is what the proxy filters actually exchange, but for
+//! fidelity — and for endpoints that speak `std::io` — [`ByteWriter`] and
+//! [`ByteReader`] wrap a `DetachablePipe<Bytes>` behind the standard
+//! [`std::io::Write`] / [`std::io::Read`] traits.
+//!
+//! Bytes written to a [`ByteWriter`] are accumulated into chunks (to avoid
+//! per-byte locking) and flushed either when the chunk fills or when
+//! [`flush`](std::io::Write::flush) is called, mirroring the buffering of the
+//! paper's `DOS.write()` / `DOS.flush()` pair.
+
+use std::io::{self, Read, Write};
+
+use bytes::Bytes;
+
+use crate::error::{RecvError, SendError};
+use crate::pipe::{pipe, DetachableReceiver, DetachableSender};
+
+/// Default chunk size, in bytes, used by [`ByteWriter`] before it pushes a
+/// chunk into the underlying pipe.
+pub const DEFAULT_CHUNK_SIZE: usize = 4096;
+
+/// A [`std::io::Write`] adapter over the sending half of a detachable pipe.
+#[derive(Debug)]
+pub struct ByteWriter {
+    sender: DetachableSender<Bytes>,
+    buffer: Vec<u8>,
+    chunk_size: usize,
+}
+
+/// A [`std::io::Read`] adapter over the receiving half of a detachable pipe.
+#[derive(Debug)]
+pub struct ByteReader {
+    receiver: DetachableReceiver<Bytes>,
+    current: Bytes,
+    offset: usize,
+    eof: bool,
+}
+
+/// Creates a connected byte-stream pair with the given pipe capacity (in
+/// chunks) and chunk size (in bytes).
+pub fn byte_pipe(capacity: usize, chunk_size: usize) -> (ByteWriter, ByteReader) {
+    let (tx, rx) = pipe::<Bytes>(capacity);
+    (
+        ByteWriter::new(tx, chunk_size),
+        ByteReader::new(rx),
+    )
+}
+
+impl ByteWriter {
+    /// Wraps an existing detachable sender.  `chunk_size` of zero falls back
+    /// to [`DEFAULT_CHUNK_SIZE`].
+    pub fn new(sender: DetachableSender<Bytes>, chunk_size: usize) -> Self {
+        let chunk_size = if chunk_size == 0 {
+            DEFAULT_CHUNK_SIZE
+        } else {
+            chunk_size
+        };
+        Self {
+            sender,
+            buffer: Vec::with_capacity(chunk_size),
+            chunk_size,
+        }
+    }
+
+    /// Access to the underlying detachable sender (e.g. for pausing or
+    /// reconnecting the byte stream while it is in use).
+    pub fn sender(&self) -> &DetachableSender<Bytes> {
+        &self.sender
+    }
+
+    /// Flushes any buffered bytes and closes the underlying sender.
+    pub fn close(&mut self) -> io::Result<()> {
+        self.flush()?;
+        self.sender.close();
+        Ok(())
+    }
+
+    fn push_chunk(&mut self) -> io::Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let chunk = Bytes::from(std::mem::take(&mut self.buffer));
+        self.buffer = Vec::with_capacity(self.chunk_size);
+        self.sender.send(chunk).map_err(send_error_to_io)
+    }
+}
+
+impl Write for ByteWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buffer.extend_from_slice(buf);
+        while self.buffer.len() >= self.chunk_size {
+            let rest = self.buffer.split_off(self.chunk_size);
+            let chunk = Bytes::from(std::mem::replace(&mut self.buffer, rest));
+            self.sender.send(chunk).map_err(send_error_to_io)?;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.push_chunk()
+    }
+}
+
+impl Drop for ByteWriter {
+    fn drop(&mut self) {
+        // Destructors must not fail: ignore errors, best-effort flush.
+        let _ = self.push_chunk();
+    }
+}
+
+impl ByteReader {
+    /// Wraps an existing detachable receiver.
+    pub fn new(receiver: DetachableReceiver<Bytes>) -> Self {
+        Self {
+            receiver,
+            current: Bytes::new(),
+            offset: 0,
+            eof: false,
+        }
+    }
+
+    /// Access to the underlying detachable receiver.
+    pub fn receiver(&self) -> &DetachableReceiver<Bytes> {
+        &self.receiver
+    }
+
+    /// Number of bytes immediately available without blocking (buffered
+    /// chunks plus the remainder of the chunk currently being consumed).
+    pub fn available(&self) -> usize {
+        self.current.len() - self.offset
+    }
+
+    fn refill(&mut self) -> io::Result<bool> {
+        match self.receiver.recv() {
+            Ok(chunk) => {
+                self.current = chunk;
+                self.offset = 0;
+                Ok(true)
+            }
+            Err(RecvError::Eof) | Err(RecvError::Closed) => {
+                self.eof = true;
+                Ok(false)
+            }
+        }
+    }
+}
+
+impl Read for ByteReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        while self.offset >= self.current.len() {
+            if self.eof {
+                return Ok(0);
+            }
+            if !self.refill()? {
+                return Ok(0);
+            }
+        }
+        let remaining = &self.current[self.offset..];
+        let n = remaining.len().min(buf.len());
+        buf[..n].copy_from_slice(&remaining[..n]);
+        self.offset += n;
+        Ok(n)
+    }
+}
+
+fn send_error_to_io<T>(err: SendError<T>) -> io::Error {
+    match err {
+        SendError::Closed(_) => io::Error::new(io::ErrorKind::BrokenPipe, "detachable sender closed"),
+        SendError::ReceiverClosed(_) => {
+            io::Error::new(io::ErrorKind::BrokenPipe, "detachable receiver closed")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn round_trips_bytes_through_the_pipe() {
+        let (mut w, mut r) = byte_pipe(16, 8);
+        w.write_all(b"hello detachable world").unwrap();
+        w.close().unwrap();
+        let mut out = String::new();
+        r.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "hello detachable world");
+    }
+
+    #[test]
+    fn chunking_splits_large_writes() {
+        let (mut w, r) = byte_pipe(64, 4);
+        w.write_all(&[0u8; 10]).unwrap();
+        // 10 bytes with a 4-byte chunk: two full chunks pushed, 2 bytes held.
+        assert_eq!(r.receiver().available(), 2);
+        w.flush().unwrap();
+        assert_eq!(r.receiver().available(), 3);
+    }
+
+    #[test]
+    fn read_returns_zero_at_eof() {
+        let (mut w, mut r) = byte_pipe(4, 4);
+        w.write_all(b"ab").unwrap();
+        w.close().unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(r.read(&mut buf).unwrap(), 2);
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_read_buffer_is_ok() {
+        let (_w, mut r) = byte_pipe(4, 4);
+        let mut buf = [];
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_after_receiver_close_is_broken_pipe() {
+        let (mut w, r) = byte_pipe(4, 2);
+        r.receiver().close();
+        drop(r);
+        let err = w.write_all(b"abcd").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn threaded_transfer() {
+        let (mut w, mut r) = byte_pipe(8, 16);
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let expected = payload.clone();
+        let writer = thread::spawn(move || {
+            w.write_all(&payload).unwrap();
+            w.close().unwrap();
+        });
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        writer.join().unwrap();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn byte_stream_survives_splice() {
+        use crate::pipe::DetachableReceiver;
+        let (mut w, mut r1) = byte_pipe(8, 4);
+        w.write_all(b"first").unwrap();
+        w.flush().unwrap();
+        let mut head = vec![0u8; 5];
+        r1.read_exact(&mut head).unwrap();
+        assert_eq!(&head, b"first");
+
+        // Splice the writer onto a new reader mid-stream.
+        w.sender().pause().unwrap();
+        let new_rx = DetachableReceiver::new_detached(8);
+        w.sender().reconnect(&new_rx).unwrap();
+        let mut r2 = ByteReader::new(new_rx);
+
+        w.write_all(b"second").unwrap();
+        w.close().unwrap();
+        let mut tail = Vec::new();
+        r2.read_to_end(&mut tail).unwrap();
+        assert_eq!(&tail, b"second");
+    }
+}

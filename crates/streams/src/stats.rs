@@ -1,0 +1,161 @@
+//! Lightweight transfer statistics for a detachable pipe.
+//!
+//! Statistics are kept on both halves of a pipe and are used by the proxy's
+//! observer raplets (e.g. a loss-rate observer compares what a sender
+//! delivered with what a downstream endpoint received) and by the benchmark
+//! harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, lock-free counters describing the lifetime activity of one pipe
+/// half.
+///
+/// A [`PipeStats`] is cheap to clone (it is an `Arc` of atomics) and can be
+/// handed to monitoring code while the pipe continues to run.
+#[derive(Debug, Clone, Default)]
+pub struct PipeStats {
+    inner: Arc<StatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    items: AtomicU64,
+    pauses: AtomicU64,
+    reconnects: AtomicU64,
+    blocked_sends: AtomicU64,
+}
+
+/// A point-in-time copy of a [`PipeStats`], suitable for diffing between two
+/// observation instants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct StatsSnapshot {
+    /// Number of items successfully transferred through this half.
+    pub items: u64,
+    /// Number of completed `pause()` operations.
+    pub pauses: u64,
+    /// Number of completed `reconnect()` operations.
+    pub reconnects: u64,
+    /// Number of `send` calls that had to block (back-pressure or pause).
+    pub blocked_sends: u64,
+}
+
+impl PipeStats {
+    /// Creates a fresh, zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_item(&self) {
+        self.inner.items.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_pause(&self) {
+        self.inner.pauses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_reconnect(&self) {
+        self.inner.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_blocked_send(&self) {
+        self.inner.blocked_sends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of items successfully transferred so far.
+    pub fn items(&self) -> u64 {
+        self.inner.items.load(Ordering::Relaxed)
+    }
+
+    /// Number of completed `pause()` operations so far.
+    pub fn pauses(&self) -> u64 {
+        self.inner.pauses.load(Ordering::Relaxed)
+    }
+
+    /// Number of completed `reconnect()` operations so far.
+    pub fn reconnects(&self) -> u64 {
+        self.inner.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Number of `send` calls that had to block before completing.
+    pub fn blocked_sends(&self) -> u64 {
+        self.inner.blocked_sends.load(Ordering::Relaxed)
+    }
+
+    /// Returns a consistent-enough point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            items: self.items(),
+            pauses: self.pauses(),
+            reconnects: self.reconnects(),
+            blocked_sends: self.blocked_sends(),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Returns the per-counter difference `self - earlier`, saturating at
+    /// zero so that a reset never produces nonsense deltas.
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            items: self.items.saturating_sub(earlier.items),
+            pauses: self.pauses.saturating_sub(earlier.pauses),
+            reconnects: self.reconnects.saturating_sub(earlier.reconnects),
+            blocked_sends: self.blocked_sends.saturating_sub(earlier.blocked_sends),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let stats = PipeStats::new();
+        assert_eq!(stats.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = PipeStats::new();
+        stats.record_item();
+        stats.record_item();
+        stats.record_pause();
+        stats.record_reconnect();
+        stats.record_blocked_send();
+        let snap = stats.snapshot();
+        assert_eq!(snap.items, 2);
+        assert_eq!(snap.pauses, 1);
+        assert_eq!(snap.reconnects, 1);
+        assert_eq!(snap.blocked_sends, 1);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let stats = PipeStats::new();
+        let clone = stats.clone();
+        clone.record_item();
+        assert_eq!(stats.items(), 1);
+    }
+
+    #[test]
+    fn delta_since_saturates() {
+        let a = StatsSnapshot {
+            items: 5,
+            pauses: 1,
+            reconnects: 0,
+            blocked_sends: 2,
+        };
+        let b = StatsSnapshot {
+            items: 3,
+            pauses: 2,
+            reconnects: 0,
+            blocked_sends: 1,
+        };
+        let d = a.delta_since(&b);
+        assert_eq!(d.items, 2);
+        assert_eq!(d.pauses, 0); // saturated
+        assert_eq!(d.blocked_sends, 1);
+    }
+}

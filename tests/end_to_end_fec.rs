@@ -1,0 +1,134 @@
+//! Cross-crate integration test: the full FEC audio pipeline.
+//!
+//! media source -> filter chain (FEC encoder) -> simulated wireless LAN ->
+//! per-receiver FEC decoder -> media sink, plus the same pipeline on the
+//! threaded proxy runtime with in-chain fault injection.
+
+use rapidware::prelude::*;
+use rapidware::scenario::{FecScenario, ScenarioConfig};
+
+#[test]
+fn figure7_operating_point_recovers_nearly_everything() {
+    // A 2000-packet slice of the Figure 7 run (kept short for CI).
+    let report = FecScenario::new(
+        ScenarioConfig::figure7()
+            .with_packets(2_000)
+            .with_receivers(3),
+    )
+    .run();
+    assert_eq!(report.receivers.len(), 3);
+    for receiver in &report.receivers {
+        assert!(
+            receiver.received_pct() > 96.0 && receiver.received_pct() < 100.0,
+            "raw receipt at 25 m should be close to but below 100% (got {:.2})",
+            receiver.received_pct()
+        );
+        assert!(
+            receiver.reconstructed_pct() > 99.5,
+            "FEC(6,4) should recover nearly everything (got {:.2})",
+            receiver.reconstructed_pct()
+        );
+        assert!(receiver.parity_received > 0);
+    }
+    // FEC(6,4) costs 2 parity packets per 4 source packets.
+    assert!((report.overhead() - 0.5).abs() < 0.1);
+}
+
+#[test]
+fn fec_beats_no_fec_at_every_distance() {
+    for distance in [15.0, 25.0, 35.0] {
+        let with_fec = FecScenario::new(
+            ScenarioConfig::figure7()
+                .with_packets(1_200)
+                .with_receivers(1)
+                .with_distance(distance),
+        )
+        .run();
+        let without = FecScenario::new(
+            ScenarioConfig::figure7()
+                .without_fec()
+                .with_packets(1_200)
+                .with_receivers(1)
+                .with_distance(distance),
+        )
+        .run();
+        assert!(
+            with_fec.receivers[0].reconstructed_pct() > without.receivers[0].reconstructed_pct()
+                || without.receivers[0].reconstructed_pct() == 100.0,
+            "FEC must help (or tie) at {distance} m"
+        );
+    }
+}
+
+#[test]
+fn threaded_proxy_pipeline_with_fault_injection_recovers_losses() {
+    // The same pipeline, but on real threads connected by detachable pipes,
+    // with the loss injected by a filter inside the chain.
+    let chain = ThreadedChain::new().expect("chain");
+    chain
+        .push_back(Box::new(FecEncoderFilter::fec_6_4().unwrap()))
+        .unwrap();
+    chain
+        .push_back(Box::new(rapidware::filters::DropEveryNth::new(7)))
+        .unwrap();
+    chain
+        .push_back(Box::new(FecDecoderFilter::fec_6_4().unwrap()))
+        .unwrap();
+
+    let input = chain.input();
+    let output = chain.output();
+    let consumer = std::thread::spawn(move || {
+        let mut sink = MediaSink::new();
+        while let Ok(packet) = output.recv() {
+            sink.deliver(&packet);
+        }
+        sink
+    });
+
+    let mut source = AudioSource::pcm_default(StreamId::new(1));
+    let total = 2_000u64;
+    for _ in 0..total {
+        input.send(source.next_packet()).unwrap();
+    }
+    chain.close_input();
+    let sink = consumer.join().unwrap();
+    let report = sink.report(total);
+    let available = report.received + report.recovered;
+    assert!(
+        available as f64 / total as f64 > 0.99,
+        "FEC over the threaded chain should repair the injected losses \
+         (got {available}/{total})"
+    );
+    chain.shutdown().unwrap();
+}
+
+#[test]
+fn transcoder_plus_fec_compose_in_either_order() {
+    // Composability: the same filters, composed in different orders, both
+    // produce a working stream (this is the property the detachable-stream
+    // design exists to support).
+    for order in [&["transcoder", "fec-encoder"], &["fec-encoder", "transcoder"]] {
+        let mut chain = FilterChain::new();
+        let registry = FilterRegistry::with_builtins();
+        for kind in order.iter() {
+            let spec = FilterSpec::new(*kind);
+            chain
+                .push_back(registry.instantiate(&spec).unwrap())
+                .unwrap();
+        }
+        let mut source = AudioSource::pcm_default(StreamId::new(1));
+        let mut out = Vec::new();
+        for _ in 0..40 {
+            out.extend(chain.process(source.next_packet()).unwrap());
+        }
+        out.extend(chain.flush().unwrap());
+        let payload = out.iter().filter(|p| p.kind().is_payload()).count();
+        let parity = out.iter().filter(|p| p.kind().is_parity()).count();
+        assert_eq!(payload, 40, "order {order:?}");
+        assert_eq!(parity, 20, "order {order:?}");
+        // The transcoder halves every payload packet.
+        for packet in out.iter().filter(|p| p.kind().is_payload()) {
+            assert_eq!(packet.payload_len(), 160, "order {order:?}");
+        }
+    }
+}

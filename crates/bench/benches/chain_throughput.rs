@@ -58,7 +58,8 @@ fn bench_filters(c: &mut Criterion) {
     let mut group = c.benchmark_group("chain_filters");
     group.sample_size(30);
     group.throughput(Throughput::Bytes(bytes));
-    let cases: Vec<(&str, fn() -> Box<dyn rapidware::filters::Filter>)> = vec![
+    type FilterFactory = fn() -> Box<dyn rapidware::filters::Filter>;
+    let cases: Vec<(&str, FilterFactory)> = vec![
         ("null", || Box::new(NullFilter::new())),
         ("fec-encoder(6,4)", || {
             Box::new(FecEncoderFilter::fec_6_4().expect("valid"))

@@ -1,7 +1,7 @@
 //! E2 — packet loss versus distance from the access point.
 //!
 //! Section 3 of the paper motivates demand-driven FEC with the observation
-//! (from the authors' companion measurement study [16]) that "packet loss
+//! (from the authors' companion measurement study \[16\]) that "packet loss
 //! rate can change dramatically over a distance of several meters on
 //! wireless LANs".  This experiment sweeps the receiver's distance and
 //! reports the raw receipt rate and the post-FEC reconstruction rate, with

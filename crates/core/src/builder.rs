@@ -3,6 +3,13 @@
 use rapidware_proxy::{FilterSpec, Proxy, ProxyError};
 use rapidware_raplets::{AdaptationEngine, FecResponder, LossRateObserver, Observer, Responder};
 
+/// The input/output endpoint pair of one proxy stream, in declaration
+/// order, as returned by [`AdaptiveProxyBuilder::build`].
+pub type StreamEndpoints = (
+    rapidware_streams::DetachableSender<rapidware_packet::Packet>,
+    rapidware_streams::DetachableReceiver<rapidware_packet::Packet>,
+);
+
 /// Assembles a live [`Proxy`] plus the [`AdaptationEngine`] that adapts it.
 ///
 /// The builder covers the common case exercised by the paper: one or more
@@ -92,17 +99,7 @@ impl AdaptiveProxyBuilder {
     /// initial filters.
     pub fn build(
         self,
-    ) -> Result<
-        (
-            Proxy,
-            AdaptationEngine,
-            Vec<(
-                rapidware_streams::DetachableSender<rapidware_packet::Packet>,
-                rapidware_streams::DetachableReceiver<rapidware_packet::Packet>,
-            )>,
-        ),
-        ProxyError,
-    > {
+    ) -> Result<(Proxy, AdaptationEngine, Vec<StreamEndpoints>), ProxyError> {
         let mut proxy = Proxy::new(self.name);
         let mut endpoints = Vec::new();
         for stream in &self.streams {

@@ -78,6 +78,29 @@ impl FecCodec {
     /// Returns [`FecError::WrongShardCount`] if `sources.len() != k` and
     /// [`FecError::UnequalShardLengths`] if the shards differ in length.
     pub fn encode(&self, sources: &[&[u8]]) -> Result<Vec<Vec<u8>>, FecError> {
+        let mut parities = Vec::with_capacity(self.parity_count());
+        self.encode_into(sources, &mut parities)?;
+        Ok(parities)
+    }
+
+    /// Encodes a whole block into caller-owned parity buffers.
+    ///
+    /// `parities` is resized to `n − k` shards of the common source length;
+    /// existing buffer allocations are reused, so a steady-state encoder
+    /// (one block after another of the same shard length) allocates nothing.
+    /// Each parity row is produced with the bulk slice routines: the first
+    /// source is *written* through [`gf256::mul_slice_into`] and the rest
+    /// are accumulated with [`gf256::addmul_slice`], so the cost per byte is
+    /// one table lookup and one XOR.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`encode`](Self::encode).
+    pub fn encode_into(
+        &self,
+        sources: &[&[u8]],
+        parities: &mut Vec<Vec<u8>>,
+    ) -> Result<(), FecError> {
         if sources.len() != self.k {
             return Err(FecError::WrongShardCount {
                 expected: self.k,
@@ -88,16 +111,18 @@ impl FecCodec {
         if sources.iter().any(|s| s.len() != shard_len) {
             return Err(FecError::UnequalShardLengths);
         }
-        let mut parities = Vec::with_capacity(self.parity_count());
-        for row in self.k..self.n {
-            let mut parity = vec![0u8; shard_len];
-            for (col, source) in sources.iter().enumerate() {
+        parities.resize_with(self.parity_count(), Vec::new);
+        for (index, parity) in parities.iter_mut().enumerate() {
+            let row = self.k + index;
+            parity.resize(shard_len, 0);
+            let first_coeff = self.generator.get(row, 0);
+            gf256::mul_slice_into(parity, sources[0], first_coeff);
+            for (col, source) in sources.iter().enumerate().skip(1) {
                 let coeff = self.generator.get(row, col);
-                gf256::addmul_slice(&mut parity, source, coeff);
+                gf256::addmul_slice(parity, source, coeff);
             }
-            parities.push(parity);
         }
-        Ok(parities)
+        Ok(())
     }
 
     /// Reconstructs all `k` source shards from any `k` of the `n` encoded
@@ -169,7 +194,10 @@ impl FecCodec {
 
         let mut sources = vec![vec![0u8; shard_len]; self.k];
         for (source_index, source) in sources.iter_mut().enumerate() {
-            for (chosen_pos, &(_, data)) in chosen.iter().enumerate() {
+            // First shard is written (not accumulated), the rest are XORed
+            // in — whole-row bulk operations, no per-byte zero tests.
+            gf256::mul_slice_into(source, chosen[0].1, inverse.get(source_index, 0));
+            for (chosen_pos, &(_, data)) in chosen.iter().enumerate().skip(1) {
                 let coeff = inverse.get(source_index, chosen_pos);
                 gf256::addmul_slice(source, data, coeff);
             }

@@ -43,6 +43,40 @@ const fn build_tables() -> Tables {
 
 static TABLES: Tables = build_tables();
 
+/// The full 256 × 256 multiplication table, built at compile time.
+///
+/// Row `c` is the map `b ↦ c · b`, so the bulk slice routines pay **one**
+/// table lookup per byte instead of the two log lookups plus branch of the
+/// scalar [`mul`] — the classic optimisation from Rizzo's `fec` library,
+/// where the encoder's inner loop is a single `gf_mul_table` indexing.
+static MUL_TABLE: [[u8; 256]; 256] = build_mul_table();
+
+const fn build_mul_table() -> [[u8; 256]; 256] {
+    let tables = build_tables();
+    let mut table = [[0u8; 256]; 256];
+    let mut a = 1usize;
+    while a < 256 {
+        let log_a = tables.log[a] as usize;
+        let mut b = 1usize;
+        while b < 256 {
+            table[a][b] = tables.exp[log_a + tables.log[b] as usize];
+            b += 1;
+        }
+        a += 1;
+    }
+    table
+}
+
+/// The multiplication-by-`c` lookup table: `mul_row(c)[b] == mul(c, b)`.
+///
+/// Exposed so callers that apply the same coefficient to many bytes (the
+/// encoder's parity rows, Gaussian elimination) can hoist the row lookup out
+/// of their inner loops.
+#[inline]
+pub fn mul_row(c: u8) -> &'static [u8; 256] {
+    &MUL_TABLE[c as usize]
+}
+
 /// Adds two field elements (XOR).
 #[inline]
 pub fn add(a: u8, b: u8) -> u8 {
@@ -107,24 +141,79 @@ pub fn pow(a: u8, e: u32) -> u8 {
     TABLES.exp[idx as usize]
 }
 
+/// Computes `dst[i] ^= src[i]` for every byte (bulk field addition).
+///
+/// The hot loop works on eight bytes at a time through `u64` words, which
+/// the compiler further vectorises; this is the `c == 1` fast path of the
+/// encoder and the whole story for XOR-based parity.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_slice length mismatch");
+    let mut dst_words = dst.chunks_exact_mut(8);
+    let mut src_words = src.chunks_exact(8);
+    for (d, s) in dst_words.by_ref().zip(src_words.by_ref()) {
+        let word = u64::from_ne_bytes(d.try_into().expect("chunk of 8"))
+            ^ u64::from_ne_bytes(s.try_into().expect("chunk of 8"));
+        d.copy_from_slice(&word.to_ne_bytes());
+    }
+    for (d, s) in dst_words
+        .into_remainder()
+        .iter_mut()
+        .zip(src_words.remainder())
+    {
+        *d ^= *s;
+    }
+}
+
 /// Computes `dst[i] ^= c * src[i]` for every byte — the inner loop of the
 /// encoder and of Gaussian elimination on data rows.
+///
+/// Table-driven: one lookup in the precomputed `c` row per byte (no
+/// per-byte zero test, no log/exp pair), with wide XOR for `c == 1`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
 pub fn addmul_slice(dst: &mut [u8], src: &[u8], c: u8) {
-    debug_assert_eq!(dst.len(), src.len());
+    assert_eq!(dst.len(), src.len(), "addmul_slice length mismatch");
     if c == 0 {
         return;
     }
     if c == 1 {
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d ^= *s;
-        }
+        xor_slice(dst, src);
         return;
     }
-    let log_c = TABLES.log[c as usize] as usize;
+    let row = mul_row(c);
     for (d, s) in dst.iter_mut().zip(src) {
-        if *s != 0 {
-            *d ^= TABLES.exp[log_c + TABLES.log[*s as usize] as usize];
-        }
+        *d ^= row[*s as usize];
+    }
+}
+
+/// Computes `dst[i] = c * src[i]` for every byte.
+///
+/// This is the "first column" of a parity row: writing the scaled source
+/// directly saves the zero-fill plus XOR that `addmul` into a fresh buffer
+/// would cost.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul_slice_into(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "mul_slice_into length mismatch");
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    if c == 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let row = mul_row(c);
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = row[*s as usize];
     }
 }
 
@@ -137,11 +226,9 @@ pub fn mul_slice(dst: &mut [u8], c: u8) {
         dst.fill(0);
         return;
     }
-    let log_c = TABLES.log[c as usize] as usize;
+    let row = mul_row(c);
     for d in dst.iter_mut() {
-        if *d != 0 {
-            *d = TABLES.exp[log_c + TABLES.log[*d as usize] as usize];
-        }
+        *d = row[*d as usize];
     }
 }
 
@@ -242,6 +329,39 @@ mod tests {
         assert_eq!(dst, vec![3u8; 8]);
         addmul_slice(&mut dst, &src, 1);
         assert_eq!(dst, vec![6u8; 8]); // 3 ^ 5
+    }
+
+    #[test]
+    fn mul_row_matches_scalar_mul() {
+        for a in (0..=255u8).step_by(7) {
+            let row = mul_row(a);
+            for b in 0..=255u8 {
+                assert_eq!(row[b as usize], mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_slice_matches_scalar_xor_all_lengths() {
+        // Cover the word loop and every remainder length.
+        for len in 0..=33usize {
+            let src: Vec<u8> = (0..len).map(|i| (i * 7 + 3) as u8).collect();
+            let mut dst: Vec<u8> = (0..len).map(|i| (i * 13 + 1) as u8).collect();
+            let expected: Vec<u8> = dst.iter().zip(&src).map(|(d, s)| d ^ s).collect();
+            xor_slice(&mut dst, &src);
+            assert_eq!(dst, expected, "len {len}");
+        }
+    }
+
+    #[test]
+    fn mul_slice_into_matches_scalar_ops() {
+        let src: Vec<u8> = (0..64).map(|i| (i * 5 + 2) as u8).collect();
+        for c in [0u8, 1, 2, 29, 255] {
+            let mut dst = vec![0xAAu8; 64];
+            mul_slice_into(&mut dst, &src, c);
+            let expected: Vec<u8> = src.iter().map(|s| mul(c, *s)).collect();
+            assert_eq!(dst, expected, "c = {c}");
+        }
     }
 
     #[test]

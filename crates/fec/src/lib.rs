@@ -56,7 +56,7 @@ mod error;
 pub mod gf256;
 mod matrix;
 
-pub use block::{BlockAssembler, BlockReconstructor, EncodedBlock, RecoveredPayload};
+pub use block::{BlockAssembler, BlockReconstructor, EncodedBlock, RecoveredPayload, MAX_PAYLOAD_LEN};
 pub use codec::FecCodec;
 pub use error::FecError;
 pub use matrix::Matrix;

@@ -98,18 +98,41 @@ impl Matrix {
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
 
+    /// Mutable view of one row.
+    fn row_mut(&mut self, row: usize) -> &mut [u8] {
+        assert!(row < self.rows, "matrix row out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutable views of two distinct rows at once (for row elimination).
+    fn rows_pair_mut(&mut self, a: usize, b: usize) -> (&mut [u8], &mut [u8]) {
+        assert!(a != b, "rows_pair_mut needs distinct rows");
+        assert!(a < self.rows && b < self.rows, "matrix row out of bounds");
+        let cols = self.cols;
+        if a < b {
+            let (head, tail) = self.data.split_at_mut(b * cols);
+            (&mut head[a * cols..(a + 1) * cols], &mut tail[..cols])
+        } else {
+            let (head, tail) = self.data.split_at_mut(a * cols);
+            (&mut tail[..cols], &mut head[b * cols..(b + 1) * cols])
+        }
+    }
+
     /// Builds a new matrix from a subset of this matrix's rows, in the given
     /// order.
     pub fn select_rows(&self, rows: &[usize]) -> Matrix {
         let mut m = Matrix::zero(rows.len(), self.cols);
         for (dst, &src) in rows.iter().enumerate() {
-            let src_row = self.row(src).to_vec();
-            m.data[dst * self.cols..(dst + 1) * self.cols].copy_from_slice(&src_row);
+            let start = dst * self.cols;
+            m.data[start..start + self.cols].copy_from_slice(self.row(src));
         }
         m
     }
 
     /// Matrix product `self * rhs`.
+    ///
+    /// The inner loop runs over whole rows of `rhs` through the bulk
+    /// [`gf256::addmul_slice`] rather than element-by-element `get`/`set`.
     ///
     /// # Panics
     ///
@@ -118,16 +141,13 @@ impl Matrix {
         assert_eq!(self.cols, rhs.rows, "inner matrix dimensions must agree");
         let mut out = Matrix::zero(self.rows, rhs.cols);
         for r in 0..self.rows {
+            let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
             for inner in 0..self.cols {
-                let coeff = self.get(r, inner);
+                let coeff = self.data[r * self.cols + inner];
                 if coeff == 0 {
                     continue;
                 }
-                for c in 0..rhs.cols {
-                    let product = gf256::mul(coeff, rhs.get(inner, c));
-                    let current = out.get(r, c);
-                    out.set(r, c, gf256::add(current, product));
-                }
+                gf256::addmul_slice(out_row, rhs.row(inner), coeff);
             }
         }
         out
@@ -182,24 +202,19 @@ impl Matrix {
         if a == b {
             return;
         }
-        for c in 0..self.cols {
-            let tmp = self.get(a, c);
-            self.set(a, c, self.get(b, c));
-            self.set(b, c, tmp);
-        }
+        let (row_a, row_b) = self.rows_pair_mut(a, b);
+        row_a.swap_with_slice(row_b);
     }
 
     fn scale_row(&mut self, row: usize, factor: u8) {
-        let start = row * self.cols;
-        gf256::mul_slice(&mut self.data[start..start + self.cols], factor);
+        gf256::mul_slice(self.row_mut(row), factor);
     }
 
-    /// `row_dst ^= factor * row_src`
+    /// `row_dst ^= factor * row_src`, borrowing both rows in place (no
+    /// temporary row copy).
     fn addmul_row(&mut self, dst: usize, src: usize, factor: u8) {
-        let cols = self.cols;
-        let src_row: Vec<u8> = self.row(src).to_vec();
-        let start = dst * cols;
-        gf256::addmul_slice(&mut self.data[start..start + cols], &src_row, factor);
+        let (dst_row, src_row) = self.rows_pair_mut(dst, src);
+        gf256::addmul_slice(dst_row, src_row, factor);
     }
 }
 

@@ -24,6 +24,9 @@ const MARKER_RLE: u8 = 0x01;
 pub struct CompressorFilter {
     bytes_in: u64,
     bytes_out: u64,
+    /// Reused RLE work buffer so steady-state compression (especially the
+    /// batched path) does not allocate a throwaway encoding per packet.
+    scratch: Vec<u8>,
 }
 
 /// Reverses [`CompressorFilter`].
@@ -33,9 +36,11 @@ pub struct DecompressorFilter {
     bytes_out: u64,
 }
 
-/// Run-length encodes `data` (without the marker byte).
-fn rle_encode(data: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len() / 2 + 2);
+/// Run-length encodes `data` (without the marker byte) into `out`,
+/// replacing its contents.
+fn rle_encode_into(data: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(data.len() / 2 + 2);
     let mut iter = data.iter().copied().peekable();
     while let Some(byte) = iter.next() {
         let mut count: u8 = 1;
@@ -50,12 +55,19 @@ fn rle_encode(data: &[u8]) -> Vec<u8> {
         out.push(count);
         out.push(byte);
     }
+}
+
+/// Run-length encodes `data` into a fresh buffer (test helper).
+#[cfg(test)]
+fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    rle_encode_into(data, &mut out);
     out
 }
 
 /// Decodes a run-length encoded body.
 fn rle_decode(data: &[u8]) -> Result<Vec<u8>, FilterError> {
-    if data.len() % 2 != 0 {
+    if !data.len().is_multiple_of(2) {
         return Err(FilterError::Internal(
             "run-length body has odd length".to_string(),
         ));
@@ -67,7 +79,7 @@ fn rle_decode(data: &[u8]) -> Result<Vec<u8>, FilterError> {
         if count == 0 {
             return Err(FilterError::Internal("zero-length run".to_string()));
         }
-        out.extend(std::iter::repeat(byte).take(count as usize));
+        out.extend(std::iter::repeat_n(byte, count as usize));
     }
     Ok(out)
 }
@@ -100,22 +112,20 @@ impl DecompressorFilter {
     }
 }
 
-impl Filter for CompressorFilter {
-    fn name(&self) -> &str {
-        "compressor(rle)"
-    }
-
-    fn process(&mut self, packet: Packet, out: &mut dyn FilterOutput) -> Result<(), FilterError> {
+impl CompressorFilter {
+    /// Compresses one packet; shared by the serial and batched paths so
+    /// both produce identical output.
+    fn compress_one(&mut self, packet: Packet, out: &mut dyn FilterOutput) {
         if !packet.kind().is_payload() {
             out.emit(packet);
-            return Ok(());
+            return;
         }
         self.bytes_in += packet.payload_len() as u64;
-        let encoded = rle_encode(packet.payload());
-        let payload = if encoded.len() < packet.payload_len() {
-            let mut body = Vec::with_capacity(encoded.len() + 1);
+        rle_encode_into(packet.payload(), &mut self.scratch);
+        let payload = if self.scratch.len() < packet.payload_len() {
+            let mut body = Vec::with_capacity(self.scratch.len() + 1);
             body.push(MARKER_RLE);
-            body.extend_from_slice(&encoded);
+            body.extend_from_slice(&self.scratch);
             body
         } else {
             let mut body = Vec::with_capacity(packet.payload_len() + 1);
@@ -125,6 +135,29 @@ impl Filter for CompressorFilter {
         };
         self.bytes_out += payload.len() as u64;
         out.emit(packet.with_payload(payload));
+    }
+}
+
+impl Filter for CompressorFilter {
+    fn name(&self) -> &str {
+        "compressor(rle)"
+    }
+
+    fn process(&mut self, packet: Packet, out: &mut dyn FilterOutput) -> Result<(), FilterError> {
+        self.compress_one(packet, out);
+        Ok(())
+    }
+
+    fn process_batch(
+        &mut self,
+        packets: Vec<Packet>,
+        out: &mut dyn FilterOutput,
+    ) -> Result<(), FilterError> {
+        // The RLE work buffer is warm after the first packet, so the rest of
+        // the batch compresses with zero transient allocations.
+        for packet in packets {
+            self.compress_one(packet, out);
+        }
         Ok(())
     }
 

@@ -55,7 +55,7 @@ impl Filter for DropEveryNth {
             return Ok(());
         }
         self.counter += 1;
-        if self.counter % self.n == 0 {
+        if self.counter.is_multiple_of(self.n) {
             self.dropped += 1;
             return Ok(());
         }
@@ -111,7 +111,7 @@ impl Filter for DuplicateFilter {
     fn process(&mut self, packet: Packet, out: &mut dyn FilterOutput) -> Result<(), FilterError> {
         if packet.kind().is_payload() {
             self.counter += 1;
-            if self.counter % self.n == 0 {
+            if self.counter.is_multiple_of(self.n) {
                 self.duplicated += 1;
                 out.emit(packet.clone());
             }

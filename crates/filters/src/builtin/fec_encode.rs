@@ -36,6 +36,10 @@ pub struct FecEncoderFilter {
     require_frame_boundary: bool,
     blocks_encoded: u64,
     parities_emitted: u64,
+    /// Reused wire-encoding buffer: each source packet is serialised into
+    /// this scratch before joining its FEC block, so the hot path allocates
+    /// nothing per packet.
+    wire_scratch: Vec<u8>,
 }
 
 impl FecEncoderFilter {
@@ -56,6 +60,7 @@ impl FecEncoderFilter {
             require_frame_boundary: false,
             blocks_encoded: 0,
             parities_emitted: 0,
+            wire_scratch: Vec::new(),
         })
     }
 
@@ -142,12 +147,10 @@ impl FecEncoderFilter {
     }
 }
 
-impl Filter for FecEncoderFilter {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn process(&mut self, packet: Packet, out: &mut dyn FilterOutput) -> Result<(), FilterError> {
+impl FecEncoderFilter {
+    /// Encodes one packet; shared by the serial and batched paths so both
+    /// produce identical output.
+    fn encode_one(&mut self, packet: Packet, out: &mut dyn FilterOutput) -> Result<(), FilterError> {
         // Non-payload packets (control, parity from an upstream encoder) are
         // forwarded untouched and do not join a block.
         if !packet.kind().is_payload() {
@@ -157,13 +160,39 @@ impl Filter for FecEncoderFilter {
         if self.block_first_seq.is_none() {
             self.block_first_seq = Some(packet.seq());
         }
+        packet.encode_into(&mut self.wire_scratch);
         self.template = Some(packet.clone());
-        let wire = packet.encode();
         // The source packet itself is forwarded immediately (systematic
         // code: zero added latency on the data path).
         out.emit(packet);
-        if let Some(block) = self.assembler.push(&wire)? {
+        if let Some(block) = self.assembler.push(&self.wire_scratch)? {
             self.emit_parities(block, out)?;
+        }
+        Ok(())
+    }
+}
+
+impl Filter for FecEncoderFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, packet: Packet, out: &mut dyn FilterOutput) -> Result<(), FilterError> {
+        self.encode_one(packet, out)
+    }
+
+    fn process_batch(
+        &mut self,
+        packets: Vec<Packet>,
+        out: &mut dyn FilterOutput,
+    ) -> Result<(), FilterError> {
+        // The wire-encoding scratch stays warm for the whole batch and each
+        // completed block's parities are produced by the codec's bulk
+        // slice routines, so a 32-packet batch through FEC(6,4) costs eight
+        // block encodes and no per-packet allocation beyond the parity
+        // payloads themselves.
+        for packet in packets {
+            self.encode_one(packet, out)?;
         }
         Ok(())
     }

@@ -32,6 +32,19 @@ impl Filter for NullFilter {
         out.emit(packet);
         Ok(())
     }
+
+    fn process_batch(
+        &mut self,
+        packets: Vec<Packet>,
+        out: &mut dyn FilterOutput,
+    ) -> Result<(), FilterError> {
+        // One tight emit loop for the whole batch: no per-packet fallible
+        // dispatch through `process`.
+        for packet in packets {
+            out.emit(packet);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -86,6 +86,39 @@ impl Filter for TapFilter {
         Ok(())
     }
 
+    fn process_batch(
+        &mut self,
+        packets: Vec<Packet>,
+        out: &mut dyn FilterOutput,
+    ) -> Result<(), FilterError> {
+        // Tally locally and publish once: one atomic RMW per counter per
+        // batch instead of up to four per packet.
+        let mut total = 0u64;
+        let mut bytes = 0u64;
+        let mut payload = 0u64;
+        let mut parity = 0u64;
+        for packet in packets {
+            total += 1;
+            bytes += packet.payload_len() as u64;
+            if packet.kind().is_payload() {
+                payload += 1;
+            }
+            if packet.kind().is_parity() {
+                parity += 1;
+            }
+            out.emit(packet);
+        }
+        self.counters.packets.fetch_add(total, Ordering::Relaxed);
+        self.counters.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.counters
+            .payload_packets
+            .fetch_add(payload, Ordering::Relaxed);
+        self.counters
+            .parity_packets
+            .fetch_add(parity, Ordering::Relaxed);
+        Ok(())
+    }
+
     fn descriptor(&self) -> FilterDescriptor {
         FilterDescriptor {
             name: self.name.clone(),

@@ -296,6 +296,98 @@ impl FilterChain {
         Ok(out)
     }
 
+    /// Processes a whole batch through the chain, returning everything that
+    /// emerges at the far end.
+    ///
+    /// This is the batched data plane's entry point: instead of threading
+    /// each packet through every filter individually (one intermediate
+    /// `Vec` per filter *per packet*), the batch flows level by level —
+    /// each filter's [`Filter::process_batch`] consumes the whole batch and
+    /// emits into a single output buffer, so per-packet dispatch and
+    /// allocation are amortised across the batch.
+    ///
+    /// The output is exactly what the same packets fed one at a time
+    /// through [`process`](Self::process) would produce, including the
+    /// frame-boundary handling of deferred insertions: when insertions are
+    /// pending, the batch is split at each insertion boundary and the
+    /// pending filters are activated before the boundary packet is
+    /// processed.
+    ///
+    /// ```
+    /// use rapidware_filters::{FecEncoderFilter, FilterChain};
+    /// use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+    ///
+    /// # fn main() -> Result<(), rapidware_filters::FilterError> {
+    /// let mut chain = FilterChain::new();
+    /// chain.push_back(Box::new(FecEncoderFilter::fec_6_4()?))?;
+    ///
+    /// let batch: Vec<Packet> = (0..8u64)
+    ///     .map(|seq| Packet::new(StreamId::new(1), SeqNo::new(seq), PacketKind::AudioData, vec![0u8; 64]))
+    ///     .collect();
+    /// let out = chain.process_batch(batch)?;
+    /// // 8 sources plus two blocks' worth of FEC(6,4) parities.
+    /// assert_eq!(out.len(), 12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first filter error encountered; the remainder of the
+    /// batch is not processed (and does not count towards
+    /// [`packets_in`](Self::packets_in)).
+    pub fn process_batch(&mut self, packets: Vec<Packet>) -> Result<Vec<Packet>, FilterError> {
+        let mut output: Vec<Packet> = Vec::with_capacity(packets.len());
+        if self.pending.is_empty() {
+            self.run_batch_from(0, packets, &mut output)?;
+        } else {
+            // Deferred insertions activate at frame boundaries, so the batch
+            // is processed in segments: everything before a boundary flows
+            // through the old chain, then the pending filters are applied.
+            let mut segment: Vec<Packet> = Vec::new();
+            for packet in packets {
+                if !self.pending.is_empty() && packet.is_insertion_boundary() {
+                    if !segment.is_empty() {
+                        let chunk = std::mem::take(&mut segment);
+                        self.run_batch_from(0, chunk, &mut output)?;
+                    }
+                    self.apply_pending();
+                }
+                segment.push(packet);
+            }
+            if !segment.is_empty() {
+                self.run_batch_from(0, segment, &mut output)?;
+            }
+        }
+        self.packets_out += output.len() as u64;
+        Ok(output)
+    }
+
+    /// Runs one batch through the filters starting at `start`, appending
+    /// the survivors to `output`.
+    fn run_batch_from(
+        &mut self,
+        start: usize,
+        packets: Vec<Packet>,
+        output: &mut Vec<Packet>,
+    ) -> Result<(), FilterError> {
+        // Counted per segment (not per whole batch) so that a filter error
+        // does not inflate packets_in with packets that were never offered
+        // to the filters.
+        self.packets_in += packets.len() as u64;
+        let mut current = packets;
+        for index in start..self.filters.len() {
+            if current.is_empty() {
+                break;
+            }
+            let mut next: Vec<Packet> = Vec::with_capacity(current.len());
+            self.filters[index].process_batch(current, &mut next)?;
+            current = next;
+        }
+        output.append(&mut current);
+        Ok(())
+    }
+
     /// Flushes every filter (front to back), applying any still-pending
     /// insertions first, and returns the packets that emerge.
     ///

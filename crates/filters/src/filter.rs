@@ -82,6 +82,54 @@ pub trait Filter: Send {
     /// for the stream.
     fn process(&mut self, packet: Packet, out: &mut dyn FilterOutput) -> Result<(), FilterError>;
 
+    /// Processes a batch of packets in order.
+    ///
+    /// This is the hot path of the batched data plane: the synchronous
+    /// [`FilterChain`](crate::FilterChain) and the threaded proxy runtime
+    /// hand a filter a whole batch at a time so that per-packet dispatch,
+    /// queue locking, and allocation are amortised across the batch.  The
+    /// default implementation simply loops over [`process`](Self::process),
+    /// so implementing `process` alone is always correct; hot filters
+    /// override this to reuse scratch buffers or coalesce counter updates.
+    ///
+    /// **Contract:** for any packet sequence, `process_batch` must emit
+    /// exactly what the equivalent sequence of `process` calls would emit,
+    /// in the same order (the batch/serial parity property tests assert
+    /// this for every built-in filter).
+    ///
+    /// ```
+    /// use rapidware_filters::{Filter, NullFilter};
+    /// use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+    ///
+    /// # fn main() -> Result<(), rapidware_filters::FilterError> {
+    /// let batch: Vec<Packet> = (0..32u64)
+    ///     .map(|seq| Packet::new(StreamId::new(1), SeqNo::new(seq), PacketKind::AudioData, vec![0u8; 64]))
+    ///     .collect();
+    ///
+    /// let mut filter = NullFilter::new();
+    /// let mut out: Vec<Packet> = Vec::with_capacity(batch.len());
+    /// filter.process_batch(batch, &mut out)?;
+    /// assert_eq!(out.len(), 32);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`FilterError`] encountered; packets already
+    /// emitted downstream stay emitted, and the remainder of the batch is
+    /// not processed.
+    fn process_batch(
+        &mut self,
+        packets: Vec<Packet>,
+        out: &mut dyn FilterOutput,
+    ) -> Result<(), FilterError> {
+        for packet in packets {
+            self.process(packet, out)?;
+        }
+        Ok(())
+    }
+
     /// Flushes any buffered state downstream.
     ///
     /// Called at end of stream and immediately before the filter is removed

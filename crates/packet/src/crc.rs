@@ -13,12 +13,43 @@
 /// assert_eq!(rapidware_packet::crc32(b"123456789"), 0xCBF4_3926);
 /// ```
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc: u32 = 0xFFFF_FFFF;
+    crc32_finish(crc32_update(crc32_init(), data))
+}
+
+/// Starts an incremental CRC-32 computation (see [`crc32_update`]).
+#[inline]
+pub fn crc32_init() -> u32 {
+    0xFFFF_FFFF
+}
+
+/// Folds `data` into a running CRC-32 state.
+///
+/// Feeding several slices through `crc32_update` and finishing with
+/// [`crc32_finish`] yields the same checksum as [`crc32`] over their
+/// concatenation, without materialising the concatenated buffer — this is
+/// what lets the packet codec checksum header and payload with zero scratch
+/// allocations.
+///
+/// ```
+/// use rapidware_packet::{crc32, crc32_finish, crc32_init, crc32_update};
+///
+/// let state = crc32_update(crc32_init(), b"1234");
+/// let state = crc32_update(state, b"56789");
+/// assert_eq!(crc32_finish(state), crc32(b"123456789"));
+/// ```
+#[inline]
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
     for &byte in data {
-        let index = ((crc ^ u32::from(byte)) & 0xFF) as usize;
-        crc = (crc >> 8) ^ TABLE[index];
+        let index = ((state ^ u32::from(byte)) & 0xFF) as usize;
+        state = (state >> 8) ^ TABLE[index];
     }
-    !crc
+    state
+}
+
+/// Finalises an incremental CRC-32 computation.
+#[inline]
+pub fn crc32_finish(state: u32) -> u32 {
+    !state
 }
 
 /// Lookup table for the reflected IEEE polynomial 0xEDB88320.

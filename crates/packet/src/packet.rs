@@ -2,9 +2,9 @@
 
 use std::fmt;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes};
 
-use crate::crc::crc32;
+use crate::crc::{crc32_finish, crc32_init, crc32_update};
 use crate::id::{BlockId, SeqNo, StreamId};
 use crate::kind::{FrameType, PacketKind};
 
@@ -209,7 +209,34 @@ impl Packet {
 
     /// Encodes the packet into its wire representation.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.wire_len());
+        let mut buf = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut buf);
+        Bytes::from(buf)
+    }
+
+    /// Encodes the packet into a caller-owned buffer, replacing its
+    /// contents.
+    ///
+    /// This is the batch-friendly encode path: a hot loop that serialises
+    /// packet after packet (the FEC encoder framing each source packet, the
+    /// decoder rebuilding shards) can reuse one scratch buffer instead of
+    /// allocating per packet.  The checksum is computed incrementally over
+    /// header and payload, so no concatenation scratch is needed either.
+    ///
+    /// ```
+    /// use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+    ///
+    /// let mut scratch = Vec::new();
+    /// for seq in 0..4u64 {
+    ///     let packet =
+    ///         Packet::new(StreamId::new(1), SeqNo::new(seq), PacketKind::AudioData, vec![7; 64]);
+    ///     packet.encode_into(&mut scratch);
+    ///     assert_eq!(Packet::decode(&scratch).unwrap(), packet);
+    /// }
+    /// ```
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(self.wire_len());
         buf.put_u32(self.header.stream.value());
         buf.put_u64(self.header.seq.value());
         buf.put_u64(self.header.timestamp_us);
@@ -232,14 +259,11 @@ impl Packet {
         buf.put_u64(block);
         buf.put_u32(self.payload.len() as u32);
         let crc = {
-            let mut scratch = Vec::with_capacity(buf.len() + self.payload.len());
-            scratch.extend_from_slice(&buf);
-            scratch.extend_from_slice(&self.payload);
-            crc32(&scratch)
+            let state = crc32_update(crc32_init(), buf);
+            crc32_finish(crc32_update(state, &self.payload))
         };
         buf.put_u32(crc);
         buf.extend_from_slice(&self.payload);
-        buf.freeze()
     }
 
     /// Decodes a packet from its wire representation.
@@ -252,7 +276,7 @@ impl Packet {
         if wire.len() < HEADER_LEN {
             return Err(DecodeError::Truncated);
         }
-        let mut cursor = &wire[..];
+        let mut cursor = wire;
         let stream = StreamId::new(cursor.get_u32());
         let seq = SeqNo::new(cursor.get_u64());
         let timestamp_us = cursor.get_u64();
@@ -268,10 +292,8 @@ impl Packet {
         }
         let payload = &wire[HEADER_LEN..HEADER_LEN + payload_len];
         let computed = {
-            let mut scratch = Vec::with_capacity(HEADER_LEN - 4 + payload_len);
-            scratch.extend_from_slice(&wire[..HEADER_LEN - 4]);
-            scratch.extend_from_slice(payload);
-            crc32(&scratch)
+            let state = crc32_update(crc32_init(), &wire[..HEADER_LEN - 4]);
+            crc32_finish(crc32_update(state, payload))
         };
         if computed != carried_crc {
             return Err(DecodeError::BadChecksum {
@@ -318,6 +340,7 @@ impl Packet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::crc::crc32;
 
     fn sample_kinds() -> Vec<PacketKind> {
         vec![

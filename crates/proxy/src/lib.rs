@@ -68,4 +68,4 @@ pub use control::{Command, ControlManager, Response};
 pub use error::ProxyError;
 pub use proxy::{Proxy, ProxyStatus, StreamStatus};
 pub use registry::{FilterRegistry, FilterSpec};
-pub use threaded::{ChainStats, ThreadedChain};
+pub use threaded::{ChainStats, ThreadedChain, DEFAULT_BATCH_SIZE};

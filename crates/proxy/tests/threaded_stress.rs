@@ -57,7 +57,7 @@ fn concurrent_splices_from_two_control_threads() {
     for controller in controllers {
         controller.join().unwrap();
     }
-    while chain.len() > 0 {
+    while !chain.is_empty() {
         chain.remove(0).unwrap();
     }
 

@@ -1,0 +1,308 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! Implements the subset of the criterion API this workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `iter`,
+//! `iter_batched`, throughput annotation) over a small wall-clock harness:
+//! each benchmark is calibrated to a target sample duration, several samples
+//! are taken, and the median time per iteration plus derived throughput are
+//! printed.  There are no statistical comparisons against saved baselines —
+//! run twice and compare by eye, or use the real criterion when network
+//! access to crates.io is available.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock duration of one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+
+/// Hard cap on samples per benchmark so `cargo bench` stays fast.
+const MAX_SAMPLES: usize = 20;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark routine processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortises setup cost; accepted for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Routine input is cheap to hold; one setup per measured iteration.
+    SmallInput,
+    /// Large input variant (treated identically by this harness).
+    LargeInput,
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id naming only the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// The top-level harness handle passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group(name);
+        group.bench_function("run", &mut routine);
+        group.finish();
+    }
+}
+
+/// A named group of benchmarks sharing sample-count and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples to take per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Declares how much data one iteration processes, enabling a
+    /// throughput column in the output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size.min(MAX_SAMPLES),
+        };
+        routine(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<Input: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &Input,
+        mut routine: impl FnMut(&mut Bencher, &Input),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size.min(MAX_SAMPLES),
+        };
+        routine(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Closes the group (purely cosmetic in this harness).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let mut per_iter: Vec<f64> = bencher.samples.clone();
+        if per_iter.is_empty() {
+            println!("{}/{}: no samples", self.name, id.label);
+            return;
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let mut line = format!(
+            "{}/{}: time [{} per iter, median of {}]",
+            self.name,
+            id.label,
+            format_ns(median),
+            per_iter.len()
+        );
+        if let Some(throughput) = self.throughput {
+            let per_second = match throughput {
+                Throughput::Bytes(bytes) => {
+                    format!("{} /s", format_bytes(bytes as f64 / (median * 1e-9)))
+                }
+                Throughput::Elements(elements) => {
+                    format!("{:.0} elem/s", elements as f64 / (median * 1e-9))
+                }
+            };
+            line.push_str(&format!(" thrpt [{per_second}]"));
+        }
+        println!("{line}");
+    }
+}
+
+fn format_ns(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn format_bytes(bytes_per_second: f64) -> String {
+    const MIB: f64 = 1024.0 * 1024.0;
+    if bytes_per_second >= MIB {
+        format!("{:.1} MiB", bytes_per_second / MIB)
+    } else {
+        format!("{:.1} KiB", bytes_per_second / 1024.0)
+    }
+}
+
+/// Times the benchmark routine; handed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`, timing repeated calls.
+    pub fn iter<Output>(&mut self, mut routine: impl FnMut() -> Output) {
+        // Calibrate: how many iterations fit in one sample window?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let iters_per_sample =
+            ((SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000)) as usize;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`, timing only the
+    /// routine.
+    pub fn iter_batched<Input, Output>(
+        &mut self,
+        mut setup: impl FnMut() -> Input,
+        mut routine: impl FnMut(Input) -> Output,
+        _size: BatchSize,
+    ) {
+        // Calibrate with one throwaway run.
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let iters_per_sample =
+            ((SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 100_000)) as usize;
+        for _ in 0..self.sample_size {
+            let mut busy = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                busy += start.elapsed();
+            }
+            self.samples
+                .push(busy.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+/// Declares a benchmark group function compatible with `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function(BenchmarkId::from_parameter("sum"), |b| {
+            b.iter(|| (0u64..64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 2), &2u64, |b, &two| {
+            b.iter_batched(|| vec![two; 32], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

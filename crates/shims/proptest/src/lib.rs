@@ -1,0 +1,432 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! Provides the subset the workspace's property tests use: the [`proptest!`]
+//! macro, `prop_assert*` macros, [`strategy::Strategy`] with `prop_map`,
+//! [`prelude::any`], range and tuple strategies, [`collection::vec`], and
+//! [`prop_oneof!`]/[`prelude::Just`].  Unlike the real crate there is no
+//! shrinking: a failing case fails the test with the standard assert
+//! message.  Case generation is deterministic per test name, so failures are
+//! reproducible.
+
+pub mod test_runner {
+    //! The deterministic random source driving case generation.
+
+    /// A deterministic xorshift-style generator seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator whose sequence depends only on `name`.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name, then mixed so similar names
+            // diverge immediately.
+            let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: hash | 1 }
+        }
+
+        /// Produces the next 64 random bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Per-test configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms every generated value with `map`.
+        fn prop_map<Output, Map>(self, map: Map) -> MapStrategy<Self, Map>
+        where
+            Self: Sized,
+            Map: Fn(Self::Value) -> Output,
+        {
+            MapStrategy {
+                inner: self,
+                map,
+            }
+        }
+
+        /// Type-erases this strategy (used by [`prop_oneof!`](crate::prop_oneof)).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<Value> = Box<dyn Strategy<Value = Value>>;
+
+    impl<Value> Strategy for BoxedStrategy<Value> {
+        type Value = Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct MapStrategy<Inner, Map> {
+        inner: Inner,
+        map: Map,
+    }
+
+    impl<Inner, Output, Map> Strategy for MapStrategy<Inner, Map>
+    where
+        Inner: Strategy,
+        Map: Fn(Inner::Value) -> Output,
+    {
+        type Value = Output;
+
+        fn sample(&self, rng: &mut TestRng) -> Output {
+            (self.map)(self.inner.sample(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<Value: Clone>(pub Value);
+
+    impl<Value: Clone> Strategy for Just<Value> {
+        type Value = Value;
+
+        fn sample(&self, _rng: &mut TestRng) -> Value {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between several boxed strategies (see
+    /// [`prop_oneof!`](crate::prop_oneof)).
+    pub struct UnionStrategy<Value> {
+        arms: Vec<BoxedStrategy<Value>>,
+    }
+
+    impl<Value> UnionStrategy<Value> {
+        /// Creates a union over `arms`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<Value>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<Value> Strategy for UnionStrategy<Value> {
+        type Value = Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Value {
+            let index = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[index].sample(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy (`any::<T>()`).
+    pub trait ArbitraryValue: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct AnyStrategy<Value>(PhantomData<Value>);
+
+    impl<Value: ArbitraryValue> Strategy for AnyStrategy<Value> {
+        type Value = Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Value {
+            Value::arbitrary(rng)
+        }
+    }
+
+    /// The strategy generating any value of type `Value`.
+    pub fn any<Value: ArbitraryValue>() -> AnyStrategy<Value> {
+        AnyStrategy(PhantomData)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end - start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    start + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// The number of elements a [`vec()`] strategy produces.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                min: exact,
+                max_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty vec size range");
+            Self {
+                min: range.start,
+                max_exclusive: range.end,
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<Element> {
+        element: Element,
+        size: SizeRange,
+    }
+
+    impl<Element: Strategy> Strategy for VecStrategy<Element> {
+        type Value = Vec<Element::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose length
+    /// is drawn from `size` (a `usize` for an exact length, or a range).
+    pub fn vec<Element: Strategy>(
+        element: Element,
+        size: impl Into<SizeRange>,
+    ) -> VecStrategy<Element> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::collection;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::ProptestConfig;
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body against `cases` random inputs.
+///
+/// Unlike the real proptest there is no shrinking; the first failing case
+/// fails the test directly with its assert message.
+#[macro_export]
+macro_rules! proptest {
+    (
+        @internal ($config:expr)
+        $(
+            $(#[doc = $doc:expr])*
+            #[test]
+            fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                let config = $config;
+                let mut proptest_rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _proptest_case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strategy), &mut proptest_rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@internal ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@internal ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::UnionStrategy::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges stay in bounds and tuples compose.
+        #[test]
+        fn ranges_and_tuples(value in 3usize..9, pair in (0u8..4, any::<bool>())) {
+            prop_assert!((3..9).contains(&value));
+            prop_assert!(pair.0 < 4);
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(items in collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&items.len()));
+        }
+
+        #[test]
+        fn oneof_and_map_cover_arms(choice in prop_oneof![
+            Just(0u8),
+            (1u8..3).prop_map(|v| v),
+        ]) {
+            prop_assert!(choice < 3);
+        }
+    }
+}

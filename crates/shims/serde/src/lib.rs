@@ -1,0 +1,8 @@
+//! Offline stand-in for [`serde`](https://docs.rs/serde).
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as intent
+//! markers on wire-facing types; nothing serialises through serde.  This
+//! shim re-exports no-op derive macros so those annotations compile without
+//! network access to crates.io.
+
+pub use serde_derive::{Deserialize, Serialize};

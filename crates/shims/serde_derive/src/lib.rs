@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`: the derive macros expand to nothing.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its wire-facing types
+//! to document intent, but never serialises through serde (the control
+//! protocol uses its own framing), so empty expansions are sufficient.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

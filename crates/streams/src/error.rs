@@ -18,8 +18,9 @@ pub enum SendError<T> {
     /// was dropped).  No further sends will ever succeed.
     Closed(T),
     /// The receiver this sender is attached to has been closed or dropped.
-    /// The sender itself is still usable after a [`reconnect`]
-    /// (crate::DetachableSender::reconnect) to a live receiver.
+    /// The sender itself is still usable after a
+    /// [`reconnect`](crate::DetachableSender::reconnect) to a live
+    /// receiver.
     ReceiverClosed(T),
 }
 

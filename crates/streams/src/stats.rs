@@ -50,6 +50,10 @@ impl PipeStats {
         self.inner.items.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_items(&self, count: u64) {
+        self.inner.items.fetch_add(count, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_pause(&self) {
         self.inner.pauses.fetch_add(1, Ordering::Relaxed);
     }

@@ -61,11 +61,8 @@ proptest! {
                     // single-threaded schedule we must drain first.
                     {
                         let rx = receivers.last().unwrap();
-                        loop {
-                            match rx.try_recv() {
-                                Ok(v) => collected.push(v),
-                                Err(_) => break,
-                            }
+                        while let Ok(v) = rx.try_recv() {
+                            collected.push(v);
                         }
                     }
                     tx.pause().unwrap();
@@ -80,11 +77,8 @@ proptest! {
         // since splices drain their predecessor).
         tx.close();
         for rx in &receivers {
-            loop {
-                match rx.try_recv() {
-                    Ok(v) => collected.push(v),
-                    Err(_) => break,
-                }
+            while let Ok(v) = rx.try_recv() {
+                collected.push(v);
             }
         }
 

@@ -58,7 +58,7 @@ fn repeated_splice_churn_preserves_the_stream() {
     }
     // Remove whatever is left so the payload reaches the output unscrambled
     // (scrambler/descrambler pairs may have been split by the churn).
-    while chain.len() > 0 {
+    while !chain.is_empty() {
         chain.remove(0).unwrap();
     }
 

@@ -1,0 +1,384 @@
+//! Declarative scenario descriptions.
+//!
+//! A [`ScenarioSpec`] says *what* to simulate — topology, loss regime,
+//! media workload, raplet set, batch size — without saying how; the
+//! [`ScenarioEngine`](super::ScenarioEngine) turns it into a closed-loop
+//! run.  The module ships the built-in scenario matrix the test harness and
+//! CI run at fixed seeds: steady WLAN, bursty Gilbert–Elliott, handoff
+//! cliff, multicast fan-out with one lossy receiver, congestion ramp, and a
+//! flapping link.
+
+use rapidware_media::AudioConfig;
+use rapidware_netsim::{
+    BernoulliLoss, DistanceLossModel, GilbertElliottLoss, LinearWalk, LossModel, PerfectLink,
+    ScheduledLoss, SimTime, WirelessLan,
+};
+
+/// The loss regime of one receiver's wireless channel over the whole run.
+///
+/// Regimes are *descriptions*: [`attach`](LossRegime::attach) instantiates
+/// the corresponding `netsim` machinery on a [`WirelessLan`], so the same
+/// spec can be re-run any number of times (and on any applier) with
+/// identical behaviour per seed.
+#[derive(Debug, Clone)]
+pub enum LossRegime {
+    /// No loss at all.
+    Perfect,
+    /// Independent per-packet loss at a fixed rate.
+    Bernoulli {
+        /// Per-packet loss probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Distance-dependent loss for a stationary receiver (the WaveLAN
+    /// calibration of the paper's testbed).
+    AtDistance {
+        /// Distance from the access point in meters.
+        meters: f64,
+    },
+    /// Two-state Markov burst loss.
+    GilbertElliott {
+        /// Probability of entering the bad state, per packet.
+        p_good_to_bad: f64,
+        /// Probability of leaving the bad state, per packet.
+        p_bad_to_good: f64,
+        /// Loss probability while in the good state.
+        loss_good: f64,
+        /// Loss probability while in the bad state.
+        loss_bad: f64,
+    },
+    /// A mobile receiver walking the given trace under distance loss.
+    Walking(LinearWalk),
+    /// Time-phased regime: each `(start, regime)` phase is in effect from
+    /// its start time until the next phase begins.  Phases may not nest
+    /// [`Walking`](LossRegime::Walking) (mobility is already a function of
+    /// time).
+    Phased(Vec<(SimTime, LossRegime)>),
+}
+
+impl LossRegime {
+    /// Builds the loss model for this regime.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`LossRegime::Walking`] (mobile receivers attach through
+    /// the LAN's mobility API, not through a bare loss model) — including a
+    /// `Walking` nested inside [`LossRegime::Phased`].
+    fn to_model(&self) -> Box<dyn LossModel> {
+        match self {
+            LossRegime::Perfect => Box::new(PerfectLink),
+            LossRegime::Bernoulli { rate } => Box::new(BernoulliLoss::new(*rate)),
+            LossRegime::AtDistance { meters } => {
+                let mut model = DistanceLossModel::wavelan_2mbps();
+                model.set_distance(*meters);
+                Box::new(model)
+            }
+            LossRegime::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => Box::new(GilbertElliottLoss::new(
+                *p_good_to_bad,
+                *p_bad_to_good,
+                *loss_good,
+                *loss_bad,
+            )),
+            LossRegime::Phased(phases) => Box::new(ScheduledLoss::new(
+                phases
+                    .iter()
+                    .map(|(start, regime)| (*start, regime.to_model()))
+                    .collect(),
+            )),
+            LossRegime::Walking(_) => {
+                panic!("walking receivers attach via mobility, not a bare loss model")
+            }
+        }
+    }
+
+    /// Attaches a receiver with this regime to `lan` under `name`.
+    pub fn attach(&self, lan: &mut WirelessLan, name: &str) {
+        match self {
+            LossRegime::Walking(walk) => {
+                lan.add_mobile_receiver(name, DistanceLossModel::wavelan_2mbps(), Box::new(*walk));
+            }
+            other => {
+                lan.add_receiver(name, other.to_model());
+            }
+        }
+    }
+}
+
+/// The raplet set installed into the adaptation engine for a run.
+#[derive(Debug, Clone)]
+pub struct RapletSet {
+    /// Loss-observer thresholds `(high, low)` as loss fractions.
+    pub loss_thresholds: (f64, f64),
+    /// Exponential smoothing factor of the loss observer, in `(0, 1]`.
+    pub smoothing: f64,
+    /// FEC parameters `(n, k)` installed on a moderate loss rise.
+    pub fec_moderate: (usize, usize),
+    /// FEC parameters `(n, k)` installed when loss is heavy.
+    pub fec_strong: (usize, usize),
+    /// Smoothed loss rate at which the strong tier is preferred.
+    pub strong_threshold: f64,
+}
+
+impl RapletSet {
+    /// The paper's configuration: insert FEC(6,4) above 2 % loss, upgrade
+    /// to FEC(8,4) above 10 %, remove below 0.5 %.
+    pub fn paper_default() -> Self {
+        Self {
+            loss_thresholds: (0.02, 0.005),
+            smoothing: 0.5,
+            fec_moderate: (6, 4),
+            fec_strong: (8, 4),
+            strong_threshold: 0.10,
+        }
+    }
+}
+
+/// A complete, declarative description of one closed-loop scenario.
+///
+/// Everything a run depends on is in the spec: the same spec and seed yield
+/// a byte-identical [`ScenarioTrace`](super::ScenarioTrace) on every run,
+/// on either applier.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in traces and reports).
+    pub name: String,
+    /// RNG seed for the network simulator.
+    pub seed: u64,
+    /// Number of source media packets to transmit.
+    pub packets: u64,
+    /// The media workload (packet sizes, rates, timestamps).
+    pub audio: AudioConfig,
+    /// One loss regime per receiver; receiver 0 is the monitored link that
+    /// feeds the adaptation engine.
+    pub receivers: Vec<LossRegime>,
+    /// The raplets driving adaptation.
+    pub raplets: RapletSet,
+    /// Width of the sampling window, in source packets.
+    pub sample_interval: u64,
+    /// Per-stage batch size used by the threaded applier (1 = per-packet).
+    pub batch_size: usize,
+    /// Whether this scenario's loss schedule should provoke at least one
+    /// FEC insertion (checked by the scenario-matrix harness).
+    pub expect_adaptation: bool,
+    /// Whether the link is clean again at the end of the run, so the chain
+    /// must have converged back to empty (no FEC installed).
+    pub expect_clean_finish: bool,
+}
+
+impl ScenarioSpec {
+    fn base(name: &str, packets: u64, receivers: Vec<LossRegime>) -> Self {
+        Self {
+            name: name.to_string(),
+            seed: 2001,
+            packets,
+            audio: AudioConfig::pcm_8khz_stereo_8bit(),
+            receivers,
+            raplets: RapletSet::paper_default(),
+            sample_interval: 50, // one second of audio per sample window
+            batch_size: 8,
+            expect_adaptation: true,
+            expect_clean_finish: true,
+        }
+    }
+
+    /// Steady WLAN: one stationary receiver close to the access point.
+    /// Loss stays far below the observer's threshold, so the control loop
+    /// must stay quiet — the no-false-positive baseline.
+    pub fn steady_wlan() -> Self {
+        Self {
+            expect_adaptation: false,
+            ..Self::base(
+                "steady-wlan",
+                1_500,
+                vec![LossRegime::AtDistance { meters: 10.0 }],
+            )
+        }
+    }
+
+    /// Bursty Gilbert–Elliott interference: a clean lead-in, a long bursty
+    /// middle, and a clean tail.  FEC must appear during the bursts and
+    /// disappear after they end.
+    pub fn bursty_gilbert_elliott() -> Self {
+        Self::base(
+            "bursty-gilbert-elliott",
+            2_500,
+            vec![LossRegime::Phased(vec![
+                (SimTime::ZERO, LossRegime::Perfect),
+                (
+                    SimTime::from_secs(8),
+                    LossRegime::GilbertElliott {
+                        p_good_to_bad: 0.05,
+                        p_bad_to_good: 0.20,
+                        loss_good: 0.001,
+                        loss_bad: 0.6,
+                    },
+                ),
+                (SimTime::from_secs(34), LossRegime::Perfect),
+            ])],
+        )
+    }
+
+    /// Handoff cliff: the link is perfect, collapses to 50 % loss during a
+    /// simulated access-point handoff, then is perfect again.  The spike is
+    /// heavy enough that the responder should go straight to its strong
+    /// FEC tier.
+    pub fn handoff_cliff() -> Self {
+        Self::base(
+            "handoff-cliff",
+            2_000,
+            vec![LossRegime::Phased(vec![
+                (SimTime::ZERO, LossRegime::Perfect),
+                (SimTime::from_secs(10), LossRegime::Bernoulli { rate: 0.5 }),
+                (SimTime::from_secs(18), LossRegime::Perfect),
+            ])],
+        )
+    }
+
+    /// Multicast fan-out with one lossy receiver: five receivers share the
+    /// stream; only the monitored one suffers a loss episode.  The sender
+    /// inserts FEC for the lossy receiver's sake while the clean receivers
+    /// simply absorb the parity overhead — the paper's multicast argument.
+    pub fn multicast_fanout_lossy_receiver() -> Self {
+        let mut receivers = vec![LossRegime::Phased(vec![
+            (SimTime::ZERO, LossRegime::Perfect),
+            (SimTime::from_secs(8), LossRegime::Bernoulli { rate: 0.12 }),
+            (SimTime::from_secs(26), LossRegime::Perfect),
+        ])];
+        receivers.extend((0..4).map(|_| LossRegime::AtDistance { meters: 8.0 }));
+        Self::base("multicast-fanout-lossy-receiver", 2_200, receivers)
+    }
+
+    /// Congestion ramp: loss climbs in steps, peaks, and subsides — the
+    /// adaptation should track it up (possibly upgrading the code) and back
+    /// down to an empty chain.
+    pub fn congestion_ramp() -> Self {
+        Self::base(
+            "congestion-ramp",
+            2_800,
+            vec![LossRegime::Phased(vec![
+                (SimTime::ZERO, LossRegime::Perfect),
+                (SimTime::from_secs(8), LossRegime::Bernoulli { rate: 0.04 }),
+                (SimTime::from_secs(16), LossRegime::Bernoulli { rate: 0.10 }),
+                (SimTime::from_secs(24), LossRegime::Bernoulli { rate: 0.18 }),
+                (SimTime::from_secs(32), LossRegime::Bernoulli { rate: 0.06 }),
+                (SimTime::from_secs(40), LossRegime::Perfect),
+            ])],
+        )
+    }
+
+    /// Flapping link: the channel alternates between clean and badly lossy
+    /// several times.  Hysteresis keeps the responses to one insert per bad
+    /// episode and one removal per recovery — the event-storm regression
+    /// scenario.
+    pub fn flapping_link() -> Self {
+        let mut phases = vec![(SimTime::ZERO, LossRegime::Perfect)];
+        for flap in 0..3u64 {
+            let start = 8 + flap * 12;
+            phases.push((SimTime::from_secs(start), LossRegime::Bernoulli { rate: 0.30 }));
+            phases.push((SimTime::from_secs(start + 5), LossRegime::Perfect));
+        }
+        Self::base("flapping-link", 2_600, vec![LossRegime::Phased(phases)])
+    }
+
+    /// The whole built-in scenario matrix, in a stable order.
+    pub fn builtin_matrix() -> Vec<Self> {
+        vec![
+            Self::steady_wlan(),
+            Self::bursty_gilbert_elliott(),
+            Self::handoff_cliff(),
+            Self::multicast_fanout_lossy_receiver(),
+            Self::congestion_ramp(),
+            Self::flapping_link(),
+        ]
+    }
+
+    /// Overrides the simulator seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the threaded applier's per-stage batch size.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Overrides the number of source packets.
+    #[must_use]
+    pub fn with_packets(mut self, packets: u64) -> Self {
+        self.packets = packets;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_matrix_is_complete_and_named() {
+        let matrix = ScenarioSpec::builtin_matrix();
+        assert_eq!(matrix.len(), 6);
+        let names: Vec<&str> = matrix.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "steady-wlan",
+                "bursty-gilbert-elliott",
+                "handoff-cliff",
+                "multicast-fanout-lossy-receiver",
+                "congestion-ramp",
+                "flapping-link",
+            ]
+        );
+        for spec in &matrix {
+            assert!(!spec.receivers.is_empty(), "{} has no receivers", spec.name);
+            assert!(spec.packets > 0);
+            assert!(spec.sample_interval > 0);
+        }
+    }
+
+    #[test]
+    fn regimes_attach_to_a_lan() {
+        let mut lan = WirelessLan::wavelan_2mbps(1);
+        LossRegime::Perfect.attach(&mut lan, "perfect");
+        LossRegime::Bernoulli { rate: 0.1 }.attach(&mut lan, "bernoulli");
+        LossRegime::AtDistance { meters: 25.0 }.attach(&mut lan, "stationary");
+        LossRegime::Walking(LinearWalk::office_to_conference_room()).attach(&mut lan, "walker");
+        LossRegime::Phased(vec![
+            (SimTime::ZERO, LossRegime::Perfect),
+            (SimTime::from_secs(5), LossRegime::Bernoulli { rate: 0.5 }),
+        ])
+        .attach(&mut lan, "phased");
+        assert_eq!(lan.receiver_count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "mobility")]
+    fn walking_inside_phases_is_rejected() {
+        let mut lan = WirelessLan::wavelan_2mbps(1);
+        LossRegime::Phased(vec![(
+            SimTime::ZERO,
+            LossRegime::Walking(LinearWalk::office_to_conference_room()),
+        )])
+        .attach(&mut lan, "bad");
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let spec = ScenarioSpec::steady_wlan()
+            .with_seed(99)
+            .with_batch_size(0)
+            .with_packets(10);
+        assert_eq!(spec.seed, 99);
+        assert_eq!(spec.batch_size, 1, "batch size is clamped to at least 1");
+        assert_eq!(spec.packets, 10);
+    }
+}

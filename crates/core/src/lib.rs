@@ -21,8 +21,10 @@
 //!
 //! The [`scenario`] module glues these together into reproducible end-to-end
 //! experiments (the audio-multicast-over-WaveLAN setup of the paper's
-//! Figure 7 and its ablations), and [`AdaptiveProxyBuilder`] assembles a
-//! live adaptive proxy in a few lines.
+//! Figure 7 and its ablations), the [`engine`] module closes the control
+//! loop — seeded link samples drive the raplets, whose actions reconfigure
+//! a running chain, with every step recorded in a replayable trace — and
+//! [`AdaptiveProxyBuilder`] assembles a live adaptive proxy in a few lines.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +54,7 @@ pub use rapidware_raplets as raplets;
 pub use rapidware_streams as streams;
 
 mod builder;
+pub mod engine;
 pub mod scenario;
 
 pub use builder::AdaptiveProxyBuilder;
@@ -59,6 +62,10 @@ pub use builder::AdaptiveProxyBuilder;
 /// The most commonly used types, re-exported for glob import.
 pub mod prelude {
     pub use crate::builder::AdaptiveProxyBuilder;
+    pub use crate::engine::{
+        ActionApplier, LossRegime, ScenarioEngine, ScenarioOutcome, ScenarioSpec, ScenarioTrace,
+        SyncChainApplier, ThreadedProxyApplier,
+    };
     pub use crate::scenario::{FecScenario, ReceiverReport, ScenarioConfig, ScenarioReport};
     pub use rapidware_fec::FecCodec;
     pub use rapidware_filters::{

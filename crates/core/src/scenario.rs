@@ -12,6 +12,7 @@
 
 use std::collections::HashSet;
 
+use crate::engine::apply_actions_to_chain;
 use rapidware_filters::{FecDecoderFilter, Filter, FilterChain};
 use rapidware_media::{AudioConfig, AudioSource, MediaSink, PlayoutReport};
 use rapidware_netsim::{
@@ -20,8 +21,7 @@ use rapidware_netsim::{
 use rapidware_packet::{LossEvent, Packet, ReceiptStats, SeqNo, StreamId};
 use rapidware_proxy::FilterRegistry;
 use rapidware_raplets::{
-    AdaptationAction, AdaptationEngine, AdaptationRecord, FecResponder, LinkSample,
-    LossRateObserver,
+    AdaptationEngine, AdaptationRecord, FecResponder, LinkSample, LossRateObserver,
 };
 
 /// Parameters of one [`FecScenario`] run.
@@ -502,54 +502,6 @@ impl FecScenario {
     }
 }
 
-/// Applies adaptation actions to a synchronous chain, returning any packets
-/// flushed out of removed filters (the caller must forward them).
-fn apply_actions_to_chain(
-    chain: &mut FilterChain,
-    registry: &FilterRegistry,
-    actions: &[AdaptationAction],
-) -> Vec<Packet> {
-    let mut flushed = Vec::new();
-    for action in actions {
-        match action {
-            AdaptationAction::Insert { position, spec } => {
-                let filter = registry
-                    .instantiate(spec)
-                    .expect("responder specs reference registered kinds");
-                let position = (*position).min(chain.len());
-                chain
-                    .insert(position, filter)
-                    .expect("position clamped to the chain length");
-            }
-            AdaptationAction::RemoveKind { kind } => {
-                if let Some(position) = position_of_kind(chain, kind) {
-                    let (_, residue) = chain.remove(position).expect("position from names()");
-                    flushed.extend(residue);
-                }
-            }
-            AdaptationAction::ReplaceKind { kind, spec } => {
-                let filter = registry
-                    .instantiate(spec)
-                    .expect("responder specs reference registered kinds");
-                match position_of_kind(chain, kind) {
-                    Some(position) => {
-                        let (_, residue) =
-                            chain.replace(position, filter).expect("position from names()");
-                        flushed.extend(residue);
-                    }
-                    None => chain
-                        .insert(0, filter)
-                        .expect("inserting at the head never fails"),
-                }
-            }
-        }
-    }
-    flushed
-}
-
-fn position_of_kind(chain: &FilterChain, kind: &str) -> Option<usize> {
-    chain.names().iter().position(|name| name.starts_with(kind))
-}
 
 #[cfg(test)]
 mod tests {

@@ -49,6 +49,7 @@ pub use event::{EventQueue, ScheduledEvent};
 pub use link::{LinkConfig, LinkKind, SimLink, TransmitOutcome};
 pub use loss::{
     BernoulliLoss, DistanceLossModel, GilbertElliottLoss, LossModel, PerfectLink,
+    ScheduledLoss,
 };
 pub use mobility::{LinearWalk, MobilityModel, StaticPosition, WaypointWalk};
 pub use multicast::{DeliveryRecord, ReceiverId, WirelessLan};

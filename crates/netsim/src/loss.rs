@@ -245,6 +245,65 @@ impl LossModel for DistanceLossModel {
     }
 }
 
+/// A loss model that switches between phases on a simulated-time schedule.
+///
+/// Each phase is an inner [`LossModel`] active from its start time until the
+/// next phase begins (the last phase runs forever).  This is how the scenario
+/// engine expresses time-varying link regimes — a loss spike, a congestion
+/// ramp, a flapping link — without coupling the link model to any particular
+/// workload: the schedule is part of the scenario description and the phase
+/// in effect is chosen purely by the packet's transmit time, so runs stay
+/// deterministic per RNG seed.
+#[derive(Debug)]
+pub struct ScheduledLoss {
+    /// `(start, model)` pairs, sorted by start time.
+    phases: Vec<(SimTime, Box<dyn LossModel>)>,
+    /// Phase used by the most recent transmission (for reporting).
+    current: usize,
+}
+
+impl ScheduledLoss {
+    /// Creates a schedule from `(start, model)` phases.  Phases are sorted
+    /// by start time; the first phase should start at [`SimTime::ZERO`]
+    /// (times before the first phase fall back to it anyway).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn new(mut phases: Vec<(SimTime, Box<dyn LossModel>)>) -> Self {
+        assert!(!phases.is_empty(), "loss schedule needs at least one phase");
+        phases.sort_by_key(|(start, _)| *start);
+        Self { phases, current: 0 }
+    }
+
+    /// Number of phases in the schedule.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Index of the phase in effect at `now`.
+    pub fn phase_at(&self, now: SimTime) -> usize {
+        // Last phase whose start time is not in the future; times before the
+        // first phase use phase 0.
+        self.phases
+            .iter()
+            .rposition(|(start, _)| *start <= now)
+            .unwrap_or(0)
+    }
+}
+
+impl LossModel for ScheduledLoss {
+    fn should_drop(&mut self, rng: &mut StdRng, now: SimTime, packet_len: usize) -> bool {
+        self.current = self.phase_at(now);
+        self.phases[self.current].1.should_drop(rng, now, packet_len)
+    }
+
+    fn nominal_loss_rate(&self) -> f64 {
+        // Reporting follows the phase the most recent transmission used.
+        self.phases[self.current].1.nominal_loss_rate()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +416,33 @@ mod tests {
         assert!((observed - expected).abs() < 0.004, "observed {observed}, expected {expected}");
         model.set_distance(-3.0);
         assert_eq!(model.distance(), 0.0);
+    }
+
+    #[test]
+    fn scheduled_loss_switches_phases_on_time() {
+        let mut model = ScheduledLoss::new(vec![
+            (SimTime::from_secs(10), Box::new(BernoulliLoss::new(1.0)) as Box<dyn LossModel>),
+            (SimTime::ZERO, Box::new(PerfectLink)),
+            (SimTime::from_secs(20), Box::new(PerfectLink)),
+        ]);
+        assert_eq!(model.phase_count(), 3);
+        // Phases are sorted by start time regardless of construction order.
+        assert_eq!(model.phase_at(SimTime::from_secs(5)), 0);
+        assert_eq!(model.phase_at(SimTime::from_secs(10)), 1);
+        assert_eq!(model.phase_at(SimTime::from_secs(50)), 2);
+        let mut r = rng(4);
+        assert!(!model.should_drop(&mut r, SimTime::from_secs(1), 100));
+        assert_eq!(model.nominal_loss_rate(), 0.0);
+        assert!(model.should_drop(&mut r, SimTime::from_secs(15), 100));
+        assert_eq!(model.nominal_loss_rate(), 1.0, "reporting follows the active phase");
+        assert!(!model.should_drop(&mut r, SimTime::from_secs(25), 100));
+        assert_eq!(model.nominal_loss_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_schedule_panics() {
+        let _ = ScheduledLoss::new(Vec::new());
     }
 
     #[test]

@@ -94,11 +94,38 @@ impl Proxy {
         &mut self,
         name: impl Into<String>,
     ) -> Result<(DetachableSender<Packet>, DetachableReceiver<Packet>), ProxyError> {
-        let name = name.into();
+        self.install_stream(name.into(), ThreadedChain::new()?)
+    }
+
+    /// Creates a new stream whose filter workers process packets in batches
+    /// of up to `batch_size` (see [`ThreadedChain::with_batch_size`]), with
+    /// inter-stage pipes buffering up to `capacity` packets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::Splice`] if a stream with this name already
+    /// exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `batch_size` is zero.
+    pub fn add_stream_batched(
+        &mut self,
+        name: impl Into<String>,
+        capacity: usize,
+        batch_size: usize,
+    ) -> Result<(DetachableSender<Packet>, DetachableReceiver<Packet>), ProxyError> {
+        self.install_stream(name.into(), ThreadedChain::with_batch_size(capacity, batch_size)?)
+    }
+
+    fn install_stream(
+        &mut self,
+        name: String,
+        chain: ThreadedChain,
+    ) -> Result<(DetachableSender<Packet>, DetachableReceiver<Packet>), ProxyError> {
         if self.streams.contains_key(&name) {
             return Err(ProxyError::Splice(format!("stream {name} already exists")));
         }
-        let chain = ThreadedChain::new()?;
         let input = chain.input();
         let output = chain.output();
         self.streams.insert(name, chain);

@@ -70,6 +70,10 @@ impl LossRateObserver {
     /// Creates an observer with explicit thresholds (loss fractions in
     /// `[0, 1]`).  `high_threshold` must be at least `low_threshold`.
     ///
+    /// Equal thresholds are allowed (no hysteresis band); even then a single
+    /// sample raises at most one event, an estimate exactly on the shared
+    /// threshold raises none, and rise/fall events strictly alternate.
+    ///
     /// # Panics
     ///
     /// Panics if the thresholds are out of range or inverted.
@@ -120,6 +124,37 @@ impl LossRateObserver {
     pub fn is_above(&self) -> bool {
         self.above
     }
+
+    /// Evaluates the (at most one) threshold crossing for the new smoothed
+    /// estimate and updates the lossy/clear state.
+    ///
+    /// The two crossings are mutually exclusive *by construction*: a rise is
+    /// only possible while the observer is in the clear state and a fall only
+    /// while it is in the lossy state, and whichever fires flips the state —
+    /// so one sample can never emit both `LossRoseAbove` and `LossFellBelow`.
+    /// This matters in the degenerate configuration `high == low`, where a
+    /// naive pair of independent comparisons would raise both events for any
+    /// estimate on the wrong side of the shared threshold and flood the
+    /// responders with a reconfiguration storm.  Comparisons are strict in
+    /// both directions, so an estimate sitting *exactly on* the shared
+    /// threshold raises nothing at all.
+    fn crossing(&mut self, smoothed: f64) -> Option<AdaptationEvent> {
+        if !self.above && smoothed > self.high_threshold {
+            self.above = true;
+            Some(AdaptationEvent::LossRoseAbove {
+                rate: smoothed,
+                threshold: self.high_threshold,
+            })
+        } else if self.above && smoothed < self.low_threshold {
+            self.above = false;
+            Some(AdaptationEvent::LossFellBelow {
+                rate: smoothed,
+                threshold: self.low_threshold,
+            })
+        } else {
+            None
+        }
+    }
 }
 
 impl Observer for LossRateObserver {
@@ -138,21 +173,7 @@ impl Observer for LossRateObserver {
         while self.window.len() > self.window_len {
             self.window.pop_front();
         }
-        let mut events = Vec::new();
-        if !self.above && smoothed > self.high_threshold {
-            self.above = true;
-            events.push(AdaptationEvent::LossRoseAbove {
-                rate: smoothed,
-                threshold: self.high_threshold,
-            });
-        } else if self.above && smoothed < self.low_threshold {
-            self.above = false;
-            events.push(AdaptationEvent::LossFellBelow {
-                rate: smoothed,
-                threshold: self.low_threshold,
-            });
-        }
-        events
+        self.crossing(smoothed).into_iter().collect()
     }
 }
 
@@ -192,7 +213,13 @@ impl Observer for ThroughputObserver {
     }
 
     fn sample(&mut self, sample: &LinkSample) -> Vec<AdaptationEvent> {
-        let Some(bits_per_second) = sample.bandwidth_bps else {
+        // Prefer an explicit link-capacity estimate; fall back to the
+        // throughput measured over the sample window.  Either source may be
+        // absent (a zero-duration window yields no rate at all), in which
+        // case the sample carries no throughput information and is skipped.
+        let Some(bits_per_second) =
+            sample.bandwidth_bps.or_else(|| sample.delivered_throughput_bps())
+        else {
             return Vec::new();
         };
         let mut events = Vec::new();
@@ -269,6 +296,53 @@ mod tests {
     }
 
     #[test]
+    fn equal_thresholds_emit_at_most_one_event_per_sample() {
+        // Degenerate hysteresis: high == low == 25% (0.25 is exactly
+        // representable, so "exactly on the threshold" is meaningful).  A
+        // sample must never yield both a rise and a fall, and a sample
+        // exactly on the shared threshold must yield nothing.
+        let mut observer = LossRateObserver::with_thresholds(0.25, 0.25).with_smoothing(1.0);
+        // Exactly on the threshold from the clear state: no event.
+        assert!(observer.sample(&sample(100, 75)).is_empty());
+        assert!(!observer.is_above());
+        // Above: exactly one rise.
+        let events = observer.sample(&sample(100, 50));
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], AdaptationEvent::LossRoseAbove { .. }));
+        // Exactly on the threshold from the lossy state: still no event.
+        assert!(observer.sample(&sample(100, 75)).is_empty());
+        assert!(observer.is_above());
+        // Below: exactly one fall.
+        let events = observer.sample(&sample(100, 100));
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], AdaptationEvent::LossFellBelow { .. }));
+    }
+
+    #[test]
+    fn equal_thresholds_alternate_under_oscillation() {
+        // An oscillating link with no hysteresis band thrashes as fast as
+        // the samples come in, but the events still strictly alternate —
+        // never two rises or two falls in a row, never two events at once.
+        let mut observer = LossRateObserver::with_thresholds(0.05, 0.05).with_smoothing(1.0);
+        let mut kinds = Vec::new();
+        for round in 0..20 {
+            let delivered = if round % 2 == 0 { 80 } else { 100 };
+            let events = observer.sample(&sample(100, delivered));
+            assert!(events.len() <= 1, "one sample, at most one event");
+            kinds.extend(events);
+        }
+        assert_eq!(kinds.len(), 20);
+        for pair in kinds.windows(2) {
+            let alternates = matches!(
+                (pair[0], pair[1]),
+                (AdaptationEvent::LossRoseAbove { .. }, AdaptationEvent::LossFellBelow { .. })
+                    | (AdaptationEvent::LossFellBelow { .. }, AdaptationEvent::LossRoseAbove { .. })
+            );
+            assert!(alternates, "events must strictly alternate: {pair:?}");
+        }
+    }
+
+    #[test]
     fn throughput_observer_hysteresis() {
         let mut observer = ThroughputObserver::new(1_000_000);
         // Samples without bandwidth are ignored.
@@ -287,6 +361,28 @@ mod tests {
             AdaptationEvent::ThroughputRecovered { .. }
         ));
         assert!(!observer.is_below());
+    }
+
+    #[test]
+    fn throughput_observer_falls_back_to_the_window_estimate() {
+        let mut observer = ThroughputObserver::new(1_000_000);
+        // 25_000 bytes over one second = 200_000 bps, well below the floor.
+        let starved = LinkSample::new(SimTime::from_secs(3), 100, 100)
+            .with_window(SimTime::from_secs(2), 25_000);
+        let events = observer.sample(&starved);
+        assert!(matches!(events[0], AdaptationEvent::ThroughputDropped { .. }));
+        // A zero-duration window carries no rate: the sample is skipped and
+        // the observer state is untouched (the zero-division guard at work).
+        let now = SimTime::from_secs(4);
+        let degenerate = LinkSample::new(now, 10, 10).with_window(now, 4_096);
+        assert!(observer.sample(&degenerate).is_empty());
+        assert!(observer.is_below());
+        // An explicit capacity estimate wins over the window measurement.
+        let recovered = LinkSample::new(SimTime::from_secs(5), 100, 100)
+            .with_window(SimTime::from_secs(4), 25_000)
+            .with_bandwidth(2_000_000);
+        let events = observer.sample(&recovered);
+        assert!(matches!(events[0], AdaptationEvent::ThroughputRecovered { .. }));
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub struct LinkSample {
     pub bandwidth_bps: Option<u64>,
     /// Distance from the access point in meters, if known.
     pub distance_m: Option<f64>,
+    /// When the observation window started, if the producer tracked it.
+    pub window_start: Option<SimTime>,
+    /// Payload bytes delivered during the window (0 when not tracked).
+    pub bytes_delivered: u64,
 }
 
 impl LinkSample {
@@ -31,6 +35,8 @@ impl LinkSample {
             delivered,
             bandwidth_bps: None,
             distance_m: None,
+            window_start: None,
+            bytes_delivered: 0,
         }
     }
 
@@ -46,6 +52,38 @@ impl LinkSample {
     pub fn with_distance(mut self, distance_m: f64) -> Self {
         self.distance_m = Some(distance_m);
         self
+    }
+
+    /// Attaches the observation window: when it started and how many payload
+    /// bytes were delivered during it.  Enables
+    /// [`delivered_throughput_bps`](Self::delivered_throughput_bps).
+    #[must_use]
+    pub fn with_window(mut self, start: SimTime, bytes_delivered: u64) -> Self {
+        self.window_start = Some(start);
+        self.bytes_delivered = bytes_delivered;
+        self
+    }
+
+    /// Duration of the observation window in microseconds (`None` when the
+    /// producer did not record the window start).
+    pub fn window_duration_us(&self) -> Option<u64> {
+        self.window_start.map(|start| self.time.micros_since(start))
+    }
+
+    /// Delivered throughput over the window, in bits per second.
+    ///
+    /// Returns `None` when no window was recorded **or the window contains
+    /// no elapsed simulated time** — a zero-duration window carries no rate
+    /// information, and dividing by it would poison every consumer downstream
+    /// (the throughput observers compare this estimate against a floor).
+    /// Callers therefore never see an infinity, a `NaN`, or a panic from
+    /// degenerate windows; they simply get no estimate.
+    pub fn delivered_throughput_bps(&self) -> Option<u64> {
+        let elapsed_us = self.window_duration_us()?;
+        if elapsed_us == 0 {
+            return None;
+        }
+        Some(self.bytes_delivered.saturating_mul(8).saturating_mul(1_000_000) / elapsed_us)
     }
 
     /// The observed loss rate in this window (0 when nothing was sent).
@@ -79,5 +117,40 @@ mod tests {
         assert_eq!(sample.bandwidth_bps, Some(2_000_000));
         assert_eq!(sample.distance_m, Some(25.0));
         assert_eq!(sample.time, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn throughput_is_estimated_over_the_window() {
+        // 25_000 bytes over a 1-second window = 200_000 bps.
+        let sample = LinkSample::new(SimTime::from_secs(3), 100, 100)
+            .with_window(SimTime::from_secs(2), 25_000);
+        assert_eq!(sample.window_duration_us(), Some(1_000_000));
+        assert_eq!(sample.delivered_throughput_bps(), Some(200_000));
+    }
+
+    #[test]
+    fn zero_duration_window_yields_no_throughput_estimate() {
+        // A window with no elapsed simulated time must not divide by zero:
+        // the estimate is simply absent.
+        let now = SimTime::from_secs(5);
+        let degenerate = LinkSample::new(now, 10, 10).with_window(now, 4_096);
+        assert_eq!(degenerate.window_duration_us(), Some(0));
+        assert_eq!(degenerate.delivered_throughput_bps(), None);
+        // A window that "ends" before it starts saturates to zero duration.
+        let inverted =
+            LinkSample::new(SimTime::from_secs(1), 10, 10).with_window(now, 4_096);
+        assert_eq!(inverted.window_duration_us(), Some(0));
+        assert_eq!(inverted.delivered_throughput_bps(), None);
+        // No window recorded at all: no estimate either.
+        assert_eq!(LinkSample::new(now, 10, 10).delivered_throughput_bps(), None);
+    }
+
+    #[test]
+    fn huge_byte_counts_do_not_overflow() {
+        let sample = LinkSample::new(SimTime::from_secs(1), 1, 1)
+            .with_window(SimTime::ZERO, u64::MAX / 4);
+        // Saturating arithmetic: an absurd byte count caps out instead of
+        // wrapping into a nonsense small number.
+        assert!(sample.delivered_throughput_bps().unwrap() > 0);
     }
 }

@@ -1,0 +1,125 @@
+//! Property tests for observer hysteresis.
+//!
+//! The closed control loop relies on one invariant above all others: for any
+//! sample sequence whatsoever, an observer's rise/fall events **strictly
+//! alternate** — a rise is only ever followed by a fall and vice versa, and
+//! no single sample produces more than one event.  If this breaks, a
+//! responder can receive two `Insert`s without an intervening `Remove` (or
+//! the reverse) and the proxy chain drifts out of sync with the raplet's
+//! idea of what is installed.
+
+use proptest::prelude::*;
+use rapidware_netsim::SimTime;
+use rapidware_raplets::{
+    AdaptationEvent, LinkSample, LossRateObserver, Observer, ThroughputObserver,
+};
+
+/// Classifies loss events as +1 (rise) / -1 (fall) for alternation checks.
+fn loss_polarity(event: &AdaptationEvent) -> Option<i8> {
+    match event {
+        AdaptationEvent::LossRoseAbove { .. } => Some(1),
+        AdaptationEvent::LossFellBelow { .. } => Some(-1),
+        _ => None,
+    }
+}
+
+/// Classifies throughput events as -1 (drop) / +1 (recovery).
+fn throughput_polarity(event: &AdaptationEvent) -> Option<i8> {
+    match event {
+        AdaptationEvent::ThroughputDropped { .. } => Some(-1),
+        AdaptationEvent::ThroughputRecovered { .. } => Some(1),
+        _ => None,
+    }
+}
+
+/// Asserts the alternation invariant over a polarity sequence: the first
+/// element (if any) is `first`, and consecutive elements always differ.
+fn assert_alternates(polarities: &[i8], first: i8, context: &str) {
+    if let Some(&head) = polarities.first() {
+        assert_eq!(head, first, "{context}: first event has the wrong polarity");
+    }
+    for pair in polarities.windows(2) {
+        assert_ne!(
+            pair[0], pair[1],
+            "{context}: two consecutive events with the same polarity"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any sample sequence yields strictly alternating rise/fall events,
+    /// at most one event per sample, starting with a rise — across normal,
+    /// tight, and fully degenerate (equal) threshold pairs and the whole
+    /// smoothing range.
+    #[test]
+    fn loss_events_strictly_alternate(
+        thresholds in prop_oneof![
+            Just((0.02, 0.005)),      // the paper's hysteresis band
+            Just((0.05, 0.05)),       // degenerate: no band at all
+            Just((0.10, 0.09)),       // nearly degenerate
+            Just((0.5, 0.1)),         // wide band
+        ],
+        smoothing_pct in 1u64..=100,
+        deliveries in proptest::collection::vec((1u64..400, 0u64..=400), 1..120),
+    ) {
+        let (high, low) = thresholds;
+        let mut observer =
+            LossRateObserver::with_thresholds(high, low).with_smoothing(smoothing_pct as f64 / 100.0);
+        let mut polarities = Vec::new();
+        for (step, (sent, delivered)) in deliveries.iter().enumerate() {
+            let sample = LinkSample::new(
+                SimTime::from_millis(step as u64 * 200),
+                *sent,
+                (*delivered).min(*sent),
+            );
+            let events = observer.sample(&sample);
+            prop_assert!(events.len() <= 1, "one sample raised {} events", events.len());
+            for event in &events {
+                let polarity = loss_polarity(event);
+                prop_assert!(polarity.is_some(), "loss observer raised a non-loss event");
+                polarities.extend(polarity);
+            }
+            // The observer's public state always matches the last event.
+            if let Some(&last) = polarities.last() {
+                prop_assert_eq!(observer.is_above(), last == 1);
+            }
+        }
+        assert_alternates(&polarities, 1, "loss observer");
+    }
+
+    /// The throughput observer obeys the same alternation law: drops and
+    /// recoveries strictly alternate, starting with a drop, regardless of
+    /// the bandwidth sequence (including samples with no bandwidth at all).
+    #[test]
+    fn throughput_events_strictly_alternate(
+        floor_kbps in 1u64..5_000,
+        bandwidths in proptest::collection::vec(0u64..10_000_000, 1..120),
+        gaps in proptest::collection::vec(any::<bool>(), 1..120),
+    ) {
+        let mut observer = ThroughputObserver::new(floor_kbps * 1_000);
+        let mut polarities = Vec::new();
+        for (step, bandwidth) in bandwidths.iter().enumerate() {
+            let mut sample = LinkSample::new(SimTime::from_millis(step as u64 * 200), 10, 10);
+            // Some windows carry no bandwidth estimate (e.g. a zero-duration
+            // window was guarded out); those must be ignored, not treated as
+            // zero throughput.
+            let has_estimate = gaps.get(step).copied().unwrap_or(true);
+            if has_estimate {
+                sample = sample.with_bandwidth(*bandwidth);
+            }
+            let events = observer.sample(&sample);
+            prop_assert!(events.len() <= 1);
+            if !has_estimate {
+                prop_assert!(events.is_empty(), "a sample without bandwidth raised an event");
+            }
+            for event in &events {
+                let polarity = throughput_polarity(event);
+                prop_assert!(polarity.is_some(), "throughput observer raised a non-throughput event");
+                polarities.extend(polarity);
+            }
+        }
+        assert_alternates(&polarities, -1, "throughput observer");
+    }
+}

@@ -26,7 +26,7 @@ use rapidware_streams::{DetachableReceiver, DetachableSender};
 
 /// Stream id reserved for quiescence markers so they can never collide with
 /// media traffic.
-fn marker_stream() -> StreamId {
+pub(super) fn marker_stream() -> StreamId {
     StreamId::new(u32::MAX)
 }
 

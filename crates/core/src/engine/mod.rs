@@ -42,12 +42,17 @@
 //! [`SimTime`]: rapidware_netsim::SimTime
 
 mod applier;
+mod fanout;
 mod report;
 mod spec;
 mod trace;
 
 pub use applier::{
     apply_actions_to_chain, ActionApplier, SyncChainApplier, ThreadedProxyApplier,
+};
+pub use fanout::{
+    FanoutApplier, FanoutEngine, FanoutOutcome, FanoutReport, FanoutSpec, LaneReport, LaneSpec,
+    SessionFanoutApplier, SyncFanoutApplier,
 };
 pub use report::{ReceiverOutcome, ScenarioReport, TimelineEntry};
 pub use spec::{LossRegime, RapletSet, ScenarioSpec};
@@ -393,38 +398,50 @@ fn broadcast(
                 counters.window_bytes_delivered += packet.payload_len() as u64;
             }
         }
-        // Route parity to the decoder of its own code; payload feeds every
-        // decoder (whichever has the block open uses it — duplicates are
-        // absorbed by the `emitted` set).
-        let parity_code = match packet.kind() {
-            rapidware_packet::PacketKind::Parity { k, n, .. } => {
-                Some((usize::from(n), usize::from(k)))
-            }
-            _ => None,
-        };
-        let mut emitted: Vec<Packet> = Vec::new();
-        for (code, decoder) in &mut state.decoders {
-            if parity_code.is_some_and(|parity| parity != *code) {
-                continue;
-            }
-            // Decode errors are tolerated, not dead code: when adaptation
-            // re-inserts FEC mid-stream, block boundaries shift, and a
-            // reconstruction attempted across the epoch boundary can fail
-            // shard-framing validation (`FecError::CorruptPayload`).  The
-            // packet still counts through `received`, and anything the
-            // decoder emitted before the failure is kept — a bad
-            // reconstruction can only surface as `lost`, never as a
-            // corrupted delivery.
-            let _ = decoder.process(packet.clone(), &mut emitted);
+        feed_decoders(packet, &mut state.decoders, &mut state.emitted, total_sources);
+    }
+}
+
+/// Feeds one delivered packet into a receiver's per-code FEC decoders and
+/// records any reconstructed source payloads in `emitted`.  Shared by the
+/// flat engine's broadcast path and the fanout engine's per-lane path so
+/// the two can never drift in how deliveries are routed.
+///
+/// Parity is routed to the decoder of its own code; payload feeds every
+/// decoder (whichever has the block open uses it — duplicates are absorbed
+/// by the `emitted` set).  Decode errors are tolerated, not dead code:
+/// when adaptation re-inserts FEC mid-stream, block boundaries shift, and
+/// a reconstruction attempted across the epoch boundary can fail
+/// shard-framing validation (`FecError::CorruptPayload`).  The packet
+/// still counts through the caller's `received` set, and anything the
+/// decoder emitted before the failure is kept — a bad reconstruction can
+/// only surface as `lost`, never as a corrupted delivery.
+fn feed_decoders(
+    packet: &Packet,
+    decoders: &mut [((usize, usize), FecDecoderFilter)],
+    emitted: &mut HashSet<u64>,
+    total_sources: u64,
+) {
+    let parity_code = match packet.kind() {
+        rapidware_packet::PacketKind::Parity { k, n, .. } => {
+            Some((usize::from(n), usize::from(k)))
         }
-        for out in emitted {
-            if !out.kind().is_payload() {
-                continue;
-            }
-            let seq = out.seq().value();
-            if seq < total_sources {
-                state.emitted.insert(seq);
-            }
+        _ => None,
+    };
+    let mut decoded: Vec<Packet> = Vec::new();
+    for (code, decoder) in decoders {
+        if parity_code.is_some_and(|parity| parity != *code) {
+            continue;
+        }
+        let _ = decoder.process(packet.clone(), &mut decoded);
+    }
+    for out in decoded {
+        if !out.kind().is_payload() {
+            continue;
+        }
+        let seq = out.seq().value();
+        if seq < total_sources {
+            emitted.insert(seq);
         }
     }
 }

@@ -110,6 +110,73 @@ pub enum TraceEvent {
         /// Filters still installed when the run ended.
         final_filters: Vec<String>,
     },
+    /// A link sample was taken on one receiver lane of a fanout run.
+    LaneSample {
+        /// Lane index in the fanout spec.
+        lane: usize,
+        /// End of the sample window.
+        time: SimTime,
+        /// Payload packets this lane put on the air during the window.
+        sent: u64,
+        /// Payload packets this lane's receiver got during the window.
+        delivered: u64,
+        /// The window's raw loss rate on this lane.
+        loss_rate: f64,
+    },
+    /// A lane's observer raised an adaptation event.
+    LaneObserved {
+        /// Lane index in the fanout spec.
+        lane: usize,
+        /// When the triggering sample was observed.
+        time: SimTime,
+        /// Canonical event rendering (see [`describe_event`]).
+        event: String,
+    },
+    /// An action was applied to one lane's tail chain.
+    LaneActionApplied {
+        /// Lane index in the fanout spec.
+        lane: usize,
+        /// When the action was applied.
+        time: SimTime,
+        /// Canonical action rendering (see [`describe_action`]).
+        action: String,
+    },
+    /// One lane's tail chain after applying a batch of actions.
+    LaneChainReconfigured {
+        /// Lane index in the fanout spec.
+        lane: usize,
+        /// When the reconfiguration completed.
+        time: SimTime,
+        /// Installed tail filter names, in stream order.
+        filters: Vec<String>,
+    },
+    /// Final accounting for one receiver lane of a fanout run.
+    LaneTotals {
+        /// Lane index in the fanout spec.
+        lane: usize,
+        /// Lane name (from the spec).
+        name: String,
+        /// Payload packets delivered directly over this lane's link.
+        delivered: u64,
+        /// Payload packets reconstructed by this lane's FEC decoders.
+        recovered: u64,
+        /// Payload packets neither delivered nor recovered on this lane.
+        lost: u64,
+        /// Payload packets the link delivered but the lane pipeline failed
+        /// to surface (must be zero in a healthy run).
+        undelivered: u64,
+        /// Parity packets this lane transmitted.
+        parity_sent: u64,
+        /// Tail filters still installed on this lane when the run ended.
+        final_filters: Vec<String>,
+    },
+    /// Run-level totals of a fanout run, recorded once at the end.
+    FanoutSummary {
+        /// Source payload packets generated upstream of the head chain.
+        source_packets: u64,
+        /// Filters installed on the shared head chain when the run ended.
+        head_filters: Vec<String>,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -144,6 +211,47 @@ impl fmt::Display for TraceEvent {
                 f,
                 "summary sources={source_packets} parity={parity_packets} final={}",
                 render_filters(final_filters)
+            ),
+            TraceEvent::LaneSample {
+                lane,
+                time,
+                sent,
+                delivered,
+                loss_rate,
+            } => write!(
+                f,
+                "[{time}] lane={lane} sample sent={sent} delivered={delivered} loss={loss_rate:.6}"
+            ),
+            TraceEvent::LaneObserved { lane, time, event } => {
+                write!(f, "[{time}] lane={lane} event {event}")
+            }
+            TraceEvent::LaneActionApplied { lane, time, action } => {
+                write!(f, "[{time}] lane={lane} action {action}")
+            }
+            TraceEvent::LaneChainReconfigured { lane, time, filters } => {
+                write!(f, "[{time}] lane={lane} chain {}", render_filters(filters))
+            }
+            TraceEvent::LaneTotals {
+                lane,
+                name,
+                delivered,
+                recovered,
+                lost,
+                undelivered,
+                parity_sent,
+                final_filters,
+            } => write!(
+                f,
+                "lane={lane} name={name} delivered={delivered} recovered={recovered} lost={lost} undelivered={undelivered} parity={parity_sent} final={}",
+                render_filters(final_filters)
+            ),
+            TraceEvent::FanoutSummary {
+                source_packets,
+                head_filters,
+            } => write!(
+                f,
+                "fanout-summary sources={source_packets} head={}",
+                render_filters(head_filters)
             ),
         }
     }

@@ -24,15 +24,16 @@ fn keystream_byte(key: u64, seq: u64, index: usize) -> u8 {
     (x & 0xFF) as u8
 }
 
-fn apply(key: u64, packet: &Packet) -> Packet {
+fn apply(key: u64, mut packet: Packet) -> Packet {
     let seq = packet.seq().value();
-    let transformed: Vec<u8> = packet
-        .payload()
-        .iter()
-        .enumerate()
-        .map(|(i, &b)| b ^ keystream_byte(key, seq, i))
-        .collect();
-    packet.with_payload(transformed)
+    // Copy-on-write rewrite: a uniquely owned payload is transformed in
+    // place with no allocation, while a payload shared with fan-out
+    // siblings (other receiver lanes of a Session) is copied first so the
+    // siblings keep the original bytes.
+    for (i, byte) in packet.payload_mut().iter_mut().enumerate() {
+        *byte ^= keystream_byte(key, seq, i);
+    }
+    packet
 }
 
 /// Scrambles payloads with a keyed XOR keystream.
@@ -85,7 +86,7 @@ impl Filter for ScramblerFilter {
             return Ok(());
         }
         self.packets += 1;
-        out.emit(apply(self.key, &packet));
+        out.emit(apply(self.key, packet));
         Ok(())
     }
 
@@ -109,7 +110,7 @@ impl Filter for DescramblerFilter {
             return Ok(());
         }
         self.packets += 1;
-        out.emit(apply(self.key, &packet));
+        out.emit(apply(self.key, packet));
         Ok(())
     }
 

@@ -16,6 +16,26 @@
 //!   filters can be inserted at the right points.
 //! * [`MediaSink`] — a measurement sink that tracks receipt, gaps, and
 //!   playout continuity at a receiver.
+//!
+//! ## Example
+//!
+//! ```
+//! use rapidware_media::{AudioConfig, AudioSource};
+//! use rapidware_packet::StreamId;
+//!
+//! // The paper's workload: 8 kHz stereo 8-bit PCM, packetised.
+//! let config = AudioConfig::pcm_8khz_stereo_8bit();
+//! let mut source = AudioSource::new(StreamId::new(1), config);
+//! let first = source.next_packet();
+//! let second = source.next_packet();
+//! assert_eq!(first.seq().value(), 0);
+//! assert_eq!(first.payload_len(), config.bytes_per_packet());
+//! // Timestamps advance by the packet interval: a live stream, not a file.
+//! assert_eq!(
+//!     second.timestamp_us() - first.timestamp_us(),
+//!     config.packet_interval_us(),
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

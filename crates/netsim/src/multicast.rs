@@ -86,6 +86,7 @@ pub struct WirelessLan {
     rng: StdRng,
     busy_until: SimTime,
     broadcasts: u64,
+    unicasts: u64,
 }
 
 impl WirelessLan {
@@ -97,6 +98,7 @@ impl WirelessLan {
             rng: StdRng::seed_from_u64(seed),
             busy_until: SimTime::ZERO,
             broadcasts: 0,
+            unicasts: 0,
         }
     }
 
@@ -174,6 +176,11 @@ impl WirelessLan {
         self.broadcasts
     }
 
+    /// Number of unicasts performed.
+    pub fn unicasts(&self) -> u64 {
+        self.unicasts
+    }
+
     /// Current distance of a receiver, if it is distance-modelled.
     pub fn receiver_distance(&self, id: ReceiverId, now: SimTime) -> Option<f64> {
         match &self.receivers[id.0].loss {
@@ -244,6 +251,57 @@ impl WirelessLan {
             });
         }
         records
+    }
+
+    /// Transmits a packet of `len` bytes at time `now` to **one** receiver,
+    /// returning its delivery record.
+    ///
+    /// This is the per-lane transmission of a fanout session: unlike
+    /// [`broadcast`](Self::broadcast), where every receiver hears the same
+    /// transmission, each receiver lane sends its *own* adapted stream (its
+    /// own FEC strength, rate, payload transform) to its own receiver.  The
+    /// medium is still shared — the transmission serialises on the same
+    /// radio and queues behind earlier transmissions — and the receiver's
+    /// loss model and jitter draw from the LAN's single seeded RNG, so runs
+    /// remain exactly reproducible as long as the call sequence is
+    /// deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this LAN.
+    pub fn unicast(&mut self, id: ReceiverId, now: SimTime, len: usize) -> DeliveryRecord {
+        self.unicasts += 1;
+        let start = if self.busy_until > now { self.busy_until } else { now };
+        let serialization = self.config.serialization_delay_us(len);
+        self.busy_until = start + serialization;
+        let ready = self.busy_until + self.config.base_latency_us;
+
+        let receiver = &mut self.receivers[id.0];
+        receiver.sent += 1;
+        let dropped = match &mut receiver.loss {
+            ReceiverLoss::Fixed(model) => model.should_drop(&mut self.rng, now, len),
+            ReceiverLoss::Mobile { loss, mobility } => {
+                loss.set_distance(mobility.distance_at(now));
+                loss.should_drop(&mut self.rng, now, len)
+            }
+        };
+        let outcome = if dropped {
+            TransmitOutcome::Lost
+        } else {
+            receiver.delivered += 1;
+            let jitter = if self.config.jitter_us == 0 {
+                0
+            } else {
+                self.rng.gen_range(0..=self.config.jitter_us)
+            };
+            TransmitOutcome::Delivered {
+                arrival: ready + jitter,
+            }
+        };
+        DeliveryRecord {
+            receiver: receiver.id,
+            outcome,
+        }
     }
 }
 
@@ -330,6 +388,43 @@ mod tests {
         }
         let rate = lan.receiver_delivery_rate(id);
         assert!(rate < 0.999 && rate > 0.5, "rate {rate}");
+    }
+
+    #[test]
+    fn unicast_reaches_only_its_receiver_and_shares_the_medium() {
+        let mut lan = WirelessLan::new(
+            LinkConfig {
+                jitter_us: 0,
+                ..LinkConfig::wavelan_2mbps()
+            },
+            5,
+        );
+        let a = lan.add_receiver("a", Box::new(PerfectLink));
+        let b = lan.add_receiver("b", Box::new(PerfectLink));
+        let first = lan.unicast(a, SimTime::ZERO, 500);
+        assert_eq!(first.receiver, a);
+        assert!(first.is_delivered());
+        // Only receiver a saw traffic.
+        assert_eq!(lan.receiver_delivery_rate(b), 1.0);
+        assert_eq!(lan.unicasts(), 1);
+        // The medium serialises: a back-to-back unicast to b queues behind
+        // the transmission to a.
+        let second = lan.unicast(b, SimTime::ZERO, 500);
+        let gap = second.outcome.arrival().unwrap() - first.outcome.arrival().unwrap();
+        assert_eq!(gap, 2_000);
+    }
+
+    #[test]
+    fn unicast_applies_the_receivers_own_loss_model() {
+        let mut lan = WirelessLan::wavelan_2mbps(9);
+        let lossy = lan.add_receiver("lossy", Box::new(BernoulliLoss::new(0.4)));
+        let clean = lan.add_receiver("clean", Box::new(PerfectLink));
+        for i in 0..5_000u64 {
+            lan.unicast(lossy, SimTime::from_micros(i * 2_000), 200);
+            lan.unicast(clean, SimTime::from_micros(i * 2_000), 200);
+        }
+        assert!((lan.receiver_delivery_rate(lossy) - 0.6).abs() < 0.05);
+        assert_eq!(lan.receiver_delivery_rate(clean), 1.0);
     }
 
     #[test]

@@ -175,6 +175,37 @@ impl Packet {
         self.payload.len()
     }
 
+    /// Mutable access to the payload with copy-on-write semantics.
+    ///
+    /// Packets cloned for a multicast fan-out share one `Arc`-backed payload
+    /// buffer; a filter that rewrites payload bytes on one receiver lane
+    /// calls this to get a private copy *only if* the buffer is shared.  A
+    /// packet that owns its payload exclusively is mutated in place with no
+    /// allocation, so per-lane transformations stay cheap on the common
+    /// single-consumer path.
+    ///
+    /// ```
+    /// use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+    ///
+    /// let original = Packet::new(StreamId::new(1), SeqNo::new(0), PacketKind::Data, vec![1, 2, 3]);
+    /// let mut lane_copy = original.clone(); // shares the payload buffer
+    /// lane_copy.payload_mut()[0] = 99;      // copy-on-write: original untouched
+    /// assert_eq!(original.payload(), &[1, 2, 3]);
+    /// assert_eq!(lane_copy.payload(), &[99, 2, 3]);
+    /// ```
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        self.payload.make_mut()
+    }
+
+    /// Returns `true` if this packet and `other` share the same backing
+    /// payload allocation (the zero-copy fan-out case).  Empty payloads
+    /// compare by allocation too, so this is a physical-sharing test, not a
+    /// content comparison.
+    pub fn shares_payload_with(&self, other: &Packet) -> bool {
+        std::ptr::eq(self.payload.as_ptr(), other.payload.as_ptr())
+            && self.payload.len() == other.payload.len()
+    }
+
     /// Total size on the wire: header plus payload.
     pub fn wire_len(&self) -> usize {
         HEADER_LEN + self.payload.len()
@@ -465,6 +496,23 @@ mod tests {
             packet.payload_bytes().as_ptr(),
             clone.payload_bytes().as_ptr()
         );
+    }
+
+    #[test]
+    fn payload_mut_is_copy_on_write() {
+        let original =
+            Packet::new(StreamId::new(1), SeqNo::new(0), PacketKind::Data, vec![1u8, 2, 3]);
+        let mut fanned = original.clone();
+        assert!(fanned.shares_payload_with(&original), "clone shares storage");
+        fanned.payload_mut()[1] = 42;
+        assert_eq!(original.payload(), &[1, 2, 3], "sibling unaffected by the write");
+        assert_eq!(fanned.payload(), &[1, 42, 3]);
+        assert!(!fanned.shares_payload_with(&original), "write forced a private copy");
+
+        // A uniquely owned payload mutates in place: no reallocation.
+        let before = fanned.payload().as_ptr();
+        fanned.payload_mut()[0] = 7;
+        assert_eq!(fanned.payload().as_ptr(), before);
     }
 
     #[test]

@@ -22,6 +22,28 @@
 //!   "Pocket Pavilion" component).
 //! * [`BrowsingWorkload`] — turns a session trace (leader loads URL, floor
 //!   changes hands, …) into the packet stream a proxy carries.
+//!
+//! ## Example
+//!
+//! ```
+//! use rapidware_pavilion::{CollaborativeSession, DeviceProfile};
+//!
+//! # fn main() -> Result<(), rapidware_pavilion::SessionError> {
+//! let mut session = CollaborativeSession::new("design-review");
+//! let leader = session.join("alice", DeviceProfile::workstation());
+//! let palmtop = session.join("bob", DeviceProfile::wireless_palmtop());
+//!
+//! // The first member leads; floor control hands leadership over.
+//! assert_eq!(session.leader(), Some(leader));
+//! session.request_floor(palmtop)?;
+//! session.release_floor(leader)?;
+//! assert_eq!(session.leader(), Some(palmtop));
+//!
+//! // Resource-limited participants get per-device proxies.
+//! assert_eq!(session.members_needing_proxies(), vec![palmtop]);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -183,6 +183,25 @@ impl fmt::Display for Response {
                         stream.stats.packets_out
                     )?;
                 }
+                for session in &status.sessions {
+                    write!(
+                        f,
+                        " session={}:head[{}]",
+                        session.name,
+                        session.head_filters.join(",")
+                    )?;
+                    for lane in &session.lanes {
+                        write!(
+                            f,
+                            " lane={}:[{}] delivered={} recovered={} queued={}",
+                            lane.name,
+                            lane.filters.join(","),
+                            lane.delivered,
+                            lane.recovered,
+                            lane.queue_depth
+                        )?;
+                    }
+                }
                 Ok(())
             }
         }

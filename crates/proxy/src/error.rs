@@ -21,6 +21,10 @@ pub enum ProxyError {
     },
     /// The named stream does not exist on this proxy.
     UnknownStream(String),
+    /// The named fanout session does not exist on this proxy.
+    UnknownSession(String),
+    /// The named receiver lane does not exist on this session.
+    UnknownLane(String),
     /// The filter kind named in a [`FilterSpec`](crate::FilterSpec) is not
     /// registered.
     UnknownFilterKind(String),
@@ -48,6 +52,8 @@ impl fmt::Display for ProxyError {
                 write!(f, "position {position} out of range for chain of length {len}")
             }
             ProxyError::UnknownStream(name) => write!(f, "unknown stream {name}"),
+            ProxyError::UnknownSession(name) => write!(f, "unknown session {name}"),
+            ProxyError::UnknownLane(name) => write!(f, "unknown receiver lane {name}"),
             ProxyError::UnknownFilterKind(kind) => write!(f, "unknown filter kind {kind}"),
             ProxyError::InvalidSpec { parameter, reason } => {
                 write!(f, "invalid filter spec parameter {parameter}: {reason}")

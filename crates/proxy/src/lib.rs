@@ -62,10 +62,12 @@ mod control;
 mod error;
 mod proxy;
 mod registry;
+mod session;
 mod threaded;
 
 pub use control::{Command, ControlManager, Response};
 pub use error::ProxyError;
 pub use proxy::{Proxy, ProxyStatus, StreamStatus};
 pub use registry::{FilterRegistry, FilterSpec};
+pub use session::{LaneStatus, Session, SessionStatus};
 pub use threaded::{ChainStats, ThreadedChain, DEFAULT_BATCH_SIZE};

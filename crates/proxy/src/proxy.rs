@@ -9,6 +9,7 @@ use rapidware_streams::{DetachableReceiver, DetachableSender};
 
 use crate::error::ProxyError;
 use crate::registry::{FilterRegistry, FilterSpec};
+use crate::session::{Session, SessionStatus};
 use crate::threaded::{ChainStats, ThreadedChain};
 
 /// A snapshot of one stream's configuration and statistics.
@@ -23,22 +24,33 @@ pub struct StreamStatus {
 }
 
 /// A snapshot of a whole proxy, as reported to the control manager.
+///
+/// Flat streams and fanout sessions are reported separately: a session is
+/// *not* flattened into the stream list — it appears once, with its shared
+/// head chain and a per-lane breakdown (delivered / recovered / queue
+/// depth per receiver lane; see [`LaneStatus`](crate::LaneStatus)), so the
+/// control manager can tell one fanout with eight receivers apart from
+/// eight unrelated streams.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProxyStatus {
     /// Proxy name.
     pub name: String,
     /// Per-stream snapshots, sorted by stream name.
     pub streams: Vec<StreamStatus>,
+    /// Per-session snapshots (head chain plus per-lane stats), sorted by
+    /// session name.
+    pub sessions: Vec<SessionStatus>,
     /// Filter kinds this proxy can instantiate.
     pub available_kinds: Vec<String>,
 }
 
-/// One RAPIDware proxy: a set of named streams, a filter registry, and the
-/// machinery to reconfigure any stream's chain at run time.
+/// One RAPIDware proxy: a set of named streams and fanout sessions, a
+/// filter registry, and the machinery to reconfigure any chain at run time.
 pub struct Proxy {
     name: String,
     registry: FilterRegistry,
     streams: BTreeMap<String, ThreadedChain>,
+    sessions: BTreeMap<String, Session>,
 }
 
 impl fmt::Debug for Proxy {
@@ -46,6 +58,7 @@ impl fmt::Debug for Proxy {
         f.debug_struct("Proxy")
             .field("name", &self.name)
             .field("streams", &self.stream_names())
+            .field("sessions", &self.session_names())
             .finish()
     }
 }
@@ -63,6 +76,7 @@ impl Proxy {
             name: name.into(),
             registry,
             streams: BTreeMap::new(),
+            sessions: BTreeMap::new(),
         }
     }
 
@@ -136,6 +150,53 @@ impl Proxy {
         self.streams
             .get(stream)
             .ok_or_else(|| ProxyError::UnknownStream(stream.to_string()))
+    }
+
+    /// Creates a fanout session through this proxy: one upstream input, a
+    /// shared head chain, and (initially zero) receiver lanes added through
+    /// [`Session::add_lane`].  Returns the session's input endpoint; use
+    /// [`session`](Self::session) to add lanes and per-lane filters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::Splice`] if a session with this name already
+    /// exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `batch_size` is zero (see
+    /// [`Session::with_config`]).
+    pub fn add_session(
+        &mut self,
+        name: impl Into<String>,
+        capacity: usize,
+        batch_size: usize,
+    ) -> Result<DetachableSender<Packet>, ProxyError> {
+        let name = name.into();
+        if self.sessions.contains_key(&name) {
+            return Err(ProxyError::Splice(format!("session {name} already exists")));
+        }
+        let session =
+            Session::with_config(name.clone(), self.registry.clone(), capacity, batch_size)?;
+        let input = session.input();
+        self.sessions.insert(name, session);
+        Ok(input)
+    }
+
+    /// The named fanout session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownSession`] for unknown sessions.
+    pub fn session(&self, name: &str) -> Result<&Session, ProxyError> {
+        self.sessions
+            .get(name)
+            .ok_or_else(|| ProxyError::UnknownSession(name.to_string()))
+    }
+
+    /// Names of the fanout sessions on this proxy.
+    pub fn session_names(&self) -> Vec<String> {
+        self.sessions.keys().cloned().collect()
     }
 
     /// Instantiates a filter from `spec` and splices it into `stream` at
@@ -236,6 +297,7 @@ impl Proxy {
                     stats: chain.stats(),
                 })
                 .collect(),
+            sessions: self.sessions.values().map(Session::status).collect(),
             available_kinds: self.registry.kinds(),
         }
     }
@@ -250,6 +312,11 @@ impl Proxy {
         let mut first_error = None;
         for (_, chain) in std::mem::take(&mut self.streams) {
             if let Err(err) = chain.shutdown() {
+                first_error.get_or_insert(err);
+            }
+        }
+        for (_, session) in std::mem::take(&mut self.sessions) {
+            if let Err(err) = session.shutdown() {
                 first_error.get_or_insert(err);
             }
         }
@@ -366,6 +433,39 @@ mod tests {
         assert_eq!(status.streams[0].name, "audio");
         assert!(status.streams[1].filters[0].starts_with("rate-limiter"));
         assert!(status.available_kinds.contains(&"fec-encoder".to_string()));
+        proxy.shutdown().unwrap();
+    }
+
+    #[test]
+    fn sessions_report_per_lane_status_instead_of_flattened_streams() {
+        let mut proxy = Proxy::new("edge");
+        proxy.add_stream("plain").unwrap();
+        let input = proxy.add_session("fanout", 64, 8).unwrap();
+        let wired = proxy.session("fanout").unwrap().add_lane("wired").unwrap();
+        let wlan = proxy.session("fanout").unwrap().add_lane("wlan").unwrap();
+        for seq in 0..4 {
+            input.send(packet(seq)).unwrap();
+        }
+        for _ in 0..4 {
+            wired.recv().unwrap();
+            wlan.recv().unwrap();
+        }
+        let status = proxy.status();
+        // The session is not flattened into the stream list.
+        assert_eq!(status.streams.len(), 1);
+        assert_eq!(status.streams[0].name, "plain");
+        assert_eq!(status.sessions.len(), 1);
+        let session = &status.sessions[0];
+        assert_eq!(session.name, "fanout");
+        let lane_names: Vec<&str> = session.lanes.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(lane_names, vec!["wired", "wlan"]);
+        for lane in &session.lanes {
+            assert_eq!(lane.delivered, 4);
+            assert_eq!(lane.queue_depth, 0);
+        }
+        // Duplicate and unknown session names are rejected.
+        assert!(proxy.add_session("fanout", 64, 8).is_err());
+        assert!(matches!(proxy.session("nope"), Err(ProxyError::UnknownSession(_))));
         proxy.shutdown().unwrap();
     }
 

@@ -1,0 +1,860 @@
+//! Fanout sessions: one upstream source, a shared head chain, and N
+//! independently adapted receiver lanes.
+//!
+//! The paper's proxy serves one media source to *heterogeneous* receivers:
+//! wired peers want the raw stream, while each wireless receiver wants its
+//! own adaptation (FEC strength, rate, transforms) matched to its link.  A
+//! [`Session`] is that unit of fanout:
+//!
+//! * one **head chain** ([`ThreadedChain`]) does the work every receiver
+//!   shares — transcoding, compression, tapping — exactly once per packet,
+//!   no matter how many receivers are attached;
+//! * a **fanout worker** clones each head-chain batch to every lane.  The
+//!   clone is zero-copy: packet payloads are `Arc`-backed, so fanning a
+//!   batch out to N lanes bumps N reference counts instead of copying
+//!   bytes.  A lane-local filter that *rewrites* payload bytes gets a
+//!   private copy on write ([`Packet::payload_mut`]), so lanes can never
+//!   observe each other's mutations;
+//! * each **receiver lane** ([`Session::add_lane`]) owns a tail
+//!   [`ThreadedChain`] of its own, live-reconfigurable through the same
+//!   splice protocol as any stream — this is where a per-receiver
+//!   adaptation loop inserts FEC for a lossy WLAN receiver while its wired
+//!   siblings pay nothing.
+//!
+//! The shape follows the session/link layering of messaging systems such as
+//! AMQP: one connection (the upstream source and head chain), many
+//! independently flow-controlled links (the lanes), each with its own
+//! endpoint and its own state.
+//!
+//! ```
+//! use rapidware_proxy::Session;
+//! use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+//!
+//! # fn main() -> Result<(), rapidware_proxy::ProxyError> {
+//! let session = Session::new("audio")?;
+//! let wired = session.add_lane("wired")?;
+//! let wlan = session.add_lane("wlan")?;
+//!
+//! let input = session.input();
+//! input.send(Packet::new(StreamId::new(1), SeqNo::new(0), PacketKind::AudioData, vec![7; 64]))
+//!     .expect("session accepts packets");
+//!
+//! // Both lanes receive the packet; the payloads share one allocation.
+//! let a = wired.recv().expect("wired lane delivers");
+//! let b = wlan.recv().expect("wlan lane delivers");
+//! assert!(a.shares_payload_with(&b), "fanout is zero-copy");
+//! session.shutdown()?;
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use rapidware_filters::{FecDecoderFilter, FecDecoderStats, Filter};
+use rapidware_packet::Packet;
+use rapidware_streams::{DetachableReceiver, DetachableSender};
+
+use crate::error::ProxyError;
+use crate::registry::{FilterRegistry, FilterSpec};
+use crate::threaded::{ChainStats, ThreadedChain, DEFAULT_BATCH_SIZE};
+
+/// Default per-pipe buffer capacity for session chains.
+const DEFAULT_SESSION_CAPACITY: usize = 128;
+
+/// A status snapshot of one receiver lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneStatus {
+    /// Lane name.
+    pub name: String,
+    /// Filters installed on this lane's tail chain, in stream order.
+    pub filters: Vec<String>,
+    /// Packets this lane has delivered to its receiver endpoint.
+    pub delivered: u64,
+    /// Source packets reconstructed by FEC decoders installed on this lane
+    /// through the session API (cumulative over the lane's lifetime, even
+    /// across decoder removal).
+    pub recovered: u64,
+    /// Packets buffered at the lane's delivery endpoint, waiting for the
+    /// receiver to read them.
+    pub queue_depth: usize,
+    /// Full tail-chain counters.
+    pub stats: ChainStats,
+}
+
+/// A status snapshot of a whole fanout session: the shared head chain plus
+/// one entry per receiver lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStatus {
+    /// Session name.
+    pub name: String,
+    /// Filters installed on the shared head chain, in stream order.
+    pub head_filters: Vec<String>,
+    /// Head-chain counters.
+    pub head_stats: ChainStats,
+    /// Per-lane snapshots, in lane-creation order.
+    pub lanes: Vec<LaneStatus>,
+}
+
+/// One receiver lane: a tail chain plus its endpoints and bookkeeping.
+struct ReceiverLane {
+    name: String,
+    chain: ThreadedChain,
+    output: DetachableReceiver<Packet>,
+    decoder_stats: Vec<Arc<FecDecoderStats>>,
+}
+
+impl fmt::Debug for ReceiverLane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReceiverLane").field("name", &self.name).finish()
+    }
+}
+
+struct SessionInner {
+    lanes: Vec<ReceiverLane>,
+    closed: bool,
+}
+
+/// The lane input senders the fanout worker writes into; shared so lanes
+/// can be added while the session is live (a late joiner sees the stream
+/// from its join point onward).
+type LaneInputs = Arc<Mutex<Vec<DetachableSender<Packet>>>>;
+
+/// One fanout session: a shared head chain feeding N receiver lanes, each
+/// with its own live-reconfigurable tail chain and delivery endpoint.
+pub struct Session {
+    name: String,
+    registry: FilterRegistry,
+    head: ThreadedChain,
+    inner: Mutex<SessionInner>,
+    lane_inputs: LaneInputs,
+    fanout: Mutex<Option<JoinHandle<()>>>,
+    capacity: usize,
+    batch_size: usize,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("name", &self.name)
+            .field("lanes", &self.lane_names())
+            .finish()
+    }
+}
+
+impl Session {
+    /// Creates a session with the built-in filter registry and default
+    /// capacity/batch size.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for parity with the chain
+    /// constructors it wraps.
+    pub fn new(name: impl Into<String>) -> Result<Self, ProxyError> {
+        Self::with_config(
+            name,
+            FilterRegistry::with_builtins(),
+            DEFAULT_SESSION_CAPACITY,
+            DEFAULT_BATCH_SIZE,
+        )
+    }
+
+    /// Creates a session with an explicit registry, per-pipe `capacity`,
+    /// and per-stage `batch_size` (both the head chain and every lane tail
+    /// chain use these).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (see [`new`](Self::new)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `batch_size` is zero.
+    pub fn with_config(
+        name: impl Into<String>,
+        registry: FilterRegistry,
+        capacity: usize,
+        batch_size: usize,
+    ) -> Result<Self, ProxyError> {
+        let head = ThreadedChain::with_batch_size(capacity, batch_size)?;
+        let lane_inputs: LaneInputs = Arc::new(Mutex::new(Vec::new()));
+        let fanout = spawn_fanout(head.output(), Arc::clone(&lane_inputs), batch_size);
+        Ok(Self {
+            name: name.into(),
+            registry,
+            head,
+            inner: Mutex::new(SessionInner {
+                lanes: Vec::new(),
+                closed: false,
+            }),
+            lane_inputs,
+            fanout: Mutex::new(Some(fanout)),
+            capacity,
+            batch_size,
+        })
+    }
+
+    /// Session name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The endpoint the upstream source writes into (feeds the head chain).
+    pub fn input(&self) -> DetachableSender<Packet> {
+        self.head.input()
+    }
+
+    /// Names of the lanes, in creation order.
+    pub fn lane_names(&self) -> Vec<String> {
+        self.inner.lock().lanes.iter().map(|l| l.name.clone()).collect()
+    }
+
+    /// Number of receiver lanes.
+    pub fn lane_count(&self) -> usize {
+        self.inner.lock().lanes.len()
+    }
+
+    /// Adds a receiver lane and returns its delivery endpoint.
+    ///
+    /// The lane starts as a null proxy (empty tail chain).  Packets that
+    /// passed the fanout point before the lane existed are not replayed: a
+    /// lane added mid-stream sees the stream from its join point onward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::Splice`] if a lane with this name already
+    /// exists or [`ProxyError::ChainClosed`] after shutdown.
+    pub fn add_lane(
+        &self,
+        name: impl Into<String>,
+    ) -> Result<DetachableReceiver<Packet>, ProxyError> {
+        let name = name.into();
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(ProxyError::ChainClosed);
+        }
+        if inner.lanes.iter().any(|l| l.name == name) {
+            return Err(ProxyError::Splice(format!("lane {name} already exists")));
+        }
+        let chain = ThreadedChain::with_batch_size(self.capacity, self.batch_size)?;
+        let output = chain.output();
+        // Publish the lane input to the fanout worker only once the lane is
+        // fully constructed; the worker starts feeding it on its next batch.
+        self.lane_inputs.lock().push(chain.input());
+        inner.lanes.push(ReceiverLane {
+            name,
+            chain,
+            output: output.clone(),
+            decoder_stats: Vec::new(),
+        });
+        Ok(output)
+    }
+
+    /// A (new) handle on a lane's delivery endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownLane`] for unknown lanes.
+    pub fn lane_output(&self, lane: &str) -> Result<DetachableReceiver<Packet>, ProxyError> {
+        let inner = self.inner.lock();
+        let lane = find_lane(&inner.lanes, lane)?;
+        Ok(lane.output.clone())
+    }
+
+    /// Instantiates a filter from `spec` and splices it into the shared
+    /// head chain at `position`.
+    ///
+    /// # Errors
+    ///
+    /// Returns registry, spec-validation, or splice errors.
+    pub fn insert_head_filter(&self, position: usize, spec: &FilterSpec) -> Result<(), ProxyError> {
+        let filter = self.registry.instantiate(spec)?;
+        self.head.insert(position, filter)
+    }
+
+    /// Removes and returns the head-chain filter at `position`.
+    ///
+    /// # Errors
+    ///
+    /// Returns position or splice errors.
+    pub fn remove_head_filter(&self, position: usize) -> Result<Box<dyn Filter>, ProxyError> {
+        self.head.remove(position)
+    }
+
+    /// Names of the filters installed on the head chain.
+    pub fn head_filter_names(&self) -> Vec<String> {
+        self.head.names()
+    }
+
+    /// Instantiates a filter from `spec` and splices it into `lane`'s tail
+    /// chain at `position` — the per-receiver adaptation path: only this
+    /// lane's traffic flows through the new filter.
+    ///
+    /// The built-in `fec-decoder` kind is constructed directly (after the
+    /// registry has validated that the kind is registered) so the lane can
+    /// keep the decoder's stats handle — the per-lane `recovered` counts in
+    /// [`LaneStatus`] come from here.  A registry that does not register
+    /// `fec-decoder` sees the usual [`ProxyError::UnknownFilterKind`];
+    /// a registry that overrides the kind with a custom filter keeps its
+    /// override, without per-lane recovered stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownLane`], registry, spec-validation, or
+    /// splice errors.
+    pub fn insert_lane_filter(
+        &self,
+        lane: &str,
+        position: usize,
+        spec: &FilterSpec,
+    ) -> Result<(), ProxyError> {
+        let registry_filter = self.registry.instantiate(spec)?;
+        let decoder_code = (spec.kind == "fec-decoder")
+            .then(|| parse_decoder_code(registry_filter.name()))
+            .flatten();
+        let (filter, decoder_stats) = match decoder_code {
+            // The (n, k) come from the registry-built filter's own name, so
+            // the registry stays the single source of truth for parameter
+            // handling; the direct construction only exists to capture the
+            // stats handle the boxed trait object cannot expose.
+            Some((n, k)) => {
+                let decoder = FecDecoderFilter::new(n, k).map_err(ProxyError::Filter)?;
+                let stats = decoder.stats();
+                (Box::new(decoder) as Box<dyn Filter>, Some(stats))
+            }
+            None => (registry_filter, None),
+        };
+        let mut inner = self.inner.lock();
+        let lane = find_lane_mut(&mut inner.lanes, lane)?;
+        lane.chain.insert(position, filter)?;
+        if let Some(stats) = decoder_stats {
+            lane.decoder_stats.push(stats);
+        }
+        Ok(())
+    }
+
+    /// Removes and returns the filter at `position` on `lane`'s tail chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownLane`], position, or splice errors.
+    pub fn remove_lane_filter(
+        &self,
+        lane: &str,
+        position: usize,
+    ) -> Result<Box<dyn Filter>, ProxyError> {
+        let inner = self.inner.lock();
+        find_lane(&inner.lanes, lane)?.chain.remove(position)
+    }
+
+    /// Names of the filters installed on `lane`'s tail chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownLane`] for unknown lanes.
+    pub fn lane_filter_names(&self, lane: &str) -> Result<Vec<String>, ProxyError> {
+        let inner = self.inner.lock();
+        Ok(find_lane(&inner.lanes, lane)?.chain.names())
+    }
+
+    /// A full status snapshot: head-chain state plus per-lane delivery,
+    /// recovery, and queue-depth counters.
+    pub fn status(&self) -> SessionStatus {
+        let inner = self.inner.lock();
+        SessionStatus {
+            name: self.name.clone(),
+            head_filters: self.head.names(),
+            head_stats: self.head.stats(),
+            lanes: inner
+                .lanes
+                .iter()
+                .map(|lane| {
+                    let stats = lane.chain.stats();
+                    LaneStatus {
+                        name: lane.name.clone(),
+                        filters: lane.chain.names(),
+                        delivered: stats.packets_out,
+                        recovered: lane.decoder_stats.iter().map(|s| s.recovered()).sum(),
+                        queue_depth: lane.output.available(),
+                        stats,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Closes the session input: once in-flight packets drain through the
+    /// head chain and every lane, each lane's endpoint observes end of
+    /// stream.
+    pub fn close_input(&self) {
+        self.head.close_input();
+    }
+
+    /// Shuts the session down: closes the input, joins the fanout worker,
+    /// and shuts down the head chain and every lane chain.
+    ///
+    /// Undrained lanes do not block shutdown: any packets still buffered at
+    /// abandoned lane endpoints are discarded while the pipeline winds
+    /// down (the fanout worker could otherwise sit in a back-pressured
+    /// send against a full lane forever).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first worker failure encountered (shutdown continues for
+    /// the remaining chains regardless).
+    pub fn shutdown(&self) -> Result<(), ProxyError> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Ok(());
+        }
+        inner.closed = true;
+        self.head.close_input();
+        // Close every lane endpoint first: the fanout worker (or a lane
+        // stage worker) may be parked in a back-pressured send against an
+        // abandoned lane, and a closed receiver fails that send
+        // immediately instead of blocking the joins below forever.
+        for lane in &inner.lanes {
+            lane.output.close();
+        }
+        // The fanout worker now runs to head EOF (sends to closed lanes
+        // drop their batches) and exits after closing every lane input.
+        if let Some(handle) = self.fanout.lock().take() {
+            if handle.join().is_err() {
+                return Err(ProxyError::WorkerFailed(format!("fanout worker of {}", self.name)));
+            }
+        }
+        let mut first_error = self.head.shutdown().err();
+        for lane in inner.lanes.drain(..) {
+            if let Err(err) = lane.chain.shutdown() {
+                first_error.get_or_insert(err);
+            }
+        }
+        match first_error {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+/// Parses `(n, k)` out of the built-in decoder's display name
+/// (`fec-decoder(n,k)`); returns `None` for a registry override whose
+/// product does not follow the built-in naming convention (such a filter is
+/// installed as-is, without per-lane recovered stats).
+fn parse_decoder_code(name: &str) -> Option<(usize, usize)> {
+    let inner = name.strip_prefix("fec-decoder(")?.strip_suffix(')')?;
+    let (n, k) = inner.split_once(',')?;
+    Some((n.trim().parse().ok()?, k.trim().parse().ok()?))
+}
+
+fn find_lane<'a>(lanes: &'a [ReceiverLane], name: &str) -> Result<&'a ReceiverLane, ProxyError> {
+    lanes
+        .iter()
+        .find(|l| l.name == name)
+        .ok_or_else(|| ProxyError::UnknownLane(name.to_string()))
+}
+
+fn find_lane_mut<'a>(
+    lanes: &'a mut [ReceiverLane],
+    name: &str,
+) -> Result<&'a mut ReceiverLane, ProxyError> {
+    lanes
+        .iter_mut()
+        .find(|l| l.name == name)
+        .ok_or_else(|| ProxyError::UnknownLane(name.to_string()))
+}
+
+/// Spawns the fanout worker: drains head-chain output in batches and clones
+/// each batch to every lane input.  Cloning a packet shares its `Arc`-backed
+/// payload, so the fanout cost per lane is a refcount bump per packet, not a
+/// byte copy.
+fn spawn_fanout(
+    head_out: DetachableReceiver<Packet>,
+    lanes: LaneInputs,
+    batch_size: usize,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("rapidware-fanout".to_string())
+        .spawn(move || loop {
+            match head_out.recv_up_to(batch_size.max(1)) {
+                Ok(batch) => {
+                    // Snapshot the lane list and send OUTSIDE the lock: a
+                    // send may block on a full lane pipe, and holding the
+                    // lock across it would wedge add_lane (and through it
+                    // the whole session, shutdown included) behind one
+                    // stalled consumer.  Sender handles are cheap clones.
+                    let snapshot: Vec<DetachableSender<Packet>> = lanes.lock().clone();
+                    // Clone to all but the last lane; move into the last
+                    // (the common single-lane case forwards without any
+                    // clone at all).  With no lanes yet the batch is
+                    // dropped, matching the "a lane sees the stream from
+                    // its join point onward" contract.
+                    let mut dead: Vec<usize> = Vec::new();
+                    if let Some((last, rest)) = snapshot.split_last() {
+                        for (index, lane) in rest.iter().enumerate() {
+                            if lane.send_batch(batch.clone()).is_err() {
+                                dead.push(index);
+                            }
+                        }
+                        if last.send_batch(batch).is_err() {
+                            dead.push(snapshot.len() - 1);
+                        }
+                    }
+                    // A failed send means the lane's receiver went away;
+                    // prune it so departed receivers stop costing a clone
+                    // per batch.  Indices are stable: only this worker
+                    // removes entries, everyone else appends.
+                    if !dead.is_empty() {
+                        let mut lanes = lanes.lock();
+                        for &index in dead.iter().rev() {
+                            if index < lanes.len() {
+                                lanes.remove(index);
+                            }
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Head EOF (input closed) or chain shutdown: propagate
+                    // end of stream to every lane and exit.
+                    for lane in lanes.lock().iter() {
+                        lane.close();
+                    }
+                    break;
+                }
+            }
+        })
+        .expect("spawning the fanout worker thread never fails")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidware_packet::{PacketKind, SeqNo, StreamId};
+
+    fn packet(seq: u64) -> Packet {
+        Packet::new(StreamId::new(1), SeqNo::new(seq), PacketKind::AudioData, vec![seq as u8; 64])
+    }
+
+    fn collect_all(rx: &DetachableReceiver<Packet>) -> Vec<Packet> {
+        let mut out = Vec::new();
+        while let Ok(p) = rx.recv() {
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn fanout_delivers_every_packet_to_every_lane_in_order() {
+        let session = Session::new("s").unwrap();
+        let lanes: Vec<_> = (0..4).map(|i| session.add_lane(format!("lane-{i}")).unwrap()).collect();
+        let input = session.input();
+        // Stay under the per-lane pipe capacity so the sequential drain
+        // below cannot deadlock against fanout backpressure (lanes are
+        // normally drained concurrently; see the stress test).
+        for seq in 0..100u64 {
+            input.send(packet(seq)).unwrap();
+        }
+        session.close_input();
+        for lane in &lanes {
+            let received = collect_all(lane);
+            assert_eq!(received.len(), 100);
+            for (i, p) in received.iter().enumerate() {
+                assert_eq!(p.seq().value(), i as u64);
+            }
+        }
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn concurrent_lane_drains_sustain_heavy_fanout() {
+        let session = Session::new("stress").unwrap();
+        let consumers: Vec<_> = (0..4)
+            .map(|i| {
+                let rx = session.add_lane(format!("lane-{i}")).unwrap();
+                std::thread::spawn(move || collect_all(&rx))
+            })
+            .collect();
+        let input = session.input();
+        for seq in 0..5_000u64 {
+            input.send(packet(seq)).unwrap();
+        }
+        session.close_input();
+        for consumer in consumers {
+            let received = consumer.join().unwrap();
+            assert_eq!(received.len(), 5_000);
+            for (i, p) in received.iter().enumerate() {
+                assert_eq!(p.seq().value(), i as u64, "order preserved under backpressure");
+            }
+        }
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn fanout_is_zero_copy_across_lanes() {
+        let session = Session::new("s").unwrap();
+        let a = session.add_lane("a").unwrap();
+        let b = session.add_lane("b").unwrap();
+        session.input().send(packet(0)).unwrap();
+        let from_a = a.recv().unwrap();
+        let from_b = b.recv().unwrap();
+        assert!(from_a.shares_payload_with(&from_b));
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn lane_filters_only_affect_their_own_lane() {
+        let session = Session::new("s").unwrap();
+        let plain = session.add_lane("plain").unwrap();
+        let scrambled = session.add_lane("scrambled").unwrap();
+        session
+            .insert_lane_filter("scrambled", 0, &FilterSpec::new("scrambler").with_param("key", "7"))
+            .unwrap();
+        assert_eq!(session.lane_filter_names("plain").unwrap(), Vec::<String>::new());
+        assert_eq!(session.lane_filter_names("scrambled").unwrap().len(), 1);
+
+        let input = session.input();
+        for seq in 0..32u64 {
+            input.send(packet(seq)).unwrap();
+        }
+        session.close_input();
+        let plain_out = collect_all(&plain);
+        let scrambled_out = collect_all(&scrambled);
+        assert_eq!(plain_out.len(), 32);
+        assert_eq!(scrambled_out.len(), 32);
+        for (p, s) in plain_out.iter().zip(&scrambled_out) {
+            // The scrambler's copy-on-write rewrite never leaks into the
+            // sibling lane.
+            assert_eq!(p.payload(), packet(p.seq().value()).payload());
+            assert_ne!(s.payload(), p.payload());
+        }
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn head_filters_run_once_for_all_lanes() {
+        let session = Session::new("s").unwrap();
+        let a = session.add_lane("a").unwrap();
+        let b = session.add_lane("b").unwrap();
+        session
+            .insert_head_filter(0, &FilterSpec::new("tap").with_param("name", "head-tap"))
+            .unwrap();
+        assert_eq!(session.head_filter_names(), vec!["head-tap"]);
+        let input = session.input();
+        for seq in 0..16u64 {
+            input.send(packet(seq)).unwrap();
+        }
+        // Head filters splice out live, like on any stream.
+        let removed = session.remove_head_filter(0).unwrap();
+        assert_eq!(removed.name(), "head-tap");
+        session.close_input();
+        assert_eq!(collect_all(&a).len(), 16);
+        assert_eq!(collect_all(&b).len(), 16);
+        // The head chain accepted each packet exactly once despite two lanes.
+        let status = session.status();
+        assert_eq!(status.head_stats.packets_in, 16);
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn status_reports_per_lane_delivery_and_queue_depth() {
+        let session = Session::new("status").unwrap();
+        let fast = session.add_lane("fast").unwrap();
+        let _slow = session.add_lane("slow").unwrap();
+        let input = session.input();
+        for seq in 0..8u64 {
+            input.send(packet(seq)).unwrap();
+        }
+        // Drain only the fast lane; the slow lane's queue builds up.
+        for _ in 0..8 {
+            fast.recv().unwrap();
+        }
+        // Wait (bounded) for the fanout worker to finish pushing into the
+        // slow lane, then snapshot.
+        let mut waited = 0;
+        let status = loop {
+            let status = session.status();
+            if status.lanes[1].queue_depth == 8 || waited > 400 {
+                break status;
+            }
+            waited += 1;
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        assert_eq!(status.name, "status");
+        assert_eq!(status.lanes.len(), 2);
+        let fast_status = &status.lanes[0];
+        let slow_status = &status.lanes[1];
+        assert_eq!(fast_status.name, "fast");
+        assert_eq!(fast_status.delivered, 8);
+        assert_eq!(fast_status.queue_depth, 0);
+        assert_eq!(slow_status.delivered, 8, "all packets arrived at the slow lane endpoint");
+        assert_eq!(slow_status.queue_depth, 8, "nothing consumed: the backlog is visible");
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn lane_fec_decoder_reports_recovered_packets() {
+        let session = Session::new("fec").unwrap();
+        let lane = session.add_lane("lossy").unwrap();
+        // Encode on the lane, drop every 5th packet, decode again — the
+        // decoder's reconstructions surface in the lane status.
+        session
+            .insert_lane_filter("lossy", 0, &FilterSpec::new("fec-encoder"))
+            .unwrap();
+        session
+            .insert_lane_filter("lossy", 1, &FilterSpec::new("drop-every").with_param("n", "5"))
+            .unwrap();
+        session
+            .insert_lane_filter("lossy", 2, &FilterSpec::new("fec-decoder"))
+            .unwrap();
+        let input = session.input();
+        for seq in 0..400u64 {
+            input.send(packet(seq)).unwrap();
+        }
+        session.close_input();
+        let received = collect_all(&lane);
+        assert!(received.len() >= 395, "near-complete recovery, got {}", received.len());
+        let status = session.status();
+        assert!(status.lanes[0].recovered > 0, "decoder stats wired into the lane status");
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn unknown_lanes_are_reported() {
+        let session = Session::new("s").unwrap();
+        assert!(matches!(
+            session.lane_filter_names("nope"),
+            Err(ProxyError::UnknownLane(_))
+        ));
+        assert!(matches!(
+            session.insert_lane_filter("nope", 0, &FilterSpec::new("null")),
+            Err(ProxyError::UnknownLane(_))
+        ));
+        assert!(matches!(session.lane_output("nope"), Err(ProxyError::UnknownLane(_))));
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn duplicate_lane_names_are_rejected_and_shutdown_is_idempotent() {
+        let session = Session::new("s").unwrap();
+        session.add_lane("a").unwrap();
+        assert!(session.add_lane("a").is_err());
+        session.shutdown().unwrap();
+        session.shutdown().unwrap();
+        assert!(matches!(session.add_lane("b"), Err(ProxyError::ChainClosed)));
+    }
+
+    #[test]
+    fn shutdown_with_undrained_lanes_does_not_deadlock() {
+        // More packets than the lane pipes can hold, never drained: the
+        // fanout worker is parked in a back-pressured send when shutdown
+        // begins, and shutdown must still complete by discarding the
+        // backlog.
+        let session = Session::with_config("abandoned", FilterRegistry::with_builtins(), 16, 4)
+            .unwrap();
+        let _never_drained = session.add_lane("a").unwrap();
+        let _also_never_drained = session.add_lane("b").unwrap();
+        // A lane with a filter too, so the stage-worker flush path is
+        // exercised as well.
+        session
+            .insert_lane_filter("b", 0, &FilterSpec::new("fec-encoder"))
+            .unwrap();
+        // Produce from a separate thread: with nobody draining the lanes,
+        // the session back-pressures all the way to this sender, which
+        // must not wedge the test (it stops once shutdown closes the
+        // input).
+        let input = session.input();
+        let producer = std::thread::spawn(move || {
+            for seq in 0..300u64 {
+                if input.send(packet(seq)).is_err() {
+                    break;
+                }
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = std::sync::Arc::clone(&done);
+        let shutter = std::thread::spawn(move || {
+            session.shutdown().unwrap();
+            flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+        for _ in 0..1_000 {
+            if done.load(std::sync::atomic::Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(
+            done.load(std::sync::atomic::Ordering::SeqCst),
+            "shutdown hung on an undrained lane"
+        );
+        shutter.join().unwrap();
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn add_lane_while_worker_is_backpressured_does_not_deadlock() {
+        // One stalled consumer must not wedge the control surface: while
+        // the fanout worker is parked in a send against lane a's full
+        // pipe, add_lane (which touches the same lane list) has to
+        // complete.
+        let session =
+            Session::with_config("bp", FilterRegistry::with_builtins(), 8, 2).unwrap();
+        let stalled = session.add_lane("a").unwrap();
+        let input = session.input();
+        let producer = std::thread::spawn(move || {
+            for seq in 0..100u64 {
+                if input.send(packet(seq)).is_err() {
+                    break;
+                }
+            }
+        });
+        // Give the worker time to fill lane a's pipe and park.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let added = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                session.add_lane("late").unwrap();
+                added.store(true, std::sync::atomic::Ordering::SeqCst);
+            });
+            for _ in 0..500 {
+                if added.load(std::sync::atomic::Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            assert!(
+                added.load(std::sync::atomic::Ordering::SeqCst),
+                "add_lane deadlocked behind a stalled lane consumer"
+            );
+            // Unblock the worker so the scope's spawned thread (already
+            // done) and the producer can wind down.
+            stalled.close();
+        });
+        session.shutdown().unwrap();
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn lane_added_mid_stream_sees_only_later_packets() {
+        let session = Session::new("s").unwrap();
+        let first = session.add_lane("first").unwrap();
+        let input = session.input();
+        input.send(packet(0)).unwrap();
+        // Wait until the packet has fanned out, so the join point is after it.
+        assert_eq!(first.recv().unwrap().seq().value(), 0);
+        let late = session.add_lane("late").unwrap();
+        input.send(packet(1)).unwrap();
+        session.close_input();
+        let late_seqs: Vec<u64> = collect_all(&late).iter().map(|p| p.seq().value()).collect();
+        assert_eq!(late_seqs, vec![1]);
+        session.shutdown().unwrap();
+    }
+}

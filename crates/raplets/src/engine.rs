@@ -3,7 +3,7 @@
 use std::fmt;
 
 use rapidware_netsim::SimTime;
-use rapidware_proxy::{Proxy, ProxyError};
+use rapidware_proxy::{Proxy, ProxyError, Session};
 
 use crate::observer::{AdaptationEvent, Observer};
 use crate::responder::{AdaptationAction, Responder};
@@ -113,38 +113,75 @@ pub fn apply_to_proxy(
     stream: &str,
     actions: &[AdaptationAction],
 ) -> Result<(), ProxyError> {
+    apply_to_chain_surface(
+        actions,
+        |position, spec| proxy.insert_filter(stream, position, spec),
+        |position| proxy.remove_filter(stream, position).map(|_| ()),
+        || proxy.filter_names(stream),
+    )
+}
+
+/// Applies adaptation actions to one receiver lane of a live fanout
+/// [`Session`] — the per-receiver flavour of [`apply_to_proxy`].
+///
+/// Each lane runs its own observer/responder loop ([`AdaptationEngine`]
+/// instances are cheap, so a fanout session simply owns one per adaptive
+/// lane), and the actions that loop emits land only on that lane's tail
+/// chain: inserting FEC for a lossy WLAN receiver leaves its wired siblings
+/// untouched.
+///
+/// # Errors
+///
+/// Propagates the first proxy error encountered; earlier actions stay
+/// applied.
+pub fn apply_to_session(
+    session: &Session,
+    lane: &str,
+    actions: &[AdaptationAction],
+) -> Result<(), ProxyError> {
+    apply_to_chain_surface(
+        actions,
+        |position, spec| session.insert_lane_filter(lane, position, spec),
+        |position| session.remove_lane_filter(lane, position).map(|_| ()),
+        || session.lane_filter_names(lane),
+    )
+}
+
+/// The shared action-dispatch logic behind [`apply_to_proxy`] and
+/// [`apply_to_session`]: insert at a position, remove/replace by kind
+/// prefix, with a replace of a missing kind falling back to an insert at
+/// the head.  Keeping one implementation guarantees proxy streams and
+/// session lanes can never drift in how they interpret actions.
+fn apply_to_chain_surface(
+    actions: &[AdaptationAction],
+    insert: impl Fn(usize, &rapidware_proxy::FilterSpec) -> Result<(), ProxyError>,
+    remove: impl Fn(usize) -> Result<(), ProxyError>,
+    names: impl Fn() -> Result<Vec<String>, ProxyError>,
+) -> Result<(), ProxyError> {
+    let position_of_kind = |kind: &str| -> Result<Option<usize>, ProxyError> {
+        Ok(names()?.iter().position(|name| name.starts_with(kind)))
+    };
     for action in actions {
         match action {
             AdaptationAction::Insert { position, spec } => {
-                proxy.insert_filter(stream, *position, spec)?;
+                insert(*position, spec)?;
             }
             AdaptationAction::RemoveKind { kind } => {
-                if let Some(position) = position_of_kind(proxy, stream, kind)? {
-                    proxy.remove_filter(stream, position)?;
+                if let Some(position) = position_of_kind(kind)? {
+                    remove(position)?;
                 }
             }
             AdaptationAction::ReplaceKind { kind, spec } => {
-                if let Some(position) = position_of_kind(proxy, stream, kind)? {
-                    proxy.remove_filter(stream, position)?;
-                    proxy.insert_filter(stream, position, spec)?;
+                if let Some(position) = position_of_kind(kind)? {
+                    remove(position)?;
+                    insert(position, spec)?;
                 } else {
-                    proxy.insert_filter(stream, 0, spec)?;
+                    insert(0, spec)?;
                 }
             }
         }
     }
     Ok(())
-}
-
-fn position_of_kind(
-    proxy: &Proxy,
-    stream: &str,
-    kind: &str,
-) -> Result<Option<usize>, ProxyError> {
-    Ok(proxy
-        .filter_names(stream)?
-        .iter()
-        .position(|name| name.starts_with(kind)))
 }
 
 #[cfg(test)]

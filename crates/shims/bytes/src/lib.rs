@@ -54,6 +54,27 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.data.to_vec()
     }
+
+    /// Returns `true` if this handle is the only one referencing the
+    /// backing allocation (so [`make_mut`](Self::make_mut) will not copy).
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
+    }
+
+    /// Mutable access with copy-on-write semantics.
+    ///
+    /// If this handle is the sole owner of the backing allocation the
+    /// contents are mutated in place; otherwise the bytes are copied into a
+    /// fresh allocation first, so every other clone keeps observing the
+    /// original contents.  This is what lets a multicast fan-out share one
+    /// payload across N receiver lanes and still allow any single lane to
+    /// rewrite its copy safely.
+    pub fn make_mut(&mut self) -> &mut [u8] {
+        if Arc::strong_count(&self.data) != 1 {
+            self.data = Arc::from(&self.data[..]);
+        }
+        Arc::get_mut(&mut self.data).expect("unique after copy-on-write")
+    }
 }
 
 impl Deref for Bytes {
@@ -274,6 +295,23 @@ mod tests {
         let b = a.clone();
         assert_eq!(a.as_ptr(), b.as_ptr());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn make_mut_copies_only_when_shared() {
+        let mut a = Bytes::from(vec![1u8, 2, 3]);
+        assert!(a.is_unique());
+        let original_ptr = a.as_ptr();
+        a.make_mut()[0] = 9;
+        assert_eq!(a.as_ptr(), original_ptr, "unique buffer mutated in place");
+
+        let b = a.clone();
+        assert!(!a.is_unique());
+        a.make_mut()[1] = 7;
+        assert_eq!(&a[..], &[9, 7, 3], "writer sees its mutation");
+        assert_eq!(&b[..], &[9, 2, 3], "other clone keeps the original bytes");
+        assert_ne!(a.as_ptr(), b.as_ptr(), "shared buffer was copied on write");
+        assert!(a.is_unique() && b.is_unique());
     }
 
     #[test]

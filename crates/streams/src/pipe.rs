@@ -336,16 +336,31 @@ impl<T> DetachableSender<T> {
     ) -> Result<(), SendError<Vec<T>>> {
         let mut iter = items.into_iter();
         let mut delivered = 0u64;
+        let mut recorded = 0u64;
         let mut pending: Option<T> = None;
         let mut r = sink.inner.lock();
+        // Stats are recorded while the receiver lock is still held (before
+        // every point that releases it, including the back-pressure wait):
+        // a consumer that popped one of these items must acquire the same
+        // lock afterwards, so an item a consumer has received is always
+        // already counted.
+        macro_rules! record_delivered {
+            () => {
+                if delivered > recorded {
+                    sink.stats.record_items(delivered - recorded);
+                    self.shared.stats.record_items(delivered - recorded);
+                    #[allow(unused_assignments)]
+                    {
+                        recorded = delivered;
+                    }
+                }
+            };
+        }
         loop {
             if r.closed {
                 let rest: Vec<T> = pending.into_iter().chain(iter).collect();
+                record_delivered!();
                 drop(r);
-                if delivered > 0 {
-                    sink.stats.record_items(delivered);
-                    self.shared.stats.record_items(delivered);
-                }
                 return Err(SendError::ReceiverClosed(rest));
             }
             while r.queue.len() < r.capacity {
@@ -355,26 +370,26 @@ impl<T> DetachableSender<T> {
                         delivered += 1;
                     }
                     None => {
+                        record_delivered!();
                         drop(r);
                         sink.not_empty.notify_one();
-                        sink.stats.record_items(delivered);
-                        self.shared.stats.record_items(delivered);
                         return Ok(());
                     }
                 }
             }
             match pending.take().or_else(|| iter.next()) {
                 None => {
+                    record_delivered!();
                     drop(r);
                     sink.not_empty.notify_one();
-                    sink.stats.record_items(delivered);
-                    self.shared.stats.record_items(delivered);
                     return Ok(());
                 }
                 Some(item) => {
                     // Buffer full with items left: wake the consumer and
-                    // wait for space.
+                    // wait for space (the wait releases the lock, so the
+                    // items pushed so far are counted first).
                     pending = Some(item);
+                    record_delivered!();
                     sink.not_empty.notify_one();
                     self.shared.stats.record_blocked_send();
                     sink.not_full.wait(&mut r);
@@ -396,10 +411,12 @@ impl<T> DetachableSender<T> {
             sink.not_full.wait(&mut r);
         }
         r.queue.push_back(item);
-        drop(r);
-        sink.not_empty.notify_one();
+        // Counted before the lock is released: an item a consumer has
+        // received is always already visible in the stats.
         sink.stats.record_item();
         self.shared.stats.record_item();
+        drop(r);
+        sink.not_empty.notify_one();
         Ok(())
     }
 

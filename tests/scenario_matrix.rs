@@ -18,7 +18,7 @@
 //! shared with the `scenario_matrix` bench binary so this harness and the
 //! CI report job can never drift apart.
 
-use rapidware::engine::{ScenarioEngine, ScenarioSpec, MATRIX_SEEDS};
+use rapidware::engine::{FanoutEngine, FanoutSpec, ScenarioEngine, ScenarioSpec, MATRIX_SEEDS};
 
 #[test]
 fn every_builtin_scenario_closes_the_loop_on_both_appliers_at_both_seeds() {
@@ -80,6 +80,52 @@ fn different_seeds_change_the_trace_but_not_the_guarantees() {
     for outcome in [a, b] {
         assert_eq!(outcome.report.undelivered_total(), 0);
         assert!(outcome.report.fec_inserted_then_removed());
+    }
+}
+
+#[test]
+fn every_fanout_scenario_closes_its_per_lane_loops_on_both_appliers_at_both_seeds() {
+    for seed in MATRIX_SEEDS {
+        for spec in FanoutSpec::fanout_matrix() {
+            let spec = spec.with_seed(seed);
+            let engine = FanoutEngine::new(spec.clone());
+            let outcome = engine.run_sync();
+            let context = format!("{} @ seed {seed}", spec.name);
+
+            // Per-lane health: full accounting, zero undelivered, FEC
+            // cycles only on the lanes whose loss schedule demands them,
+            // no parity on quiet lanes, convergence, trace replay.
+            let problems = outcome.health_problems(&spec);
+            assert!(problems.is_empty(), "{context}: {problems:?}");
+
+            // The live session applier — shared head chain, fanout worker,
+            // one tail chain per lane, reconfigured lane by lane through
+            // the splice protocol — must agree with the sync run byte for
+            // byte.
+            let session = engine.run_session();
+            assert_eq!(
+                outcome.trace.canonical_text(),
+                session.trace.canonical_text(),
+                "{context}: sync and session appliers diverge"
+            );
+            assert_eq!(outcome.report, session.report, "{context}: reports differ");
+        }
+    }
+}
+
+#[test]
+fn fanout_traces_are_byte_identical_per_spec_and_seed() {
+    for spec in FanoutSpec::fanout_matrix() {
+        let engine = FanoutEngine::new(spec.clone());
+        let first = engine.run_sync();
+        let second = engine.run_sync();
+        assert_eq!(
+            first.trace.canonical_text(),
+            second.trace.canonical_text(),
+            "{}: two runs of the same spec+seed differ",
+            spec.name
+        );
+        assert_eq!(first.report, second.report);
     }
 }
 

@@ -1,0 +1,172 @@
+//! Session density: the sharded runtime vs thread-per-filter, hosting the
+//! same 256 fanout sessions.
+//!
+//! The claim under test: a pooled session costs **zero** dedicated OS
+//! threads — the head chain, the fanout stage, and every lane run as
+//! cooperative tasks on a fixed pool — so a machine hosts hundreds of
+//! concurrent sessions on `WORKERS` threads, where the thread-per-filter
+//! runtime needs several threads *per session* (head stage workers, the
+//! fanout worker, lane stage workers).
+//!
+//! Both modes host `SESSIONS` live sessions (one filtered head stage, one
+//! receiver lane each), push a burst of packets through every session, and
+//! verify delivery.  Density is `sessions / threads used to host them`,
+//! with the thread counts read from `/proc/self/status` (falling back to
+//! the analytic per-runtime thread accounting off Linux).  The bench
+//! asserts the pooled runtime reaches at least **4x** the thread-per-filter
+//! session density at 256 sessions on 8 workers.
+//!
+//! Run with `cargo bench -p rapidware-bench --bench runtime_scaling`.
+
+use std::time::Instant;
+
+use rapidware::packet::{Packet, PacketKind, SeqNo, StreamId};
+use rapidware::proxy::{FilterSpec, Session};
+use rapidware::runtime::{Runtime, RuntimeConfig};
+
+const SESSIONS: usize = 256;
+const WORKERS: usize = 8;
+const PACKETS_PER_SESSION: u64 = 100;
+const PIPE_CAPACITY: usize = 256; // a whole burst fits: drains can be sequential
+const BATCH_SIZE: usize = 16;
+
+fn packet(seq: u64) -> Packet {
+    Packet::new(StreamId::new(1), SeqNo::new(seq), PacketKind::AudioData, vec![(seq % 251) as u8; 64])
+}
+
+/// Threads of the current process per `/proc/self/status`; `None` off
+/// Linux.
+fn current_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+/// Thread cost of hosting the sessions, measured around `setup`; falls
+/// back to `analytic` when `/proc` is unavailable.
+fn hosting_threads<T>(analytic: usize, setup: impl FnOnce() -> T) -> (usize, T) {
+    let before = current_threads();
+    let hosted = setup();
+    let threads = match (before, current_threads()) {
+        (Some(before), Some(after)) if after > before => after - before,
+        _ => analytic,
+    };
+    (threads, hosted)
+}
+
+/// Pushes one burst through every session and drains every lane,
+/// returning source packets/second.  `inputs_and_lanes` supplies, per
+/// session, the input endpoint and the lane endpoint.
+fn drive(
+    inputs: &[rapidware::streams::DetachableSender<Packet>],
+    lanes: &[rapidware::streams::DetachableReceiver<Packet>],
+) -> f64 {
+    let start = Instant::now();
+    for input in inputs {
+        for seq in 0..PACKETS_PER_SESSION {
+            input.send(packet(seq)).expect("session inputs stay open");
+        }
+        input.close();
+    }
+    let mut delivered = 0usize;
+    for lane in lanes {
+        while let Ok(p) = lane.recv() {
+            assert!(p.kind().is_payload());
+            delivered += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(
+        delivered,
+        SESSIONS * PACKETS_PER_SESSION as usize,
+        "every lane must deliver its session's whole burst"
+    );
+    (SESSIONS as u64 * PACKETS_PER_SESSION) as f64 / elapsed
+}
+
+fn main() {
+    println!(
+        "runtime scaling: {SESSIONS} fanout sessions (1 head filter + 1 lane), \
+         burst of {PACKETS_PER_SESSION} packets each"
+    );
+    println!("{}", "-".repeat(72));
+
+    // --- Thread-per-filter: each session spawns a head stage worker and a
+    // fanout worker (2 threads/session at this shape).
+    let (threaded_threads, sessions) = hosting_threads(SESSIONS * 2, || {
+        let sessions: Vec<(Session, _, _)> = (0..SESSIONS)
+            .map(|i| {
+                let session = Session::with_config(
+                    format!("threaded-{i}"),
+                    rapidware::proxy::FilterRegistry::with_builtins(),
+                    PIPE_CAPACITY,
+                    BATCH_SIZE,
+                )
+                .expect("sessions are constructible");
+                session
+                    .insert_head_filter(0, &FilterSpec::new("null"))
+                    .expect("null is a registered kind");
+                let lane = session.add_lane("lane").expect("fresh session");
+                let input = session.input();
+                (session, input, lane)
+            })
+            .collect();
+        sessions
+    });
+    let inputs: Vec<_> = sessions.iter().map(|(_, input, _)| input.clone()).collect();
+    let lanes: Vec<_> = sessions.iter().map(|(_, _, lane)| lane.clone()).collect();
+    let threaded_pps = drive(&inputs, &lanes);
+    for (session, _, _) in &sessions {
+        session.shutdown().expect("clean shutdown");
+    }
+    drop(sessions);
+
+    // --- Pooled: the same 256 sessions as tasks on WORKERS fixed workers.
+    let runtime = Runtime::start(
+        RuntimeConfig::new(WORKERS, BATCH_SIZE).with_pipe_capacity(PIPE_CAPACITY),
+    );
+    let (pooled_threads, pooled) = hosting_threads(WORKERS, || {
+        let sessions: Vec<_> = (0..SESSIONS)
+            .map(|i| {
+                let session = runtime.add_session(format!("pooled-{i}"));
+                session
+                    .insert_head_filter(0, &FilterSpec::new("null"))
+                    .expect("null is a registered kind");
+                let lane = session.add_lane("lane").expect("fresh session");
+                let input = session.input();
+                (session, input, lane)
+            })
+            .collect();
+        sessions
+    });
+    // The workers were spawned before the measured setup: hosting 256 more
+    // sessions must not have spawned a single thread.
+    let pooled_threads = pooled_threads.max(WORKERS);
+    let inputs: Vec<_> = pooled.iter().map(|(_, input, _)| input.clone()).collect();
+    let lanes: Vec<_> = pooled.iter().map(|(_, _, lane)| lane.clone()).collect();
+    let pooled_pps = drive(&inputs, &lanes);
+    for (session, _, _) in &pooled {
+        session.shutdown().expect("clean shutdown");
+    }
+    drop(pooled);
+    assert_eq!(runtime.live_tasks(), 0, "no leaked tasks after the pooled run");
+    runtime.shutdown().expect("worker pool joins cleanly");
+
+    let threaded_density = SESSIONS as f64 / threaded_threads as f64;
+    let pooled_density = SESSIONS as f64 / pooled_threads as f64;
+    println!(
+        "thread-per-filter: {threaded_threads:>5} threads  {threaded_density:>8.2} sessions/thread  {threaded_pps:>12.0} pkts/s"
+    );
+    println!(
+        "sharded pool:      {pooled_threads:>5} threads  {pooled_density:>8.2} sessions/thread  {pooled_pps:>12.0} pkts/s"
+    );
+    let density_gain = pooled_density / threaded_density;
+    println!("session-density gain:            {density_gain:>8.2}x");
+    assert!(
+        density_gain >= 4.0,
+        "pooled runtime must host >= 4x the sessions per thread at {SESSIONS} sessions on \
+         {WORKERS} workers, got {density_gain:.2}x"
+    );
+}

@@ -20,7 +20,7 @@
 
 use rapidware_filters::FilterChain;
 use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
-use rapidware_proxy::{FilterRegistry, Proxy};
+use rapidware_proxy::{FilterRegistry, Proxy, RuntimeConfig};
 use rapidware_raplets::{apply_to_proxy, AdaptationAction};
 use rapidware_streams::{DetachableReceiver, DetachableSender};
 
@@ -210,25 +210,36 @@ impl ThreadedProxyApplier {
     fn quiesce(&mut self) -> Vec<Packet> {
         let marker_seq = self.next_marker;
         self.next_marker += 1;
-        let marker =
-            Packet::new(marker_stream(), SeqNo::new(marker_seq), PacketKind::Control, Vec::new());
-        self.input.send(marker).expect("scenario chain input stays open");
-        let mut collected = Vec::new();
-        loop {
-            let packet = self
-                .output
-                .recv()
-                .expect("marker is still in flight, so the stream cannot end");
-            if packet.kind() == PacketKind::Control && packet.stream() == marker_stream() {
-                if packet.seq().value() == marker_seq {
-                    return collected;
-                }
-                // A stale marker from an earlier window (only possible if a
-                // caller ignored a drain's result); skip it.
-                continue;
+        quiesce_stream(&self.input, &self.output, marker_seq)
+    }
+}
+
+/// Sends control marker `marker_seq` into `input` and drains `output` until
+/// it comes back, returning everything that emerged before it.  Shared by
+/// the threaded and pooled appliers so the quiescence protocol cannot
+/// drift between the two runtimes.
+fn quiesce_stream(
+    input: &DetachableSender<Packet>,
+    output: &DetachableReceiver<Packet>,
+    marker_seq: u64,
+) -> Vec<Packet> {
+    let marker =
+        Packet::new(marker_stream(), SeqNo::new(marker_seq), PacketKind::Control, Vec::new());
+    input.send(marker).expect("scenario chain input stays open");
+    let mut collected = Vec::new();
+    loop {
+        let packet = output
+            .recv()
+            .expect("marker is still in flight, so the stream cannot end");
+        if packet.kind() == PacketKind::Control && packet.stream() == marker_stream() {
+            if packet.seq().value() == marker_seq {
+                return collected;
             }
-            collected.push(packet);
+            // A stale marker from an earlier window (only possible if a
+            // caller ignored a drain's result); skip it.
+            continue;
         }
+        collected.push(packet);
     }
 }
 
@@ -281,6 +292,109 @@ impl Drop for ThreadedProxyApplier {
     }
 }
 
+/// The pooled applier: one stream on a [`Proxy`] running the sharded
+/// worker-pool runtime — the whole chain executes as a cooperative task on
+/// a fixed set of workers instead of thread-per-filter.
+///
+/// Determinism uses the same control-marker quiescence protocol as the
+/// threaded applier: markers ride the FIFO task path, so draining to the
+/// marker collects exactly the window's output, in order, regardless of
+/// shard count or batch size.
+#[derive(Debug)]
+pub struct RuntimeApplier {
+    proxy: Proxy,
+    stream: String,
+    input: DetachableSender<Packet>,
+    output: DetachableReceiver<Packet>,
+    next_marker: u64,
+    finished: bool,
+}
+
+impl RuntimeApplier {
+    /// Spins up a proxy with a sharded runtime of `shards` workers and a
+    /// single pooled stream processing packets in batches of up to
+    /// `batch_size`.
+    ///
+    /// `window_hint` sizes the stream's pipes so a whole sample window
+    /// (plus parity overhead) fits without blocking the driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proxy cannot create the stream (it is freshly built,
+    /// so the only failure is resource exhaustion).
+    pub fn new(shards: usize, batch_size: usize, window_hint: usize) -> Self {
+        let capacity = (window_hint.max(32)) * 4;
+        let config = RuntimeConfig::new(shards, batch_size).with_pipe_capacity(capacity);
+        let mut proxy = Proxy::with_runtime("scenario-proxy", config);
+        let (input, output) = proxy
+            .add_stream_pooled("scenario")
+            .expect("fresh proxy with a runtime accepts its first pooled stream");
+        Self {
+            proxy,
+            stream: "scenario".to_string(),
+            input,
+            output,
+            next_marker: 0,
+            finished: false,
+        }
+    }
+
+    fn quiesce(&mut self) -> Vec<Packet> {
+        let marker_seq = self.next_marker;
+        self.next_marker += 1;
+        quiesce_stream(&self.input, &self.output, marker_seq)
+    }
+}
+
+impl ActionApplier for RuntimeApplier {
+    fn label(&self) -> &'static str {
+        "pooled"
+    }
+
+    fn process(&mut self, packets: Vec<Packet>) -> Vec<Packet> {
+        for packet in packets {
+            self.input.send(packet).expect("scenario chain input stays open");
+        }
+        self.quiesce()
+    }
+
+    fn apply(&mut self, actions: &[AdaptationAction]) -> Vec<Packet> {
+        apply_to_proxy(&self.proxy, &self.stream, actions)
+            .expect("responder actions are valid for the pooled chain");
+        // Residue flushed out of removed/replaced filters lands in the
+        // task's pending buffer; quiescing picks it up in order.
+        self.quiesce()
+    }
+
+    fn installed_filters(&self) -> Vec<String> {
+        self.proxy
+            .filter_names(&self.stream)
+            .expect("the scenario stream exists for the applier's lifetime")
+    }
+
+    fn finish(&mut self) -> Vec<Packet> {
+        self.finished = true;
+        self.input.close();
+        let mut residue = Vec::new();
+        while let Ok(packet) = self.output.recv() {
+            if packet.kind() == PacketKind::Control && packet.stream() == marker_stream() {
+                continue;
+            }
+            residue.push(packet);
+        }
+        residue
+    }
+}
+
+impl Drop for RuntimeApplier {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.input.close();
+        }
+        let _ = self.proxy.shutdown();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,10 +438,12 @@ mod tests {
     }
 
     #[test]
-    fn sync_and_threaded_appliers_emit_identical_streams() {
+    fn sync_threaded_and_pooled_appliers_emit_identical_streams() {
         let sync = run_script(&mut SyncChainApplier::new());
         let threaded = run_script(&mut ThreadedProxyApplier::new(4, 16));
         assert_eq!(sync, threaded);
+        let pooled = run_script(&mut RuntimeApplier::new(4, 4, 16));
+        assert_eq!(sync, pooled);
         // 12 payloads; seqs 4..8 form one full FEC block (2 parities) and
         // 8..10 a partial block flushed on removal (2 more parities).
         assert_eq!(sync.iter().filter(|(_, parity)| !parity).count(), 12);
@@ -338,6 +454,7 @@ mod tests {
     fn labels_distinguish_appliers() {
         assert_eq!(SyncChainApplier::new().label(), "sync");
         assert_eq!(ThreadedProxyApplier::new(1, 8).label(), "threaded");
+        assert_eq!(RuntimeApplier::new(2, 1, 8).label(), "pooled");
     }
 
     #[test]

@@ -39,7 +39,7 @@ use rapidware_filters::{FecDecoderFilter, FilterChain};
 use rapidware_media::{AudioConfig, AudioSource};
 use rapidware_netsim::{ReceiverId, SimTime, WirelessLan};
 use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
-use rapidware_proxy::{FilterRegistry, FilterSpec, Session};
+use rapidware_proxy::{FilterRegistry, FilterSpec, PooledSession, Session};
 use rapidware_raplets::{
     apply_to_session, AdaptationAction, AdaptationEngine, FecResponder, LinkSample,
     LossRateObserver,
@@ -423,51 +423,95 @@ impl SessionFanoutApplier {
     /// Sends one control marker through the head chain (it fans out to
     /// every lane) and drains **all lanes concurrently** until each copy of
     /// the marker emerges, returning the per-lane packets that preceded it.
-    ///
-    /// The drain is round-robin with non-blocking receives rather than
-    /// lane-by-lane: the fanout worker back-pressures against full lane
-    /// pipes, so blocking on lane 0 while the worker is parked against
-    /// lane 1 would deadlock whenever a window (amplified by an expanding
-    /// head filter) overflows a pipe.  Draining every lane keeps the
-    /// worker moving no matter which pipe fills first.
     fn quiesce_all(&mut self) -> Vec<Vec<Packet>> {
-        let marker_seq = self.send_marker();
-        let mut collected: Vec<Vec<Packet>> = vec![Vec::new(); self.outputs.len()];
-        let mut done = vec![false; self.outputs.len()];
-        while done.iter().any(|flag| !flag) {
-            let mut progressed = false;
-            for lane in 0..self.outputs.len() {
-                if done[lane] {
-                    continue;
-                }
-                while let Ok(packet) = self.outputs[lane].try_recv() {
-                    progressed = true;
-                    if packet.kind() == PacketKind::Control && packet.stream() == marker_stream()
-                    {
-                        if packet.seq().value() == marker_seq {
-                            done[lane] = true;
-                            break;
-                        }
-                        // Stale marker from an earlier quiescence point.
-                        continue;
-                    }
-                    collected[lane].push(packet);
-                }
-            }
-            if !progressed {
-                std::thread::sleep(std::time::Duration::from_micros(50));
-            }
-        }
-        collected
-    }
-
-    fn send_marker(&mut self) -> u64 {
         let marker_seq = self.next_marker;
         self.next_marker += 1;
-        let marker =
-            Packet::new(marker_stream(), SeqNo::new(marker_seq), PacketKind::Control, Vec::new());
-        self.session.input().send(marker).expect("session input stays open");
-        marker_seq
+        send_marker(&self.session.input(), marker_seq);
+        drain_lanes_until_marker(&self.outputs, marker_seq)
+    }
+}
+
+fn send_marker(input: &rapidware_streams::DetachableSender<Packet>, marker_seq: u64) {
+    let marker =
+        Packet::new(marker_stream(), SeqNo::new(marker_seq), PacketKind::Control, Vec::new());
+    input.send(marker).expect("session input stays open");
+}
+
+/// Drains **all lanes concurrently** until each one yields its copy of
+/// marker `marker_seq`, returning the per-lane packets that preceded it.
+///
+/// The drain is round-robin with non-blocking receives rather than
+/// lane-by-lane: the fanout stage back-pressures against full lane pipes,
+/// so blocking on lane 0 while the fanout is parked against lane 1 would
+/// deadlock whenever a window (amplified by an expanding head filter)
+/// overflows a pipe.  Draining every lane keeps the fanout moving no
+/// matter which pipe fills first.  Shared by the threaded-session and
+/// pooled-session appliers so the protocol cannot drift between runtimes.
+fn drain_lanes_until_marker(
+    outputs: &[DetachableReceiver<Packet>],
+    marker_seq: u64,
+) -> Vec<Vec<Packet>> {
+    let mut collected: Vec<Vec<Packet>> = vec![Vec::new(); outputs.len()];
+    let mut done = vec![false; outputs.len()];
+    while done.iter().any(|flag| !flag) {
+        let mut progressed = false;
+        for lane in 0..outputs.len() {
+            if done[lane] {
+                continue;
+            }
+            while let Ok(packet) = outputs[lane].try_recv() {
+                progressed = true;
+                if packet.kind() == PacketKind::Control && packet.stream() == marker_stream() {
+                    if packet.seq().value() == marker_seq {
+                        done[lane] = true;
+                        break;
+                    }
+                    // Stale marker from an earlier quiescence point.
+                    continue;
+                }
+                collected[lane].push(packet);
+            }
+        }
+        if !progressed {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+    collected
+}
+
+/// Round-robin drains every lane to end of stream, appending everything
+/// (markers excluded) to `residue`; the finishing counterpart of
+/// [`drain_lanes_until_marker`].
+fn drain_lanes_to_eof(outputs: &[DetachableReceiver<Packet>], residue: &mut [Vec<Packet>]) {
+    let mut done = vec![false; outputs.len()];
+    while done.iter().any(|flag| !flag) {
+        let mut progressed = false;
+        for lane in 0..outputs.len() {
+            if done[lane] {
+                continue;
+            }
+            loop {
+                match outputs[lane].try_recv() {
+                    Ok(packet) => {
+                        progressed = true;
+                        if packet.kind() == PacketKind::Control
+                            && packet.stream() == marker_stream()
+                        {
+                            continue;
+                        }
+                        residue[lane].push(packet);
+                    }
+                    Err(rapidware_streams::TryRecvError::Empty) => break,
+                    Err(_) => {
+                        done[lane] = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !progressed {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
     }
 }
 
@@ -527,36 +571,7 @@ impl FanoutApplier for SessionFanoutApplier {
         // quiesce_all: the fanout worker must stay free to move the final
         // flush through whichever lane pipe fills first.
         let mut residue: Vec<Vec<Packet>> = std::mem::take(&mut self.pending);
-        let mut done = vec![false; self.outputs.len()];
-        while done.iter().any(|flag| !flag) {
-            let mut progressed = false;
-            for lane in 0..self.outputs.len() {
-                if done[lane] {
-                    continue;
-                }
-                loop {
-                    match self.outputs[lane].try_recv() {
-                        Ok(packet) => {
-                            progressed = true;
-                            if packet.kind() == PacketKind::Control
-                                && packet.stream() == marker_stream()
-                            {
-                                continue;
-                            }
-                            residue[lane].push(packet);
-                        }
-                        Err(rapidware_streams::TryRecvError::Empty) => break,
-                        Err(_) => {
-                            done[lane] = true;
-                            break;
-                        }
-                    }
-                }
-            }
-            if !progressed {
-                std::thread::sleep(std::time::Duration::from_micros(50));
-            }
-        }
+        drain_lanes_to_eof(&self.outputs, &mut residue);
         residue
     }
 }
@@ -567,6 +582,157 @@ impl Drop for SessionFanoutApplier {
             self.session.close_input();
         }
         let _ = self.session.shutdown();
+    }
+}
+
+/// The pooled fanout applier: a [`PooledSession`] on a sharded worker-pool
+/// [`Runtime`](rapidware_proxy::Runtime) — head chain, fanout stage, and
+/// every lane tail run as cooperative tasks on
+/// [`POOLED_APPLIER_SHARDS`](super::POOLED_APPLIER_SHARDS) fixed workers,
+/// with zero dedicated threads per session.
+///
+/// Uses the same control-marker quiescence and round-robin lane drains as
+/// [`SessionFanoutApplier`], and must agree with it (and the sync applier)
+/// byte for byte.
+pub struct RuntimeFanoutApplier {
+    runtime: std::sync::Arc<rapidware_proxy::Runtime>,
+    session: PooledSession,
+    lane_names: Vec<String>,
+    outputs: Vec<DetachableReceiver<Packet>>,
+    /// Packets collected for a lane outside its own turn; prepended to that
+    /// lane's next `process` result so nothing is ever dropped.
+    pending: Vec<Vec<Packet>>,
+    next_marker: u64,
+    finished: bool,
+}
+
+impl fmt::Debug for RuntimeFanoutApplier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuntimeFanoutApplier")
+            .field("lanes", &self.lane_names)
+            .finish()
+    }
+}
+
+impl RuntimeFanoutApplier {
+    /// Spins up a pooled session for a spec on a fresh worker pool: head
+    /// filters installed, one lane per [`LaneSpec`], pipes sized so a whole
+    /// sample window (plus parity overhead) fits without blocking the
+    /// driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session cannot be constructed (fresh sessions only
+    /// fail on resource exhaustion).
+    pub fn for_spec(spec: &FanoutSpec) -> Self {
+        let capacity = (spec.sample_interval.max(32) as usize) * 4;
+        let config = rapidware_proxy::RuntimeConfig::new(
+            super::POOLED_APPLIER_SHARDS,
+            spec.batch_size.max(1),
+        )
+        .with_pipe_capacity(capacity);
+        let runtime = rapidware_proxy::Runtime::start(config);
+        let session = runtime.add_session_with(
+            spec.name.clone(),
+            FilterRegistry::with_builtins(),
+            capacity,
+            spec.batch_size.max(1),
+        );
+        for (position, filter_spec) in spec.head_filters.iter().enumerate() {
+            session
+                .insert_head_filter(position, filter_spec)
+                .expect("head filter specs reference registered kinds");
+        }
+        let mut outputs = Vec::with_capacity(spec.lanes.len());
+        let mut lane_names = Vec::with_capacity(spec.lanes.len());
+        for lane in &spec.lanes {
+            outputs.push(session.add_lane(&lane.name).expect("spec lane names are unique"));
+            lane_names.push(lane.name.clone());
+        }
+        let lane_count = lane_names.len();
+        Self {
+            runtime,
+            session,
+            lane_names,
+            outputs,
+            pending: vec![Vec::new(); lane_count],
+            next_marker: 0,
+            finished: false,
+        }
+    }
+
+    fn quiesce_all(&mut self) -> Vec<Vec<Packet>> {
+        let marker_seq = self.next_marker;
+        self.next_marker += 1;
+        send_marker(&self.session.input(), marker_seq);
+        drain_lanes_until_marker(&self.outputs, marker_seq)
+    }
+}
+
+impl FanoutApplier for RuntimeFanoutApplier {
+    fn label(&self) -> &'static str {
+        "pooled"
+    }
+
+    fn process(&mut self, packets: Vec<Packet>) -> Vec<Vec<Packet>> {
+        let input = self.session.input();
+        for packet in packets {
+            input.send(packet).expect("session input stays open");
+        }
+        let mut out = self.quiesce_all();
+        for (lane, extra) in out.iter_mut().enumerate() {
+            if !self.pending[lane].is_empty() {
+                let mut merged = std::mem::take(&mut self.pending[lane]);
+                merged.append(extra);
+                *extra = merged;
+            }
+        }
+        out
+    }
+
+    fn apply(&mut self, lane: usize, actions: &[AdaptationAction]) -> Vec<Packet> {
+        rapidware_raplets::apply_to_pooled_session(
+            &self.session,
+            &self.lane_names[lane],
+            actions,
+        )
+        .expect("responder actions are valid for the pooled lane");
+        let mut all = self.quiesce_all();
+        let target = std::mem::take(&mut all[lane]);
+        for (index, extra) in all.into_iter().enumerate() {
+            if !extra.is_empty() {
+                self.pending[index].extend(extra);
+            }
+        }
+        target
+    }
+
+    fn lane_filters(&self, lane: usize) -> Vec<String> {
+        self.session
+            .lane_filter_names(&self.lane_names[lane])
+            .expect("spec lanes exist for the applier's lifetime")
+    }
+
+    fn head_filters(&self) -> Vec<String> {
+        self.session.head_filter_names()
+    }
+
+    fn finish(&mut self) -> Vec<Vec<Packet>> {
+        self.finished = true;
+        self.session.close_input();
+        let mut residue: Vec<Vec<Packet>> = std::mem::take(&mut self.pending);
+        drain_lanes_to_eof(&self.outputs, &mut residue);
+        residue
+    }
+}
+
+impl Drop for RuntimeFanoutApplier {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.session.close_input();
+        }
+        let _ = self.session.shutdown();
+        let _ = self.runtime.shutdown();
     }
 }
 
@@ -864,6 +1030,13 @@ impl FanoutEngine {
     /// Runs the scenario on a live threaded [`SessionFanoutApplier`].
     pub fn run_session(&self) -> FanoutOutcome {
         self.run_with(&mut SessionFanoutApplier::for_spec(&self.spec))
+    }
+
+    /// Runs the scenario on a [`RuntimeFanoutApplier`]: the whole session
+    /// multiplexed over a sharded worker pool.  The trace must be
+    /// byte-identical to the sync and threaded-session runs.
+    pub fn run_pooled(&self) -> FanoutOutcome {
+        self.run_with(&mut RuntimeFanoutApplier::for_spec(&self.spec))
     }
 
     /// Runs the scenario against any applier.
@@ -1169,13 +1342,33 @@ mod tests {
     }
 
     #[test]
-    fn sync_and_session_appliers_agree_byte_for_byte() {
+    fn sync_session_and_pooled_appliers_agree_byte_for_byte() {
         let spec = FanoutSpec::wired_plus_lossy_wlan().with_packets(600);
         let engine = FanoutEngine::new(spec);
         let sync = engine.run_sync();
         let session = engine.run_session();
         assert_eq!(sync.trace.canonical_text(), session.trace.canonical_text());
         assert_eq!(sync.report, session.report);
+        let pooled = engine.run_pooled();
+        assert_eq!(sync.trace.canonical_text(), pooled.trace.canonical_text());
+        assert_eq!(sync.report, pooled.report);
+    }
+
+    #[test]
+    fn pooled_applier_survives_a_head_chain_that_outgrows_the_lane_pipes() {
+        // The pooled cousin of the session-applier overflow test: FEC(6,1)
+        // in the head expands every window 6x past the lane pipe capacity,
+        // so the fanout task back-pressures mid-window and the round-robin
+        // drain must keep it moving.
+        let mut spec = FanoutSpec::all_wired().with_packets(150);
+        spec.head_filters = vec![FilterSpec::new("fec-encoder")
+            .with_param("n", "6")
+            .with_param("k", "1")];
+        let engine = FanoutEngine::new(spec);
+        let pooled = engine.run_pooled();
+        let sync = engine.run_sync();
+        assert_eq!(pooled.report.source_packets_sent, 150);
+        assert_eq!(sync.trace.canonical_text(), pooled.trace.canonical_text());
     }
 
     #[test]

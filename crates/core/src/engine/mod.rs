@@ -48,11 +48,11 @@ mod spec;
 mod trace;
 
 pub use applier::{
-    apply_actions_to_chain, ActionApplier, SyncChainApplier, ThreadedProxyApplier,
+    apply_actions_to_chain, ActionApplier, RuntimeApplier, SyncChainApplier, ThreadedProxyApplier,
 };
 pub use fanout::{
     FanoutApplier, FanoutEngine, FanoutOutcome, FanoutReport, FanoutSpec, LaneReport, LaneSpec,
-    SessionFanoutApplier, SyncFanoutApplier,
+    RuntimeFanoutApplier, SessionFanoutApplier, SyncFanoutApplier,
 };
 pub use report::{ReceiverOutcome, ScenarioReport, TimelineEntry};
 pub use spec::{LossRegime, RapletSet, ScenarioSpec};
@@ -72,6 +72,11 @@ use rapidware_raplets::{
 /// tests and the `scenario_matrix` bench binary both read this constant, so
 /// the two enforcement points cannot drift apart.
 pub const MATRIX_SEEDS: [u64; 2] = [2001, 42];
+
+/// Worker-pool size the pooled scenario appliers run on.  Small enough to
+/// prove multiplexing (many chain tasks per worker), large enough to keep
+/// work stealing in play; traces must not depend on it.
+pub const POOLED_APPLIER_SHARDS: usize = 4;
 
 /// Everything a closed-loop run produces: the final accounting and the
 /// step-by-step trace it was derived from.
@@ -191,6 +196,20 @@ impl ScenarioEngine {
     pub fn run_threaded(&self) -> ScenarioOutcome {
         let window = self.spec.sample_interval as usize;
         self.run_with(&mut ThreadedProxyApplier::new(self.spec.batch_size, window))
+    }
+
+    /// Runs the scenario against a [`RuntimeApplier`]: the chain executes
+    /// as a cooperative task on a sharded worker pool
+    /// ([`POOLED_APPLIER_SHARDS`] workers), reconfigured through the same
+    /// proxy control surface.  The trace must be byte-identical to the sync
+    /// and threaded runs.
+    pub fn run_pooled(&self) -> ScenarioOutcome {
+        let window = self.spec.sample_interval as usize;
+        self.run_with(&mut RuntimeApplier::new(
+            POOLED_APPLIER_SHARDS,
+            self.spec.batch_size,
+            window,
+        ))
     }
 
     /// Runs the scenario against any applier.

@@ -58,6 +58,10 @@ pub mod engine;
 pub mod scenario;
 
 pub use builder::AdaptiveProxyBuilder;
+/// The sharded session runtime (re-exported from `rapidware-proxy`): a
+/// fixed worker pool hosting hundreds of chains and fanout sessions as
+/// cooperative tasks instead of thread-per-filter.
+pub use rapidware_proxy::runtime;
 
 /// The most commonly used types, re-exported for glob import.
 pub mod prelude {
@@ -79,7 +83,8 @@ pub mod prelude {
     pub use rapidware_packet::{Packet, PacketKind, ReceiptStats, SeqNo, StreamId};
     pub use rapidware_pavilion::{CollaborativeSession, DeviceProfile};
     pub use rapidware_proxy::{
-        Command, ControlManager, FilterRegistry, FilterSpec, Proxy, ThreadedChain,
+        Command, ControlManager, FilterRegistry, FilterSpec, PooledChain, PooledSession, Proxy,
+        Runtime, RuntimeConfig, ThreadedChain,
     };
     pub use rapidware_raplets::{
         AdaptationAction, AdaptationEngine, FecResponder, LinkSample, LossRateObserver,

@@ -338,8 +338,32 @@ impl FilterChain {
     /// [`packets_in`](Self::packets_in)).
     pub fn process_batch(&mut self, packets: Vec<Packet>) -> Result<Vec<Packet>, FilterError> {
         let mut output: Vec<Packet> = Vec::with_capacity(packets.len());
+        self.process_batch_into(packets, &mut output)?;
+        Ok(output)
+    }
+
+    /// Like [`process_batch`](Self::process_batch), but appends the chain's
+    /// output to a caller-provided buffer instead of allocating a fresh
+    /// one.
+    ///
+    /// This is the re-entrant stepping interface the sharded runtime uses:
+    /// a pooled chain task owns a persistent output buffer (its
+    /// back-pressure queue towards the downstream pipe) and appends each
+    /// batch's results to whatever could not be forwarded yet, so the hot
+    /// loop allocates nothing when the chain is keeping up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first filter error encountered; packets appended to
+    /// `output` before the error stay appended.
+    pub fn process_batch_into(
+        &mut self,
+        packets: Vec<Packet>,
+        output: &mut Vec<Packet>,
+    ) -> Result<(), FilterError> {
+        let before = output.len();
         if self.pending.is_empty() {
-            self.run_batch_from(0, packets, &mut output)?;
+            self.run_batch_from(0, packets, output)?;
         } else {
             // Deferred insertions activate at frame boundaries, so the batch
             // is processed in segments: everything before a boundary flows
@@ -349,18 +373,18 @@ impl FilterChain {
                 if !self.pending.is_empty() && packet.is_insertion_boundary() {
                     if !segment.is_empty() {
                         let chunk = std::mem::take(&mut segment);
-                        self.run_batch_from(0, chunk, &mut output)?;
+                        self.run_batch_from(0, chunk, output)?;
                     }
                     self.apply_pending();
                 }
                 segment.push(packet);
             }
             if !segment.is_empty() {
-                self.run_batch_from(0, segment, &mut output)?;
+                self.run_batch_from(0, segment, output)?;
             }
         }
-        self.packets_out += output.len() as u64;
-        Ok(output)
+        self.packets_out += (output.len() - before) as u64;
+        Ok(())
     }
 
     /// Runs one batch through the filters starting at `start`, appending

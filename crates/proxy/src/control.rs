@@ -202,6 +202,21 @@ impl fmt::Display for Response {
                         )?;
                     }
                 }
+                if let Some(runtime) = &status.runtime {
+                    write!(
+                        f,
+                        " runtime=workers:{} live:{} steals:{} depths:[{}]",
+                        runtime.workers,
+                        runtime.live_tasks,
+                        runtime.steals,
+                        runtime
+                            .shards
+                            .iter()
+                            .map(|shard| shard.queued.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    )?;
+                }
                 Ok(())
             }
         }

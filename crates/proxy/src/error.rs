@@ -37,6 +37,9 @@ pub enum ProxyError {
     },
     /// A control command could not be parsed.
     MalformedCommand(String),
+    /// A pooled stream or session was requested on a proxy whose sharded
+    /// runtime was never enabled.
+    RuntimeDisabled,
     /// The chain has already been shut down.
     ChainClosed,
     /// A worker thread disappeared unexpectedly (panicked).
@@ -59,6 +62,9 @@ impl fmt::Display for ProxyError {
                 write!(f, "invalid filter spec parameter {parameter}: {reason}")
             }
             ProxyError::MalformedCommand(text) => write!(f, "malformed control command: {text}"),
+            ProxyError::RuntimeDisabled => {
+                write!(f, "sharded runtime not enabled on this proxy (use with_runtime)")
+            }
             ProxyError::ChainClosed => write!(f, "chain has been shut down"),
             ProxyError::WorkerFailed(name) => write!(f, "filter worker {name} failed"),
         }

@@ -62,6 +62,7 @@ mod control;
 mod error;
 mod proxy;
 mod registry;
+pub mod runtime;
 mod session;
 mod threaded;
 
@@ -69,5 +70,6 @@ pub use control::{Command, ControlManager, Response};
 pub use error::ProxyError;
 pub use proxy::{Proxy, ProxyStatus, StreamStatus};
 pub use registry::{FilterRegistry, FilterSpec};
+pub use runtime::{PooledChain, PooledSession, Runtime, RuntimeConfig, RuntimeStatus, ShardStatus};
 pub use session::{LaneStatus, Session, SessionStatus};
 pub use threaded::{ChainStats, ThreadedChain, DEFAULT_BATCH_SIZE};

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use rapidware_filters::Filter;
 use rapidware_packet::Packet;
@@ -9,6 +10,7 @@ use rapidware_streams::{DetachableReceiver, DetachableSender};
 
 use crate::error::ProxyError;
 use crate::registry::{FilterRegistry, FilterSpec};
+use crate::runtime::{PooledChain, PooledSession, Runtime, RuntimeConfig, RuntimeStatus};
 use crate::session::{Session, SessionStatus};
 use crate::threaded::{ChainStats, ThreadedChain};
 
@@ -21,6 +23,67 @@ pub struct StreamStatus {
     pub filters: Vec<String>,
     /// Runtime counters.
     pub stats: ChainStats,
+    /// `true` if this stream runs on the sharded worker pool instead of
+    /// thread-per-filter.
+    pub pooled: bool,
+}
+
+/// One stream's chain, on whichever runtime the caller placed it:
+/// thread-per-filter ([`ThreadedChain`]) or the sharded worker pool
+/// ([`PooledChain`]).  Both support the same live-reconfiguration surface,
+/// so the proxy control plane treats them uniformly.
+#[derive(Debug)]
+enum StreamChain {
+    Threaded(ThreadedChain),
+    Pooled(PooledChain),
+}
+
+impl StreamChain {
+    fn insert(&self, position: usize, filter: Box<dyn Filter>) -> Result<(), ProxyError> {
+        match self {
+            StreamChain::Threaded(chain) => chain.insert(position, filter),
+            StreamChain::Pooled(chain) => chain.insert(position, filter),
+        }
+    }
+
+    fn remove(&self, position: usize) -> Result<Box<dyn Filter>, ProxyError> {
+        match self {
+            StreamChain::Threaded(chain) => chain.remove(position),
+            StreamChain::Pooled(chain) => chain.remove(position),
+        }
+    }
+
+    fn names(&self) -> Vec<String> {
+        match self {
+            StreamChain::Threaded(chain) => chain.names(),
+            StreamChain::Pooled(chain) => chain.names(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            StreamChain::Threaded(chain) => chain.len(),
+            StreamChain::Pooled(chain) => chain.len(),
+        }
+    }
+
+    fn stats(&self) -> ChainStats {
+        match self {
+            StreamChain::Threaded(chain) => chain.stats(),
+            StreamChain::Pooled(chain) => chain.stats(),
+        }
+    }
+
+    fn shutdown(&self) -> Result<(), ProxyError> {
+        match self {
+            StreamChain::Threaded(chain) => chain.shutdown(),
+            StreamChain::Pooled(chain) => chain.shutdown(),
+        }
+    }
+
+    fn is_pooled(&self) -> bool {
+        matches!(self, StreamChain::Pooled(_))
+    }
 }
 
 /// A snapshot of a whole proxy, as reported to the control manager.
@@ -38,10 +101,13 @@ pub struct ProxyStatus {
     /// Per-stream snapshots, sorted by stream name.
     pub streams: Vec<StreamStatus>,
     /// Per-session snapshots (head chain plus per-lane stats), sorted by
-    /// session name.
+    /// session name; pooled and threaded sessions report the same shape.
     pub sessions: Vec<SessionStatus>,
     /// Filter kinds this proxy can instantiate.
     pub available_kinds: Vec<String>,
+    /// Sharded-runtime snapshot (per-shard queue depths, live tasks,
+    /// steals) when the proxy runs a worker pool; `None` otherwise.
+    pub runtime: Option<RuntimeStatus>,
 }
 
 /// One RAPIDware proxy: a set of named streams and fanout sessions, a
@@ -49,8 +115,10 @@ pub struct ProxyStatus {
 pub struct Proxy {
     name: String,
     registry: FilterRegistry,
-    streams: BTreeMap<String, ThreadedChain>,
+    streams: BTreeMap<String, StreamChain>,
     sessions: BTreeMap<String, Session>,
+    pooled_sessions: BTreeMap<String, PooledSession>,
+    runtime: Option<Arc<Runtime>>,
 }
 
 impl fmt::Debug for Proxy {
@@ -77,7 +145,36 @@ impl Proxy {
             registry,
             streams: BTreeMap::new(),
             sessions: BTreeMap::new(),
+            pooled_sessions: BTreeMap::new(),
+            runtime: None,
         }
+    }
+
+    /// Creates a proxy with the built-in registry **and** a sharded worker
+    /// pool, so streams and sessions can be placed on the pool with
+    /// [`add_stream_pooled`](Self::add_stream_pooled) and
+    /// [`add_session_pooled`](Self::add_session_pooled) instead of spawning
+    /// threads.  Thread-per-filter placement stays available per stream.
+    pub fn with_runtime(name: impl Into<String>, config: RuntimeConfig) -> Self {
+        let mut proxy = Self::new(name);
+        proxy.enable_runtime(config);
+        proxy
+    }
+
+    /// Starts (or replaces the handle to) the proxy's sharded runtime.
+    /// Existing pooled streams and sessions keep running on the pool they
+    /// were created on (each holds its own handle to it, so the old pool
+    /// stays up as long as they do); new pooled placements use the new
+    /// pool.
+    pub fn enable_runtime(&mut self, config: RuntimeConfig) -> Arc<Runtime> {
+        let runtime = Runtime::start(config);
+        self.runtime = Some(Arc::clone(&runtime));
+        runtime
+    }
+
+    /// The sharded runtime, if one was enabled.
+    pub fn runtime(&self) -> Option<&Arc<Runtime>> {
+        self.runtime.as_ref()
     }
 
     /// Proxy name.
@@ -108,7 +205,27 @@ impl Proxy {
         &mut self,
         name: impl Into<String>,
     ) -> Result<(DetachableSender<Packet>, DetachableReceiver<Packet>), ProxyError> {
-        self.install_stream(name.into(), ThreadedChain::new()?)
+        self.install_stream(name.into(), StreamChain::Threaded(ThreadedChain::new()?))
+    }
+
+    /// Creates a new stream placed on the proxy's sharded worker pool: the
+    /// whole filter chain runs as one cooperative task on the pool's fixed
+    /// workers instead of one thread per filter.  The stream supports the
+    /// same live reconfiguration surface as a threaded stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::RuntimeDisabled`] if no runtime was enabled
+    /// (see [`with_runtime`](Self::with_runtime)) or [`ProxyError::Splice`]
+    /// if a stream with this name already exists.
+    pub fn add_stream_pooled(
+        &mut self,
+        name: impl Into<String>,
+    ) -> Result<(DetachableSender<Packet>, DetachableReceiver<Packet>), ProxyError> {
+        let name = name.into();
+        let runtime = self.runtime.as_ref().ok_or(ProxyError::RuntimeDisabled)?;
+        let chain = runtime.add_chain(name.clone());
+        self.install_stream(name, StreamChain::Pooled(chain))
     }
 
     /// Creates a new stream whose filter workers process packets in batches
@@ -129,24 +246,29 @@ impl Proxy {
         capacity: usize,
         batch_size: usize,
     ) -> Result<(DetachableSender<Packet>, DetachableReceiver<Packet>), ProxyError> {
-        self.install_stream(name.into(), ThreadedChain::with_batch_size(capacity, batch_size)?)
+        self.install_stream(
+            name.into(),
+            StreamChain::Threaded(ThreadedChain::with_batch_size(capacity, batch_size)?),
+        )
     }
 
     fn install_stream(
         &mut self,
         name: String,
-        chain: ThreadedChain,
+        chain: StreamChain,
     ) -> Result<(DetachableSender<Packet>, DetachableReceiver<Packet>), ProxyError> {
         if self.streams.contains_key(&name) {
             return Err(ProxyError::Splice(format!("stream {name} already exists")));
         }
-        let input = chain.input();
-        let output = chain.output();
+        let (input, output) = match &chain {
+            StreamChain::Threaded(chain) => (chain.input(), chain.output()),
+            StreamChain::Pooled(chain) => (chain.input(), chain.output()),
+        };
         self.streams.insert(name, chain);
         Ok((input, output))
     }
 
-    fn chain(&self, stream: &str) -> Result<&ThreadedChain, ProxyError> {
+    fn chain(&self, stream: &str) -> Result<&StreamChain, ProxyError> {
         self.streams
             .get(stream)
             .ok_or_else(|| ProxyError::UnknownStream(stream.to_string()))
@@ -173,13 +295,43 @@ impl Proxy {
         batch_size: usize,
     ) -> Result<DetachableSender<Packet>, ProxyError> {
         let name = name.into();
-        if self.sessions.contains_key(&name) {
+        if self.sessions.contains_key(&name) || self.pooled_sessions.contains_key(&name) {
             return Err(ProxyError::Splice(format!("session {name} already exists")));
         }
         let session =
             Session::with_config(name.clone(), self.registry.clone(), capacity, batch_size)?;
         let input = session.input();
         self.sessions.insert(name, session);
+        Ok(input)
+    }
+
+    /// Creates a fanout session hosted on the sharded worker pool: the
+    /// shared head chain, the fanout stage, and every receiver lane run as
+    /// cooperative tasks, so the session costs no dedicated threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::RuntimeDisabled`] if no runtime was enabled or
+    /// [`ProxyError::Splice`] if a session with this name already exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `batch_size` is zero.
+    pub fn add_session_pooled(
+        &mut self,
+        name: impl Into<String>,
+        capacity: usize,
+        batch_size: usize,
+    ) -> Result<DetachableSender<Packet>, ProxyError> {
+        let name = name.into();
+        let runtime = self.runtime.as_ref().ok_or(ProxyError::RuntimeDisabled)?;
+        if self.pooled_sessions.contains_key(&name) || self.sessions.contains_key(&name) {
+            return Err(ProxyError::Splice(format!("session {name} already exists")));
+        }
+        let session =
+            runtime.add_session_with(name.clone(), self.registry.clone(), capacity, batch_size);
+        let input = session.input();
+        self.pooled_sessions.insert(name, session);
         Ok(input)
     }
 
@@ -194,9 +346,27 @@ impl Proxy {
             .ok_or_else(|| ProxyError::UnknownSession(name.to_string()))
     }
 
-    /// Names of the fanout sessions on this proxy.
+    /// The named pooled fanout session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownSession`] for unknown sessions.
+    pub fn pooled_session(&self, name: &str) -> Result<&PooledSession, ProxyError> {
+        self.pooled_sessions
+            .get(name)
+            .ok_or_else(|| ProxyError::UnknownSession(name.to_string()))
+    }
+
+    /// Names of the fanout sessions on this proxy (threaded and pooled).
     pub fn session_names(&self) -> Vec<String> {
-        self.sessions.keys().cloned().collect()
+        let mut names: Vec<String> = self
+            .sessions
+            .keys()
+            .chain(self.pooled_sessions.keys())
+            .cloned()
+            .collect();
+        names.sort();
+        names
     }
 
     /// Instantiates a filter from `spec` and splices it into `stream` at
@@ -286,6 +456,13 @@ impl Proxy {
 
     /// A full status snapshot (what the control manager renders).
     pub fn status(&self) -> ProxyStatus {
+        let mut sessions: Vec<SessionStatus> = self
+            .sessions
+            .values()
+            .map(Session::status)
+            .chain(self.pooled_sessions.values().map(PooledSession::status))
+            .collect();
+        sessions.sort_by(|a, b| a.name.cmp(&b.name));
         ProxyStatus {
             name: self.name.clone(),
             streams: self
@@ -295,10 +472,12 @@ impl Proxy {
                     name: name.clone(),
                     filters: chain.names(),
                     stats: chain.stats(),
+                    pooled: chain.is_pooled(),
                 })
                 .collect(),
-            sessions: self.sessions.values().map(Session::status).collect(),
+            sessions,
             available_kinds: self.registry.kinds(),
+            runtime: self.runtime.as_ref().map(|runtime| runtime.status()),
         }
     }
 
@@ -317,6 +496,18 @@ impl Proxy {
         }
         for (_, session) in std::mem::take(&mut self.sessions) {
             if let Err(err) = session.shutdown() {
+                first_error.get_or_insert(err);
+            }
+        }
+        for (_, session) in std::mem::take(&mut self.pooled_sessions) {
+            if let Err(err) = session.shutdown() {
+                first_error.get_or_insert(err);
+            }
+        }
+        // Pooled chains and sessions are down; stopping the workers last
+        // means every task could run to completion.
+        if let Some(runtime) = self.runtime.take() {
+            if let Err(err) = runtime.shutdown() {
                 first_error.get_or_insert(err);
             }
         }
@@ -467,6 +658,100 @@ mod tests {
         assert!(proxy.add_session("fanout", 64, 8).is_err());
         assert!(matches!(proxy.session("nope"), Err(ProxyError::UnknownSession(_))));
         proxy.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pooled_streams_ride_the_worker_pool_through_the_same_control_surface() {
+        let mut proxy = Proxy::with_runtime("pooled", RuntimeConfig::new(2, 8));
+        let (input, output) = proxy.add_stream_pooled("audio").unwrap();
+        proxy.insert_filter("audio", 0, &FilterSpec::new("fec-encoder")).unwrap();
+        proxy.insert_filter("audio", 1, &FilterSpec::new("fec-decoder")).unwrap();
+        assert_eq!(
+            proxy.filter_names("audio").unwrap(),
+            vec!["fec-encoder(6,4)", "fec-decoder(6,4)"]
+        );
+        for seq in 0..8 {
+            input.send(packet(seq)).unwrap();
+        }
+        for _ in 0..8 {
+            output.recv().unwrap();
+        }
+        let removed = proxy.remove_filter("audio", 0).unwrap();
+        assert_eq!(removed.name(), "fec-encoder(6,4)");
+        let status = proxy.status();
+        assert!(status.streams[0].pooled);
+        let runtime = status.runtime.expect("runtime status present in pooled mode");
+        assert_eq!(runtime.workers, 2);
+        assert_eq!(runtime.shards.len(), 2);
+        proxy.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pooled_sessions_report_like_threaded_ones() {
+        let mut proxy = Proxy::with_runtime("mixed", RuntimeConfig::new(2, 8));
+        let input = proxy.add_session_pooled("fanout", 64, 8).unwrap();
+        let lane = proxy.pooled_session("fanout").unwrap().add_lane("wired").unwrap();
+        for seq in 0..4 {
+            input.send(packet(seq)).unwrap();
+        }
+        for _ in 0..4 {
+            lane.recv().unwrap();
+        }
+        let status = proxy.status();
+        assert_eq!(status.sessions.len(), 1);
+        assert_eq!(status.sessions[0].lanes[0].delivered, 4);
+        assert_eq!(proxy.session_names(), vec!["fanout"]);
+        // Threaded and pooled sessions share one namespace.
+        assert!(proxy.add_session("fanout", 64, 8).is_err());
+        assert!(proxy.add_session_pooled("fanout", 64, 8).is_err());
+        assert!(matches!(
+            proxy.pooled_session("nope"),
+            Err(ProxyError::UnknownSession(_))
+        ));
+        proxy.shutdown().unwrap();
+    }
+
+    #[test]
+    fn replacing_the_runtime_keeps_existing_pooled_streams_alive() {
+        // Regression: a pooled chain holds its own handle to the pool it
+        // runs on, so enable_runtime replacing the proxy's handle must not
+        // stop the old workers under a live stream.
+        let mut proxy = Proxy::with_runtime("swap", RuntimeConfig::new(1, 4));
+        let (input, output) = proxy.add_stream_pooled("s").unwrap();
+        proxy.enable_runtime(RuntimeConfig::new(2, 4));
+        let producer = std::thread::spawn(move || {
+            for seq in 0..300u64 {
+                input.send(packet(seq)).unwrap();
+            }
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let mut received = 0u64;
+        while received < 300 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stream on the replaced runtime stopped flowing ({received} of 300)"
+            );
+            if output.recv_timeout(std::time::Duration::from_millis(50)).is_ok() {
+                received += 1;
+            }
+        }
+        producer.join().unwrap();
+        proxy.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pooled_placement_requires_an_enabled_runtime() {
+        let mut proxy = Proxy::new("plain");
+        assert!(matches!(
+            proxy.add_stream_pooled("s"),
+            Err(ProxyError::RuntimeDisabled)
+        ));
+        assert!(matches!(
+            proxy.add_session_pooled("s", 64, 8),
+            Err(ProxyError::RuntimeDisabled)
+        ));
+        assert!(proxy.runtime().is_none());
+        assert!(proxy.status().runtime.is_none());
     }
 
     #[test]

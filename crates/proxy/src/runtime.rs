@@ -1,0 +1,1817 @@
+//! The sharded session runtime: many chains and sessions multiplexed over a
+//! **fixed** pool of workers.
+//!
+//! The thread-per-filter [`ThreadedChain`](crate::ThreadedChain) is the
+//! faithful port of the paper's architecture, but it spends one OS thread
+//! per filter and one more per fanout session — at hundreds of concurrent
+//! sessions the thread count, stack memory, and context-switch load topple
+//! the proxy long before the hardware does.  This module is the scalable
+//! alternative, shaped like the worker-multiplexed stage executors of
+//! streaming-pipe systems: a [`Runtime`] owns `shards` worker threads, each
+//! with its own run queue of **chain tasks**, and every
+//! [`PooledChain`]/[`PooledSession`] is a set of such tasks instead of a
+//! set of threads.
+//!
+//! ```text
+//!                 ┌─ shard 0: [task][task][task…]  ◀─ steal ─┐
+//!   N sessions ──▶┤  shard 1: [task][task…]                  ├─ workers
+//!   (tasks)       └─ shard …: [task…]             ◀─ steal ──┘
+//!
+//!   chain task:  inbox ─try_recv_up_to(batch)─▶ FilterChain::process_batch
+//!                  ─▶ pending_out ─try_send_batch─▶ outbox
+//! ```
+//!
+//! A chain task drains up to `batch_size` packets from its inbox pipe,
+//! pushes them through its (synchronous, re-entrant) `FilterChain`, and
+//! forwards the results to its outbox with
+//! [`try_send_batch`](rapidware_streams::DetachableSender::try_send_batch).
+//! When the
+//! downstream pipe is full the task parks — **without** holding a worker —
+//! until the pipe's space watcher fires; when its inbox is empty it parks
+//! until the data watcher fires.  Workers steal queued tasks from sibling
+//! shards, so a skewed session population cannot idle half the pool.
+//!
+//! Live reconfiguration needs no pipe splicing here: the filters live in a
+//! mutex-guarded `FilterChain`, so insert/remove serialise with batch
+//! processing and take effect exactly between two batches.  The
+//! control-marker quiescence protocol used by the scenario engine works
+//! unchanged: markers ride the same FIFO path as data.
+//!
+//! ```
+//! use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+//! use rapidware_proxy::runtime::{Runtime, RuntimeConfig};
+//!
+//! # fn main() -> Result<(), rapidware_proxy::ProxyError> {
+//! let runtime = Runtime::start(RuntimeConfig::new(4, 16));
+//! let chain = runtime.add_chain("audio");
+//! let input = chain.input();
+//! let output = chain.output();
+//! input.send(Packet::new(StreamId::new(1), SeqNo::new(0), PacketKind::AudioData, vec![1, 2]))
+//!     .expect("pooled chain accepts packets");
+//! assert_eq!(output.recv().expect("forwarded").seq().value(), 0);
+//! chain.shutdown()?;
+//! runtime.shutdown()?;
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use rapidware_filters::{FecDecoderStats, Filter, FilterChain};
+use rapidware_packet::Packet;
+use rapidware_streams::{pipe, DetachableReceiver, DetachableSender, PipeWatcher, TryRecvError};
+
+use crate::error::ProxyError;
+use crate::registry::{FilterRegistry, FilterSpec};
+use crate::session::{build_lane_filter, LaneStatus, SessionStatus};
+use crate::threaded::ChainStats;
+
+/// How long a graceful [`PooledChain::shutdown`] waits for the chain's task
+/// to finish before reporting it leaked.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(10);
+
+/// Configuration of a [`Runtime`]: how many workers to run and how many
+/// packets a chain task drains from its inbox per scheduling step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Number of shards — each shard owns one worker thread and one run
+    /// queue.  The pool size is fixed for the runtime's lifetime.
+    pub shards: usize,
+    /// Maximum packets a chain task drains (and processes as one
+    /// `process_batch` call) per step.
+    pub batch_size: usize,
+    /// Buffer capacity, in packets, of the inbox and outbox pipes of chains
+    /// created through this runtime.
+    pub pipe_capacity: usize,
+}
+
+impl RuntimeConfig {
+    /// A configuration with `shards` workers and `batch_size`-packet steps,
+    /// using the default pipe capacity.
+    ///
+    /// Zero values are clamped to one.
+    pub fn new(shards: usize, batch_size: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            batch_size: batch_size.max(1),
+            pipe_capacity: 128,
+        }
+    }
+
+    /// Overrides the pipe capacity of chains created through the runtime.
+    #[must_use]
+    pub fn with_pipe_capacity(mut self, capacity: usize) -> Self {
+        self.pipe_capacity = capacity.max(1);
+        self
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self::new(4, 32)
+    }
+}
+
+/// A snapshot of one shard's run queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Tasks currently waiting in this shard's run queue.
+    pub queued: usize,
+    /// Task steps this shard's queue has handed to workers so far.
+    pub executed: u64,
+}
+
+/// A snapshot of a whole [`Runtime`], reported through
+/// [`ProxyStatus`](crate::ProxyStatus) when the proxy runs in pooled mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeStatus {
+    /// Number of worker threads (== number of shards).
+    pub workers: usize,
+    /// Per-shard queue depths and execution counters.
+    pub shards: Vec<ShardStatus>,
+    /// Tasks registered with the runtime that have not yet completed.
+    pub live_tasks: usize,
+    /// Tasks a worker executed from a shard other than its own.
+    pub steals: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Task scheduling.
+// ---------------------------------------------------------------------------
+
+/// What a task step reports back to the worker that ran it.
+enum StepOutcome {
+    /// The task made progress and may have more work: requeue it.
+    Progress,
+    /// The task cannot progress until a watcher fires: park it.
+    Idle,
+    /// The task is finished and must never be stepped again.
+    Done,
+}
+
+/// The work a task performs when stepped.  `step` must never block: it uses
+/// only the non-blocking pipe operations and returns `Idle` when it cannot
+/// progress.
+trait TaskWork: Send + Sync {
+    fn step(&self) -> StepOutcome;
+}
+
+/// Task scheduling states (the classic notify-while-running machine: a wake
+/// that arrives during a step re-queues the task after the step, so no
+/// notification is ever lost).
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const RUNNING_NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+struct Task {
+    /// Scheduling state (`IDLE`/`QUEUED`/`RUNNING`/`RUNNING_NOTIFIED`/`DONE`).
+    state: AtomicU8,
+    /// Home shard this task is enqueued to when woken.
+    shard: usize,
+    pool: Weak<PoolShared>,
+    work: Box<dyn TaskWork>,
+    /// Completion latch `PooledChain::shutdown` waits on.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Task {
+    /// Transitions the task towards `QUEUED` and enqueues it if it was
+    /// idle.  Safe to call from any thread, any number of times.
+    fn schedule(self: &Arc<Self>) {
+        loop {
+            match self.state.load(Ordering::SeqCst) {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, QUEUED, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        if let Some(pool) = self.pool.upgrade() {
+                            pool.enqueue(Arc::clone(self));
+                        }
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(
+                            RUNNING,
+                            RUNNING_NOTIFIED,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued, already notified, or finished.
+                _ => return,
+            }
+        }
+    }
+
+    fn finish(&self) {
+        self.state.store(DONE, Ordering::SeqCst);
+        if let Some(pool) = self.pool.upgrade() {
+            pool.live_tasks.fetch_sub(1, Ordering::SeqCst);
+        }
+        let mut done = self.done.lock();
+        *done = true;
+        self.done_cv.notify_all();
+    }
+
+    fn is_done(&self) -> bool {
+        *self.done.lock()
+    }
+
+    /// `true` while the pool that would run this task still has workers.
+    fn pool_running(&self) -> bool {
+        self.pool
+            .upgrade()
+            .is_some_and(|pool| !pool.shutdown.load(Ordering::SeqCst))
+    }
+
+    /// Waits (bounded) for the task to finish.
+    fn wait_done(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut done = self.done.lock();
+        while !*done {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.done_cv.wait_for(&mut done, deadline - now);
+        }
+        true
+    }
+}
+
+impl fmt::Debug for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Task")
+            .field("shard", &self.shard)
+            .field("state", &self.state.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+/// A [`PipeWatcher`] that wakes a task.  Holds the task weakly so the pipes
+/// of a dropped chain cannot keep its task alive.
+struct TaskWaker {
+    task: Weak<Task>,
+}
+
+impl PipeWatcher for TaskWaker {
+    fn notify(&self) {
+        if let Some(task) = self.task.upgrade() {
+            task.schedule();
+        }
+    }
+}
+
+struct ShardQueue {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    executed: AtomicU64,
+}
+
+struct PoolShared {
+    shards: Vec<ShardQueue>,
+    /// Total tasks currently sitting in run queues (the workers' sleep
+    /// condition; checked under the `sleepers` lock so a concurrent enqueue
+    /// can never slip between "saw zero" and "went to sleep").
+    queued: AtomicUsize,
+    sleepers: Mutex<usize>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    live_tasks: AtomicUsize,
+    next_shard: AtomicUsize,
+    steals: AtomicU64,
+}
+
+impl PoolShared {
+    fn enqueue(&self, task: Arc<Task>) {
+        let shard = task.shard;
+        self.shards[shard].queue.lock().push_back(task);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        let sleepers = self.sleepers.lock();
+        if *sleepers > 0 {
+            self.wake.notify_one();
+        }
+    }
+
+    /// Pops a task for worker `home`: own queue front first, then steal
+    /// from the back of sibling queues.
+    fn pop(&self, home: usize) -> Option<Arc<Task>> {
+        if let Some(task) = self.shards[home].queue.lock().pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            self.shards[home].executed.fetch_add(1, Ordering::Relaxed);
+            return Some(task);
+        }
+        let count = self.shards.len();
+        for offset in 1..count {
+            let victim = (home + offset) % count;
+            if let Some(task) = self.shards[victim].queue.lock().pop_back() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                self.shards[victim].executed.fetch_add(1, Ordering::Relaxed);
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        None
+    }
+}
+
+/// Runs one task step and applies the resulting state transition.
+fn run_task(task: &Arc<Task>, pool: &PoolShared) {
+    if task
+        .state
+        .compare_exchange(QUEUED, RUNNING, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        // Only a finished task can be popped in a non-QUEUED state (its
+        // final wake raced its completion); there is nothing left to run.
+        return;
+    }
+    match task.work.step() {
+        StepOutcome::Done => task.finish(),
+        StepOutcome::Progress => {
+            task.state.store(QUEUED, Ordering::SeqCst);
+            pool.enqueue(Arc::clone(task));
+        }
+        StepOutcome::Idle => {
+            if task
+                .state
+                .compare_exchange(RUNNING, IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                // A watcher fired while the step ran: the condition it
+                // signalled may be the one the step just failed on, so the
+                // task goes straight back to the queue.
+                task.state.store(QUEUED, Ordering::SeqCst);
+                pool.enqueue(Arc::clone(task));
+            }
+        }
+    }
+}
+
+fn worker_loop(pool: &Arc<PoolShared>, home: usize) {
+    loop {
+        if pool.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(task) = pool.pop(home) {
+            run_task(&task, pool);
+            continue;
+        }
+        let mut sleepers = pool.sleepers.lock();
+        if pool.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if pool.queued.load(Ordering::SeqCst) > 0 {
+            continue;
+        }
+        *sleepers += 1;
+        pool.wake.wait(&mut sleepers);
+        *sleepers -= 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The runtime.
+// ---------------------------------------------------------------------------
+
+/// A fixed-size sharded worker pool hosting many [`PooledChain`]s and
+/// [`PooledSession`]s cooperatively.
+///
+/// See the [module documentation](self) for the execution model.  Shut
+/// chains and sessions down **before** the runtime: a task can only finish
+/// while workers are running.
+pub struct Runtime {
+    shared: Arc<PoolShared>,
+    config: RuntimeConfig,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("shards", &self.config.shards)
+            .field("batch_size", &self.config.batch_size)
+            .field("live_tasks", &self.live_tasks())
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Starts the worker pool described by `config`.
+    pub fn start(config: RuntimeConfig) -> Arc<Self> {
+        let shared = Arc::new(PoolShared {
+            shards: (0..config.shards)
+                .map(|_| ShardQueue {
+                    queue: Mutex::new(VecDeque::new()),
+                    executed: AtomicU64::new(0),
+                })
+                .collect(),
+            queued: AtomicUsize::new(0),
+            sleepers: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            live_tasks: AtomicUsize::new(0),
+            next_shard: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+        });
+        let workers = (0..config.shards)
+            .map(|home| {
+                let pool = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rapidware-shard-{home}"))
+                    .spawn(move || worker_loop(&pool, home))
+                    .expect("spawning a shard worker thread never fails")
+            })
+            .collect();
+        Arc::new(Self {
+            shared,
+            config,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The configuration this runtime was started with.
+    pub fn config(&self) -> RuntimeConfig {
+        self.config
+    }
+
+    /// Tasks registered with this runtime that have not completed yet.
+    /// Zero after every chain and session has shut down cleanly.
+    pub fn live_tasks(&self) -> usize {
+        self.shared.live_tasks.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of the pool: per-shard queue depths, live tasks, steals.
+    pub fn status(&self) -> RuntimeStatus {
+        RuntimeStatus {
+            workers: self.config.shards,
+            shards: self
+                .shared
+                .shards
+                .iter()
+                .map(|shard| ShardStatus {
+                    queued: shard.queue.lock().len(),
+                    executed: shard.executed.load(Ordering::Relaxed),
+                })
+                .collect(),
+            live_tasks: self.live_tasks(),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Registers a work item as a task on the next shard (round robin) and
+    /// gives it an initial kick.
+    fn register(self: &Arc<Self>, work: Box<dyn TaskWork>) -> Arc<Task> {
+        let shard = self.shared.next_shard.fetch_add(1, Ordering::Relaxed) % self.config.shards;
+        let task = Arc::new(Task {
+            state: AtomicU8::new(IDLE),
+            shard,
+            pool: Arc::downgrade(&self.shared),
+            work,
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        self.shared.live_tasks.fetch_add(1, Ordering::SeqCst);
+        task.schedule();
+        task
+    }
+
+    /// Creates a chain hosted on this pool (the pooled analogue of
+    /// [`ThreadedChain::new`](crate::ThreadedChain::new)): a null proxy
+    /// with an input and an output endpoint, reconfigurable while packets
+    /// flow.
+    pub fn add_chain(self: &Arc<Self>, name: impl Into<String>) -> PooledChain {
+        self.add_chain_with(name, self.config.pipe_capacity, self.config.batch_size)
+    }
+
+    /// Creates a pooled chain with explicit pipe capacity and batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `batch_size` is zero.
+    pub fn add_chain_with(
+        self: &Arc<Self>,
+        name: impl Into<String>,
+        capacity: usize,
+        batch_size: usize,
+    ) -> PooledChain {
+        assert!(batch_size > 0, "batch size must be non-zero");
+        let (in_tx, in_rx) = pipe::<Packet>(capacity);
+        let (out_tx, out_rx) = pipe::<Packet>(capacity);
+        let work = Arc::new(ChainWork {
+            inner: Mutex::new(ChainWorkInner {
+                chain: FilterChain::new(),
+                pending_out: Vec::new(),
+                draining: false,
+            }),
+            in_rx: in_rx.clone(),
+            out_tx: out_tx.clone(),
+            batch_size,
+            errors: AtomicU64::new(0),
+            splices: AtomicU64::new(0),
+        });
+        let task = self.register(Box::new(Arc::clone(&work)));
+        // The task wakes when its inbox has data, when its outbox frees
+        // space, and when its outbox sender becomes usable again after a
+        // pause/reconnect splice.
+        in_rx.set_data_watcher(Arc::new(TaskWaker {
+            task: Arc::downgrade(&task),
+        }));
+        out_rx.set_space_watcher(Arc::new(TaskWaker {
+            task: Arc::downgrade(&task),
+        }));
+        out_tx.set_ready_watcher(Arc::new(TaskWaker {
+            task: Arc::downgrade(&task),
+        }));
+        PooledChain {
+            name: name.into(),
+            runtime: Arc::clone(self),
+            work,
+            task,
+            input: in_tx,
+            input_rx: in_rx,
+            output: out_rx,
+        }
+    }
+
+    /// Creates a fanout session hosted on this pool (the pooled analogue of
+    /// [`Session`](crate::Session)): one input, a shared head chain task, a
+    /// fanout task, and live-addable receiver lanes, each a chain task of
+    /// its own.
+    pub fn add_session(self: &Arc<Self>, name: impl Into<String>) -> PooledSession {
+        self.add_session_with(
+            name,
+            FilterRegistry::with_builtins(),
+            self.config.pipe_capacity,
+            self.config.batch_size,
+        )
+    }
+
+    /// Creates a pooled session with an explicit registry, pipe capacity,
+    /// and batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `batch_size` is zero.
+    pub fn add_session_with(
+        self: &Arc<Self>,
+        name: impl Into<String>,
+        registry: FilterRegistry,
+        capacity: usize,
+        batch_size: usize,
+    ) -> PooledSession {
+        let name = name.into();
+        let head = self.add_chain_with(format!("{name}/head"), capacity, batch_size);
+        let head_out = head.output();
+        let fanout_work = Arc::new(FanoutWork {
+            head_rx: head_out.clone(),
+            inner: Mutex::new(FanoutInner {
+                lanes: Vec::new(),
+                eof: false,
+            }),
+            batch_size,
+        });
+        let fanout_task = self.register(Box::new(Arc::clone(&fanout_work)));
+        head_out.set_data_watcher(Arc::new(TaskWaker {
+            task: Arc::downgrade(&fanout_task),
+        }));
+        PooledSession {
+            name,
+            registry,
+            runtime: Arc::clone(self),
+            head,
+            fanout_work,
+            fanout_task,
+            lanes: Mutex::new(PooledLanes {
+                live: Vec::new(),
+                retired: Vec::new(),
+                closed: false,
+            }),
+            capacity,
+            batch_size,
+        }
+    }
+
+    /// Stops the worker pool: workers finish their current step and exit.
+    ///
+    /// Chains and sessions must be shut down first — a task that still has
+    /// in-flight work when the pool stops can never complete, which
+    /// [`live_tasks`](Self::live_tasks) will report as a leak.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::WorkerFailed`] if a worker thread panicked.
+    pub fn shutdown(&self) -> Result<(), ProxyError> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _sleepers = self.shared.sleepers.lock();
+            self.shared.wake.notify_all();
+        }
+        let mut failure = None;
+        for (index, handle) in self.workers.lock().drain(..).enumerate() {
+            if handle.join().is_err() && failure.is_none() {
+                failure = Some(ProxyError::WorkerFailed(format!("shard worker {index}")));
+            }
+        }
+        match failure {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chain tasks.
+// ---------------------------------------------------------------------------
+
+struct ChainWorkInner {
+    chain: FilterChain,
+    /// Output the downstream pipe had no room for yet; the task's
+    /// back-pressure buffer.
+    pending_out: Vec<Packet>,
+    /// Set once the inbox reported EOF/close and the chain was flushed:
+    /// only `pending_out` remains to be forwarded.
+    draining: bool,
+}
+
+struct ChainWork {
+    inner: Mutex<ChainWorkInner>,
+    in_rx: DetachableReceiver<Packet>,
+    out_tx: DetachableSender<Packet>,
+    batch_size: usize,
+    errors: AtomicU64,
+    splices: AtomicU64,
+}
+
+impl ChainWork {
+    /// Forwards as much of `pending_out` as the outbox accepts.  Returns
+    /// `true` when nothing is left to forward (a closed outbox counts: the
+    /// packets are dropped, exactly as a threaded stage drops output for a
+    /// departed consumer).
+    fn flush_pending(&self, inner: &mut ChainWorkInner) -> bool {
+        if inner.pending_out.is_empty() {
+            return true;
+        }
+        match self.out_tx.try_send_batch(std::mem::take(&mut inner.pending_out)) {
+            Ok(leftover) => {
+                inner.pending_out = leftover;
+                inner.pending_out.is_empty()
+            }
+            Err(_) => {
+                // Sender or receiver closed: the downstream consumer is
+                // gone, so the backlog can only be discarded.
+                inner.pending_out = Vec::new();
+                true
+            }
+        }
+    }
+}
+
+impl TaskWork for Arc<ChainWork> {
+    fn step(&self) -> StepOutcome {
+        let mut inner = self.inner.lock();
+        // 1. Clear the back-pressure buffer first: nothing new may be
+        //    processed while older output waits, or order would be lost.
+        if !self.flush_pending(&mut inner) {
+            return StepOutcome::Idle;
+        }
+        if inner.draining {
+            // Everything flushed after EOF: propagate end of stream.
+            self.out_tx.close();
+            return StepOutcome::Done;
+        }
+        // 2. Drain one batch from the inbox and run it through the chain.
+        match self.in_rx.try_recv_up_to(self.batch_size) {
+            Ok(batch) => {
+                let inner = &mut *inner;
+                if inner.chain.process_batch_into(batch, &mut inner.pending_out).is_err() {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                if !self.flush_pending(inner) {
+                    return StepOutcome::Idle;
+                }
+                StepOutcome::Progress
+            }
+            Err(TryRecvError::Empty) => StepOutcome::Idle,
+            Err(TryRecvError::Eof) | Err(TryRecvError::Closed) => {
+                // End of stream (or forced close): flush the chain's
+                // buffered state, then drain what the flush produced.
+                let inner = &mut *inner;
+                match inner.chain.flush() {
+                    Ok(residue) => inner.pending_out.extend(residue),
+                    Err(_) => {
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                inner.draining = true;
+                if self.flush_pending(inner) {
+                    self.out_tx.close();
+                    return StepOutcome::Done;
+                }
+                StepOutcome::Idle
+            }
+        }
+    }
+}
+
+/// A filter chain hosted on a [`Runtime`] worker pool instead of
+/// thread-per-filter.
+///
+/// The public surface mirrors [`ThreadedChain`](crate::ThreadedChain) —
+/// `input`/`output` endpoints, live `insert`/`remove`/`move_filter`,
+/// `stats`, `shutdown` — so the proxy can place a stream on either runtime
+/// behind one API.  Reconfiguration takes effect between two batches and
+/// never loses, duplicates, or reorders a packet: the residue flushed out
+/// of a removed filter is forwarded ahead of all later traffic.
+pub struct PooledChain {
+    name: String,
+    /// Keeps the hosting pool alive: a chain's task can only run while its
+    /// workers do, so dropping every *other* handle to the runtime must
+    /// not stop the pool under a live chain.
+    runtime: Arc<Runtime>,
+    work: Arc<ChainWork>,
+    task: Arc<Task>,
+    input: DetachableSender<Packet>,
+    /// The task-side handle of the inbox, kept so a session can watch the
+    /// inbox for space on behalf of its fanout task.
+    input_rx: DetachableReceiver<Packet>,
+    output: DetachableReceiver<Packet>,
+}
+
+impl fmt::Debug for PooledChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PooledChain")
+            .field("name", &self.name)
+            .field("filters", &self.names())
+            .finish()
+    }
+}
+
+impl PooledChain {
+    /// The name this chain was created under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The runtime hosting this chain's task (kept alive by the chain: a
+    /// pooled chain can outlive every other handle to its pool).
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.runtime
+    }
+
+    /// A handle for pushing packets into the chain.
+    pub fn input(&self) -> DetachableSender<Packet> {
+        self.input.clone()
+    }
+
+    /// A handle for reading packets out of the chain.
+    pub fn output(&self) -> DetachableReceiver<Packet> {
+        self.output.clone()
+    }
+
+    /// Closes the chain input: once in-flight packets drain, the chain
+    /// flushes and the output observes end of stream.
+    pub fn close_input(&self) {
+        self.input.close();
+    }
+
+    /// Names of the installed filters, in stream order.
+    pub fn names(&self) -> Vec<String> {
+        self.work.inner.lock().chain.names()
+    }
+
+    /// Number of installed filters.
+    pub fn len(&self) -> usize {
+        self.work.inner.lock().chain.len()
+    }
+
+    /// Returns `true` if no filters are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The per-step batch size of this chain's task.
+    pub fn batch_size(&self) -> usize {
+        self.work.batch_size
+    }
+
+    /// Current chain statistics (same counters as a threaded chain).
+    pub fn stats(&self) -> ChainStats {
+        ChainStats {
+            filters: self.len(),
+            packets_in: self.input.stats().items(),
+            packets_out: self.output.stats().items(),
+            splices: self.work.splices.load(Ordering::Relaxed),
+            filter_errors: self.work.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Inserts `filter` at `position` while packets flow.  The insertion
+    /// serialises with batch processing (it waits for the in-flight batch,
+    /// bounded by `batch_size` packets) and affects every packet the task
+    /// has not yet pulled from its inbox.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::PositionOutOfRange`] for a bad position or
+    /// [`ProxyError::ChainClosed`] once the chain has finished.
+    pub fn insert(&self, position: usize, filter: Box<dyn Filter>) -> Result<(), ProxyError> {
+        let mut inner = self.work.inner.lock();
+        if inner.draining || self.task.is_done() {
+            return Err(ProxyError::ChainClosed);
+        }
+        inner.chain.insert(position, filter).map_err(map_chain_error)?;
+        self.work.splices.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        self.task.schedule();
+        Ok(())
+    }
+
+    /// Appends `filter` after the last installed filter.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`insert`](Self::insert).
+    pub fn push_back(&self, filter: Box<dyn Filter>) -> Result<(), ProxyError> {
+        let position = self.len();
+        self.insert(position, filter)
+    }
+
+    /// Removes and returns the filter at `position`.  Anything the filter
+    /// had buffered is flushed through the remaining downstream filters and
+    /// forwarded ahead of later traffic, exactly like a threaded splice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::PositionOutOfRange`] or
+    /// [`ProxyError::ChainClosed`].
+    pub fn remove(&self, position: usize) -> Result<Box<dyn Filter>, ProxyError> {
+        let mut inner = self.work.inner.lock();
+        if inner.draining || self.task.is_done() {
+            return Err(ProxyError::ChainClosed);
+        }
+        let inner = &mut *inner;
+        let (filter, residue) = inner.chain.remove(position).map_err(map_chain_error)?;
+        inner.pending_out.extend(residue);
+        self.work.splices.fetch_add(1, Ordering::Relaxed);
+        self.task.schedule();
+        Ok(filter)
+    }
+
+    /// Moves the filter at `from` to position `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::PositionOutOfRange`] or
+    /// [`ProxyError::ChainClosed`].
+    pub fn move_filter(&self, from: usize, to: usize) -> Result<(), ProxyError> {
+        let mut inner = self.work.inner.lock();
+        if inner.draining || self.task.is_done() {
+            return Err(ProxyError::ChainClosed);
+        }
+        inner.chain.move_filter(from, to).map_err(map_chain_error)?;
+        self.work.splices.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Shuts the chain down: closes both endpoints (undrained output is
+    /// discarded) and waits for the task to finish its final flush.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::WorkerFailed`] if the task did not finish
+    /// within the shutdown grace period (e.g. because the runtime's workers
+    /// were stopped first).
+    pub fn shutdown(&self) -> Result<(), ProxyError> {
+        self.input.close();
+        self.output.close();
+        // Both closes fire the task's watchers; all that remains is to wait
+        // for the final step to observe them.
+        self.task.schedule();
+        if self.task.is_done()
+            || (self.task.pool_running() && self.task.wait_done(SHUTDOWN_GRACE))
+        {
+            Ok(())
+        } else {
+            Err(ProxyError::WorkerFailed(format!("pooled chain {}", self.name)))
+        }
+    }
+}
+
+fn map_chain_error(err: rapidware_filters::FilterError) -> ProxyError {
+    match err {
+        rapidware_filters::FilterError::IndexOutOfRange { index, len } => {
+            ProxyError::PositionOutOfRange {
+                position: index,
+                len,
+            }
+        }
+        other => ProxyError::Filter(other),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pooled sessions.
+// ---------------------------------------------------------------------------
+
+/// One lane slot inside the fanout task.
+struct FanLaneSlot {
+    name: String,
+    tx: DetachableSender<Packet>,
+    /// Clones of the current head batch this lane had no room for yet.
+    pending: Vec<Packet>,
+    dead: bool,
+}
+
+struct FanoutInner {
+    lanes: Vec<FanLaneSlot>,
+    eof: bool,
+}
+
+struct FanoutWork {
+    head_rx: DetachableReceiver<Packet>,
+    inner: Mutex<FanoutInner>,
+    batch_size: usize,
+}
+
+impl FanoutWork {
+    /// Flushes per-lane pendings; returns `true` when every live lane's
+    /// pending buffer is empty.
+    fn flush_lanes(inner: &mut FanoutInner) -> bool {
+        let mut clear = true;
+        for lane in inner.lanes.iter_mut() {
+            if lane.dead || lane.pending.is_empty() {
+                continue;
+            }
+            match lane.tx.try_send_batch(std::mem::take(&mut lane.pending)) {
+                Ok(leftover) => {
+                    lane.pending = leftover;
+                    clear &= lane.pending.is_empty();
+                }
+                Err(_) => {
+                    // The lane's chain went away: stop feeding it.
+                    lane.dead = true;
+                }
+            }
+        }
+        clear
+    }
+}
+
+impl TaskWork for Arc<FanoutWork> {
+    fn step(&self) -> StepOutcome {
+        let mut inner = self.inner.lock();
+        // A lane still owed part of an earlier batch gates the head drain:
+        // this is the back-pressure that stops one slow receiver's backlog
+        // from growing without bound.
+        if !FanoutWork::flush_lanes(&mut inner) {
+            return StepOutcome::Idle;
+        }
+        if inner.eof {
+            for lane in inner.lanes.iter() {
+                lane.tx.close();
+            }
+            return StepOutcome::Done;
+        }
+        match self.head_rx.try_recv_up_to(self.batch_size) {
+            Ok(batch) => {
+                // Clone to all but the last live lane; move into the last.
+                // Payloads are Arc-backed, so a clone is a refcount bump.
+                let live: Vec<usize> = inner
+                    .lanes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, lane)| !lane.dead)
+                    .map(|(index, _)| index)
+                    .collect();
+                if let Some((&last, rest)) = live.split_last() {
+                    for &index in rest {
+                        inner.lanes[index].pending = batch.clone();
+                    }
+                    inner.lanes[last].pending = batch;
+                }
+                if FanoutWork::flush_lanes(&mut inner) {
+                    StepOutcome::Progress
+                } else {
+                    StepOutcome::Idle
+                }
+            }
+            Err(TryRecvError::Empty) => StepOutcome::Idle,
+            Err(TryRecvError::Eof) | Err(TryRecvError::Closed) => {
+                inner.eof = true;
+                for lane in inner.lanes.iter() {
+                    lane.tx.close();
+                }
+                StepOutcome::Done
+            }
+        }
+    }
+}
+
+/// One receiver lane of a [`PooledSession`].
+struct PooledLane {
+    name: String,
+    chain: PooledChain,
+    output: DetachableReceiver<Packet>,
+    decoder_stats: Vec<Arc<FecDecoderStats>>,
+}
+
+struct PooledLanes {
+    live: Vec<PooledLane>,
+    /// Lanes removed while the session ran; kept so their backlogs can
+    /// drain, their stats stay readable, and shutdown can finalise their
+    /// tasks (zero leaked tasks even under churn).
+    retired: Vec<PooledLane>,
+    closed: bool,
+}
+
+/// A fanout session hosted on a [`Runtime`] worker pool: the pooled
+/// analogue of [`Session`](crate::Session).
+///
+/// One head chain task does the shared work once per packet, a fanout task
+/// clones each batch to every lane (zero-copy: payloads are `Arc`-backed),
+/// and each lane is a chain task of its own — so a session costs **zero**
+/// dedicated threads, and hundreds of sessions share the pool's fixed
+/// workers.  Unlike the threaded session, lanes can also be removed while
+/// the session runs ([`remove_lane`](Self::remove_lane)), which the soak
+/// suite exercises as continuous churn.
+pub struct PooledSession {
+    name: String,
+    registry: FilterRegistry,
+    runtime: Arc<Runtime>,
+    head: PooledChain,
+    fanout_work: Arc<FanoutWork>,
+    fanout_task: Arc<Task>,
+    lanes: Mutex<PooledLanes>,
+    capacity: usize,
+    batch_size: usize,
+}
+
+impl fmt::Debug for PooledSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PooledSession")
+            .field("name", &self.name)
+            .field("lanes", &self.lane_names())
+            .finish()
+    }
+}
+
+impl PooledSession {
+    /// Session name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The endpoint the upstream source writes into (feeds the head chain).
+    pub fn input(&self) -> DetachableSender<Packet> {
+        self.head.input()
+    }
+
+    /// Names of the live lanes, in creation order.
+    pub fn lane_names(&self) -> Vec<String> {
+        self.lanes.lock().live.iter().map(|l| l.name.clone()).collect()
+    }
+
+    /// Number of live receiver lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.lock().live.len()
+    }
+
+    /// Adds a receiver lane and returns its delivery endpoint.  A lane
+    /// added mid-stream sees the stream from its join point onward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::Splice`] if a lane with this name already
+    /// exists or [`ProxyError::ChainClosed`] after shutdown.
+    pub fn add_lane(&self, name: impl Into<String>) -> Result<DetachableReceiver<Packet>, ProxyError> {
+        let name = name.into();
+        let mut lanes = self.lanes.lock();
+        if lanes.closed {
+            return Err(ProxyError::ChainClosed);
+        }
+        if lanes.live.iter().any(|l| l.name == name) {
+            return Err(ProxyError::Splice(format!("lane {name} already exists")));
+        }
+        let chain = self.runtime.add_chain_with(
+            format!("{}/{name}", self.name),
+            self.capacity,
+            self.batch_size,
+        );
+        let output = chain.output();
+        // Wake the fanout task whenever this lane's inbox frees space, and
+        // publish the lane input to it; the next batch includes this lane.
+        chain.input_rx.set_space_watcher(Arc::new(TaskWaker {
+            task: Arc::downgrade(&self.fanout_task),
+        }));
+        {
+            let mut fanout = self.fanout_work.inner.lock();
+            if fanout.eof {
+                // The stream already ended and the fanout task has retired:
+                // nothing will ever feed (or close) this lane, so it joins
+                // after the last packet — an immediate clean end of stream
+                // instead of a consumer hanging forever.
+                drop(fanout);
+                chain.close_input();
+            } else {
+                fanout.lanes.push(FanLaneSlot {
+                    name: name.clone(),
+                    tx: chain.input(),
+                    pending: Vec::new(),
+                    dead: false,
+                });
+            }
+        }
+        lanes.live.push(PooledLane {
+            name,
+            chain,
+            output: output.clone(),
+            decoder_stats: Vec::new(),
+        });
+        Ok(output)
+    }
+
+    /// Removes a lane from the running session: the lane stops receiving
+    /// new fanout traffic, its chain flushes, and its delivery endpoint
+    /// observes a clean end of stream once the backlog drains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownLane`] for unknown lanes.
+    pub fn remove_lane(&self, name: &str) -> Result<(), ProxyError> {
+        let mut lanes = self.lanes.lock();
+        let index = lanes
+            .live
+            .iter()
+            .position(|l| l.name == name)
+            .ok_or_else(|| ProxyError::UnknownLane(name.to_string()))?;
+        let lane = lanes.live.remove(index);
+        {
+            // Drop the fanout slot: whatever the fanout still owed this
+            // lane goes with it, but the lane's own inbox backlog drains.
+            let mut fanout = self.fanout_work.inner.lock();
+            fanout.lanes.retain(|slot| slot.name != name);
+        }
+        // The fanout may be parked on the removed lane's full inbox, and
+        // with the slot gone no watcher of that pipe will ever wake it
+        // again — kick it explicitly so the surviving lanes keep flowing.
+        self.fanout_task.schedule();
+        // EOF the lane's chain so its task flushes and completes once the
+        // consumer drains the endpoint.
+        lane.chain.close_input();
+        lanes.retired.push(lane);
+        Ok(())
+    }
+
+    /// A (new) handle on a lane's delivery endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownLane`] for unknown lanes.
+    pub fn lane_output(&self, lane: &str) -> Result<DetachableReceiver<Packet>, ProxyError> {
+        let lanes = self.lanes.lock();
+        Ok(find_pooled_lane(&lanes.live, lane)?.output.clone())
+    }
+
+    /// Instantiates a filter from `spec` and splices it into the shared
+    /// head chain at `position`.
+    ///
+    /// # Errors
+    ///
+    /// Returns registry, spec-validation, or splice errors.
+    pub fn insert_head_filter(&self, position: usize, spec: &FilterSpec) -> Result<(), ProxyError> {
+        let filter = self.registry.instantiate(spec)?;
+        self.head.insert(position, filter)
+    }
+
+    /// Removes and returns the head-chain filter at `position`.
+    ///
+    /// # Errors
+    ///
+    /// Returns position or splice errors.
+    pub fn remove_head_filter(&self, position: usize) -> Result<Box<dyn Filter>, ProxyError> {
+        self.head.remove(position)
+    }
+
+    /// Names of the filters installed on the head chain.
+    pub fn head_filter_names(&self) -> Vec<String> {
+        self.head.names()
+    }
+
+    /// Instantiates a filter from `spec` and splices it into `lane`'s tail
+    /// chain at `position` — the per-receiver adaptation path.  As with the
+    /// threaded session, the built-in `fec-decoder` kind keeps its stats
+    /// handle so per-lane `recovered` counts surface in the status.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownLane`], registry, spec-validation, or
+    /// splice errors.
+    pub fn insert_lane_filter(
+        &self,
+        lane: &str,
+        position: usize,
+        spec: &FilterSpec,
+    ) -> Result<(), ProxyError> {
+        let (filter, decoder_stats) = build_lane_filter(&self.registry, spec)?;
+        let mut lanes = self.lanes.lock();
+        let lane = find_pooled_lane_mut(&mut lanes.live, lane)?;
+        lane.chain.insert(position, filter)?;
+        if let Some(stats) = decoder_stats {
+            lane.decoder_stats.push(stats);
+        }
+        Ok(())
+    }
+
+    /// Removes and returns the filter at `position` on `lane`'s tail chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownLane`], position, or splice errors.
+    pub fn remove_lane_filter(
+        &self,
+        lane: &str,
+        position: usize,
+    ) -> Result<Box<dyn Filter>, ProxyError> {
+        let lanes = self.lanes.lock();
+        find_pooled_lane(&lanes.live, lane)?.chain.remove(position)
+    }
+
+    /// Names of the filters installed on `lane`'s tail chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownLane`] for unknown lanes.
+    pub fn lane_filter_names(&self, lane: &str) -> Result<Vec<String>, ProxyError> {
+        let lanes = self.lanes.lock();
+        Ok(find_pooled_lane(&lanes.live, lane)?.chain.names())
+    }
+
+    /// Chain statistics of a lane — **including** lanes already removed
+    /// with [`remove_lane`](Self::remove_lane), whose chains keep draining
+    /// (and counting) until the session shuts down.  This is what lets the
+    /// soak suite assert per-lane conservation across churn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownLane`] if no live or retired lane has
+    /// this name.
+    pub fn lane_stats(&self, lane: &str) -> Result<ChainStats, ProxyError> {
+        let lanes = self.lanes.lock();
+        lanes
+            .live
+            .iter()
+            .chain(lanes.retired.iter())
+            .find(|l| l.name == lane)
+            .map(|l| l.chain.stats())
+            .ok_or_else(|| ProxyError::UnknownLane(lane.to_string()))
+    }
+
+    /// A full status snapshot, in the same shape as a threaded session's.
+    pub fn status(&self) -> SessionStatus {
+        let lanes = self.lanes.lock();
+        SessionStatus {
+            name: self.name.clone(),
+            head_filters: self.head.names(),
+            head_stats: self.head.stats(),
+            lanes: lanes
+                .live
+                .iter()
+                .map(|lane| {
+                    let stats = lane.chain.stats();
+                    LaneStatus {
+                        name: lane.name.clone(),
+                        filters: lane.chain.names(),
+                        delivered: stats.packets_out,
+                        recovered: lane.decoder_stats.iter().map(|s| s.recovered()).sum(),
+                        queue_depth: lane.output.available(),
+                        stats,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Closes the session input: once in-flight packets drain through the
+    /// head chain and every lane, each lane endpoint observes end of
+    /// stream.
+    pub fn close_input(&self) {
+        self.head.close_input();
+    }
+
+    /// Shuts the session down: head, fanout, and every lane task complete
+    /// (undrained lane backlogs are discarded), leaving zero tasks behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first task that failed to finish (only possible if the
+    /// runtime's workers were stopped first).
+    pub fn shutdown(&self) -> Result<(), ProxyError> {
+        let mut lanes = self.lanes.lock();
+        if lanes.closed {
+            return Ok(());
+        }
+        lanes.closed = true;
+        // Close every lane delivery endpoint first: a lane task parked
+        // against an abandoned (full, never drained) endpoint fails its
+        // sends immediately instead of wedging the fanout task — same
+        // ordering as the threaded session's shutdown.
+        for lane in lanes.live.iter().chain(lanes.retired.iter()) {
+            lane.output.close();
+        }
+        let mut first_error = self.head.shutdown().err();
+        // Head EOF reaches the fanout task through its data watcher; it
+        // closes every lane inbox and completes.
+        self.fanout_task.schedule();
+        let fanout_done = self.fanout_task.is_done()
+            || (self.fanout_task.pool_running() && self.fanout_task.wait_done(SHUTDOWN_GRACE));
+        if !fanout_done && first_error.is_none() {
+            first_error = Some(ProxyError::WorkerFailed(format!(
+                "fanout task of {}",
+                self.name
+            )));
+        }
+        for lane in lanes.live.drain(..) {
+            if let Err(err) = lane.chain.shutdown() {
+                first_error.get_or_insert(err);
+            }
+        }
+        for lane in lanes.retired.drain(..) {
+            if let Err(err) = lane.chain.shutdown() {
+                first_error.get_or_insert(err);
+            }
+        }
+        match first_error {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for PooledSession {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+fn find_pooled_lane<'a>(
+    lanes: &'a [PooledLane],
+    name: &str,
+) -> Result<&'a PooledLane, ProxyError> {
+    lanes
+        .iter()
+        .find(|l| l.name == name)
+        .ok_or_else(|| ProxyError::UnknownLane(name.to_string()))
+}
+
+fn find_pooled_lane_mut<'a>(
+    lanes: &'a mut [PooledLane],
+    name: &str,
+) -> Result<&'a mut PooledLane, ProxyError> {
+    lanes
+        .iter_mut()
+        .find(|l| l.name == name)
+        .ok_or_else(|| ProxyError::UnknownLane(name.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidware_filters::{DropEveryNth, FecDecoderFilter, FecEncoderFilter, NullFilter};
+    use rapidware_packet::{PacketKind, SeqNo, StreamId};
+
+    fn packet(seq: u64) -> Packet {
+        Packet::new(
+            StreamId::new(1),
+            SeqNo::new(seq),
+            PacketKind::AudioData,
+            vec![(seq % 251) as u8; 64],
+        )
+    }
+
+    fn collect_all(rx: &DetachableReceiver<Packet>) -> Vec<Packet> {
+        let mut out = Vec::new();
+        while let Ok(p) = rx.recv() {
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn pooled_null_chain_forwards_everything_in_order() {
+        let runtime = Runtime::start(RuntimeConfig::new(2, 8));
+        let chain = runtime.add_chain("s");
+        let input = chain.input();
+        let output = chain.output();
+        let producer = std::thread::spawn(move || {
+            for seq in 0..5_000u64 {
+                input.send(packet(seq)).unwrap();
+            }
+        });
+        let mut received = Vec::new();
+        while received.len() < 5_000 {
+            received.push(output.recv().unwrap());
+        }
+        producer.join().unwrap();
+        for (i, p) in received.iter().enumerate() {
+            assert_eq!(p.seq().value(), i as u64);
+        }
+        chain.shutdown().unwrap();
+        assert_eq!(runtime.live_tasks(), 0);
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pooled_fec_chain_recovers_like_threaded() {
+        let runtime = Runtime::start(RuntimeConfig::new(4, 16));
+        let chain = runtime.add_chain("fec");
+        chain.push_back(Box::new(FecEncoderFilter::fec_6_4().unwrap())).unwrap();
+        chain.push_back(Box::new(DropEveryNth::new(5))).unwrap();
+        chain.push_back(Box::new(FecDecoderFilter::fec_6_4().unwrap())).unwrap();
+        let input = chain.input();
+        let output = chain.output();
+        let consumer = std::thread::spawn(move || collect_all(&output));
+        for seq in 0..400u64 {
+            input.send(packet(seq)).unwrap();
+        }
+        chain.close_input();
+        let received = consumer.join().unwrap();
+        let mut seqs: Vec<u64> = received.iter().map(|p| p.seq().value()).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert!(seqs.len() >= 395, "near-complete recovery, got {} of 400", seqs.len());
+        chain.shutdown().unwrap();
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn live_insert_and_remove_lose_nothing() {
+        let runtime = Runtime::start(RuntimeConfig::new(2, 4));
+        let chain = runtime.add_chain("live");
+        let input = chain.input();
+        let output = chain.output();
+        let producer = {
+            let input = input.clone();
+            std::thread::spawn(move || {
+                for seq in 0..2_000u64 {
+                    input.send(packet(seq)).unwrap();
+                }
+            })
+        };
+        let consumer = std::thread::spawn(move || collect_all(&output));
+        chain.insert(0, Box::new(NullFilter::new())).unwrap();
+        chain.push_back(Box::new(NullFilter::new())).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        let removed = chain.remove(0).unwrap();
+        assert_eq!(removed.name(), "null");
+        producer.join().unwrap();
+        chain.close_input();
+        let received = consumer.join().unwrap();
+        assert_eq!(received.len(), 2_000, "no packet lost or duplicated");
+        for (i, p) in received.iter().enumerate() {
+            assert_eq!(p.seq().value(), i as u64, "order preserved across splices");
+        }
+        assert_eq!(chain.stats().splices, 3);
+        chain.shutdown().unwrap();
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn backpressure_parks_the_task_instead_of_spinning() {
+        // Tiny pipes, no consumer: the task must go idle (not busy-loop)
+        // once the outbox fills, then finish the stream when the consumer
+        // appears.
+        let runtime = Runtime::start(RuntimeConfig::new(1, 4));
+        let chain = runtime.add_chain_with("bp", 8, 4);
+        let input = chain.input();
+        let output = chain.output();
+        let producer = std::thread::spawn(move || {
+            for seq in 0..100u64 {
+                input.send(packet(seq)).unwrap();
+            }
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        // The outbox (8) is full and the worker is idle; executed counters
+        // must stop growing while nothing changes.
+        let before: u64 = runtime.status().shards.iter().map(|s| s.executed).sum();
+        std::thread::sleep(Duration::from_millis(50));
+        let after: u64 = runtime.status().shards.iter().map(|s| s.executed).sum();
+        assert_eq!(before, after, "blocked task must not spin through the queue");
+        let consumer = std::thread::spawn(move || collect_all(&output));
+        producer.join().unwrap();
+        chain.close_input();
+        assert_eq!(consumer.join().unwrap().len(), 100);
+        chain.shutdown().unwrap();
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn many_chains_share_a_small_pool() {
+        let runtime = Runtime::start(RuntimeConfig::new(2, 8));
+        let chains: Vec<PooledChain> =
+            (0..32).map(|i| runtime.add_chain(format!("c{i}"))).collect();
+        let consumers: Vec<_> = chains
+            .iter()
+            .map(|chain| {
+                let rx = chain.output();
+                std::thread::spawn(move || collect_all(&rx).len())
+            })
+            .collect();
+        for chain in &chains {
+            let input = chain.input();
+            for seq in 0..200u64 {
+                input.send(packet(seq)).unwrap();
+            }
+            chain.close_input();
+        }
+        for consumer in consumers {
+            assert_eq!(consumer.join().unwrap(), 200);
+        }
+        for chain in &chains {
+            chain.shutdown().unwrap();
+        }
+        assert_eq!(runtime.live_tasks(), 0, "no leaked chain tasks");
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pooled_session_fans_out_in_order_and_zero_copy() {
+        let runtime = Runtime::start(RuntimeConfig::new(2, 8));
+        let session = runtime.add_session("fan");
+        let lanes: Vec<_> =
+            (0..4).map(|i| session.add_lane(format!("lane-{i}")).unwrap()).collect();
+        let input = session.input();
+        let consumers: Vec<_> = lanes
+            .into_iter()
+            .map(|rx| std::thread::spawn(move || collect_all(&rx)))
+            .collect();
+        for seq in 0..2_000u64 {
+            input.send(packet(seq)).unwrap();
+        }
+        session.close_input();
+        let mut outputs = Vec::new();
+        for consumer in consumers {
+            let received = consumer.join().unwrap();
+            assert_eq!(received.len(), 2_000);
+            for (i, p) in received.iter().enumerate() {
+                assert_eq!(p.seq().value(), i as u64);
+            }
+            outputs.push(received);
+        }
+        assert!(
+            outputs[0][0].shares_payload_with(&outputs[1][0]),
+            "fanout must be zero-copy"
+        );
+        session.shutdown().unwrap();
+        assert_eq!(runtime.live_tasks(), 0, "no leaked session tasks");
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn lane_churn_mid_stream_keeps_remaining_lanes_whole() {
+        let runtime = Runtime::start(RuntimeConfig::new(2, 4));
+        let session = runtime.add_session("churn");
+        let keeper = session.add_lane("keeper").unwrap();
+        let victim = session.add_lane("victim").unwrap();
+        let keeper_consumer = std::thread::spawn(move || collect_all(&keeper));
+        let victim_consumer = std::thread::spawn(move || collect_all(&victim));
+        let input = session.input();
+        for seq in 0..200u64 {
+            input.send(packet(seq)).unwrap();
+        }
+        session.remove_lane("victim").unwrap();
+        assert_eq!(session.lane_names(), vec!["keeper"]);
+        // A late joiner sees the stream from its join point onward.
+        let late = session.add_lane("late").unwrap();
+        let late_consumer = std::thread::spawn(move || collect_all(&late));
+        for seq in 200..400u64 {
+            input.send(packet(seq)).unwrap();
+        }
+        session.close_input();
+        let keeper_seqs: Vec<u64> =
+            keeper_consumer.join().unwrap().iter().map(|p| p.seq().value()).collect();
+        assert_eq!(keeper_seqs, (0..400).collect::<Vec<u64>>());
+        let victim_seqs = victim_consumer.join().unwrap();
+        assert!(victim_seqs.len() <= 200, "removed lane must stop receiving");
+        let late_seqs: Vec<u64> =
+            late_consumer.join().unwrap().iter().map(|p| p.seq().value()).collect();
+        assert!(!late_seqs.is_empty());
+        assert_eq!(late_seqs.last(), Some(&399));
+        session.shutdown().unwrap();
+        assert_eq!(runtime.live_tasks(), 0, "churned lanes must not leak tasks");
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn remove_lane_unblocks_a_fanout_stalled_on_it() {
+        // Regression: the fanout task can be parked on a stalled lane's
+        // full inbox when remove_lane drops that lane's slot; with the
+        // slot gone, no pipe watcher will ever wake the fanout again, so
+        // remove_lane must kick it explicitly or the healthy lanes starve.
+        let runtime = Runtime::start(RuntimeConfig::new(2, 4));
+        let session =
+            runtime.add_session_with("stall", FilterRegistry::with_builtins(), 4, 4);
+        let ok = session.add_lane("ok").unwrap();
+        let _stuck = session.add_lane("stuck").unwrap();
+        let input = session.input();
+        let producer = std::thread::spawn(move || {
+            for seq in 0..200u64 {
+                if input.send(packet(seq)).is_err() {
+                    break;
+                }
+            }
+        });
+        // Drain only the healthy lane until the fanout wedges behind the
+        // never-drained sibling, then remove the sibling.
+        let mut seqs: Vec<u64> = Vec::new();
+        let mut removed = false;
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while seqs.len() < 200 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "healthy lane starved: fanout stayed wedged ({} of 200 delivered, \
+                 removed: {removed})",
+                seqs.len()
+            );
+            match ok.recv_timeout(Duration::from_millis(20)) {
+                Ok(p) => seqs.push(p.seq().value()),
+                Err(rapidware_streams::TryRecvError::Empty) => {
+                    if !removed {
+                        session.remove_lane("stuck").unwrap();
+                        removed = true;
+                    }
+                }
+                Err(other) => panic!("unexpected error on the healthy lane: {other}"),
+            }
+        }
+        assert!(removed, "the stalled sibling should have wedged the fanout first");
+        assert_eq!(seqs, (0..200).collect::<Vec<u64>>());
+        producer.join().unwrap();
+        session.shutdown().unwrap();
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn lane_added_after_stream_end_sees_immediate_eof() {
+        // Regression: a lane added after the fanout task retired (head
+        // EOF observed) used to register a slot nothing would ever feed or
+        // close, hanging its consumer forever.
+        let runtime = Runtime::start(RuntimeConfig::new(2, 4));
+        let session = runtime.add_session("ended");
+        let first = session.add_lane("first").unwrap();
+        let input = session.input();
+        input.send(packet(0)).unwrap();
+        session.close_input();
+        // Draining the first lane to EOF proves the fanout observed the
+        // end of stream and retired.
+        assert_eq!(collect_all(&first).len(), 1);
+        let late = session.add_lane("late-joiner").unwrap();
+        match late.recv_timeout(Duration::from_secs(10)) {
+            Err(rapidware_streams::TryRecvError::Eof) => {}
+            other => panic!("late lane must observe a clean end of stream, got {other:?}"),
+        }
+        session.shutdown().unwrap();
+        assert_eq!(runtime.live_tasks(), 0);
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pooled_session_per_lane_filters_and_status() {
+        let runtime = Runtime::start(RuntimeConfig::new(2, 8));
+        let session = runtime.add_session("status");
+        let plain = session.add_lane("plain").unwrap();
+        let lossy = session.add_lane("lossy").unwrap();
+        session
+            .insert_lane_filter("lossy", 0, &FilterSpec::new("fec-encoder"))
+            .unwrap();
+        session
+            .insert_lane_filter("lossy", 1, &FilterSpec::new("drop-every").with_param("n", "5"))
+            .unwrap();
+        session
+            .insert_lane_filter("lossy", 2, &FilterSpec::new("fec-decoder"))
+            .unwrap();
+        session
+            .insert_head_filter(0, &FilterSpec::new("tap").with_param("name", "head-tap"))
+            .unwrap();
+        assert_eq!(session.head_filter_names(), vec!["head-tap"]);
+        let plain_consumer = std::thread::spawn(move || collect_all(&plain));
+        let lossy_consumer = std::thread::spawn(move || collect_all(&lossy));
+        let input = session.input();
+        for seq in 0..400u64 {
+            input.send(packet(seq)).unwrap();
+        }
+        session.close_input();
+        assert_eq!(plain_consumer.join().unwrap().len(), 400, "plain lane untouched");
+        assert!(lossy_consumer.join().unwrap().len() >= 395, "FEC repairs the lossy lane");
+        let status = session.status();
+        assert_eq!(status.name, "status");
+        assert_eq!(status.head_filters, vec!["head-tap"]);
+        assert_eq!(status.lanes.len(), 2);
+        assert!(status.lanes[1].recovered > 0, "decoder stats wired into lane status");
+        assert_eq!(status.lanes[0].delivered, 400);
+        session.shutdown().unwrap();
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_with_undrained_lanes_does_not_hang() {
+        let runtime = Runtime::start(RuntimeConfig::new(2, 4));
+        let session = runtime.add_session_with(
+            "abandoned",
+            FilterRegistry::with_builtins(),
+            16,
+            4,
+        );
+        let _never_drained = session.add_lane("a").unwrap();
+        let input = session.input();
+        let producer = std::thread::spawn(move || {
+            for seq in 0..300u64 {
+                if input.send(packet(seq)).is_err() {
+                    break;
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        session.shutdown().unwrap();
+        producer.join().unwrap();
+        assert_eq!(runtime.live_tasks(), 0);
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn errors_and_validation() {
+        let runtime = Runtime::start(RuntimeConfig::new(1, 1));
+        let chain = runtime.add_chain("v");
+        assert!(matches!(
+            chain.insert(3, Box::new(NullFilter::new())),
+            Err(ProxyError::PositionOutOfRange { .. })
+        ));
+        assert!(matches!(chain.remove(0), Err(ProxyError::PositionOutOfRange { .. })));
+        chain.shutdown().unwrap();
+        assert!(matches!(
+            chain.insert(0, Box::new(NullFilter::new())),
+            Err(ProxyError::ChainClosed)
+        ));
+        let session = runtime.add_session("s");
+        session.add_lane("a").unwrap();
+        assert!(session.add_lane("a").is_err());
+        assert!(matches!(session.remove_lane("nope"), Err(ProxyError::UnknownLane(_))));
+        assert!(matches!(session.lane_output("nope"), Err(ProxyError::UnknownLane(_))));
+        session.shutdown().unwrap();
+        session.shutdown().unwrap();
+        assert!(matches!(session.add_lane("b"), Err(ProxyError::ChainClosed)));
+        runtime.shutdown().unwrap();
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn status_reports_queue_depths_and_config_round_trips() {
+        let config = RuntimeConfig::new(3, 7).with_pipe_capacity(64);
+        let runtime = Runtime::start(config);
+        assert_eq!(runtime.config(), config);
+        let status = runtime.status();
+        assert_eq!(status.workers, 3);
+        assert_eq!(status.shards.len(), 3);
+        assert!(!format!("{runtime:?}").is_empty());
+        let chain = runtime.add_chain("c");
+        assert_eq!(chain.batch_size(), 7);
+        assert!(!format!("{chain:?}").is_empty());
+        let session = runtime.add_session("s");
+        assert!(!format!("{session:?}").is_empty());
+        assert_eq!(session.lane_count(), 0);
+        session.shutdown().unwrap();
+        chain.shutdown().unwrap();
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn zero_values_are_clamped() {
+        let config = RuntimeConfig::new(0, 0);
+        assert_eq!(config.shards, 1);
+        assert_eq!(config.batch_size, 1);
+    }
+}

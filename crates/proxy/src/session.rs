@@ -311,22 +311,7 @@ impl Session {
         position: usize,
         spec: &FilterSpec,
     ) -> Result<(), ProxyError> {
-        let registry_filter = self.registry.instantiate(spec)?;
-        let decoder_code = (spec.kind == "fec-decoder")
-            .then(|| parse_decoder_code(registry_filter.name()))
-            .flatten();
-        let (filter, decoder_stats) = match decoder_code {
-            // The (n, k) come from the registry-built filter's own name, so
-            // the registry stays the single source of truth for parameter
-            // handling; the direct construction only exists to capture the
-            // stats handle the boxed trait object cannot expose.
-            Some((n, k)) => {
-                let decoder = FecDecoderFilter::new(n, k).map_err(ProxyError::Filter)?;
-                let stats = decoder.stats();
-                (Box::new(decoder) as Box<dyn Filter>, Some(stats))
-            }
-            None => (registry_filter, None),
-        };
+        let (filter, decoder_stats) = build_lane_filter(&self.registry, spec)?;
         let mut inner = self.inner.lock();
         let lane = find_lane_mut(&mut inner.lanes, lane)?;
         lane.chain.insert(position, filter)?;
@@ -442,6 +427,33 @@ impl Session {
 impl Drop for Session {
     fn drop(&mut self) {
         let _ = self.shutdown();
+    }
+}
+
+/// Builds the filter a lane-level insert installs, capturing the decoder
+/// stats handle when the spec names the built-in `fec-decoder` kind.  The
+/// (n, k) come from the registry-built filter's own name, so the registry
+/// stays the single source of truth for parameter handling; the direct
+/// construction only exists to capture the stats handle the boxed trait
+/// object cannot expose.  Shared by the threaded and pooled sessions so
+/// their per-lane `recovered` accounting can never drift.
+pub(crate) type LaneFilterBuild = (Box<dyn Filter>, Option<Arc<FecDecoderStats>>);
+
+pub(crate) fn build_lane_filter(
+    registry: &FilterRegistry,
+    spec: &FilterSpec,
+) -> Result<LaneFilterBuild, ProxyError> {
+    let registry_filter = registry.instantiate(spec)?;
+    let decoder_code = (spec.kind == "fec-decoder")
+        .then(|| parse_decoder_code(registry_filter.name()))
+        .flatten();
+    match decoder_code {
+        Some((n, k)) => {
+            let decoder = FecDecoderFilter::new(n, k).map_err(ProxyError::Filter)?;
+            let stats = decoder.stats();
+            Ok((Box::new(decoder) as Box<dyn Filter>, Some(stats)))
+        }
+        None => Ok((registry_filter, None)),
     }
 }
 

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use rapidware_netsim::SimTime;
-use rapidware_proxy::{Proxy, ProxyError, Session};
+use rapidware_proxy::{PooledSession, Proxy, ProxyError, Session};
 
 use crate::observer::{AdaptationEvent, Observer};
 use crate::responder::{AdaptationAction, Responder};
@@ -136,6 +136,28 @@ pub fn apply_to_proxy(
 /// applied.
 pub fn apply_to_session(
     session: &Session,
+    lane: &str,
+    actions: &[AdaptationAction],
+) -> Result<(), ProxyError> {
+    apply_to_chain_surface(
+        actions,
+        |position, spec| session.insert_lane_filter(lane, position, spec),
+        |position| session.remove_lane_filter(lane, position).map(|_| ()),
+        || session.lane_filter_names(lane),
+    )
+}
+
+/// Applies adaptation actions to one receiver lane of a [`PooledSession`]
+/// hosted on the sharded worker pool — identical semantics to
+/// [`apply_to_session`], so a lane's adaptation loop behaves the same
+/// whether the session runs thread-per-filter or pooled.
+///
+/// # Errors
+///
+/// Propagates the first proxy error encountered; earlier actions stay
+/// applied.
+pub fn apply_to_pooled_session(
+    session: &PooledSession,
     lane: &str,
     actions: &[AdaptationAction],
 ) -> Result<(), ProxyError> {

@@ -73,6 +73,7 @@ mod stats;
 pub use byte::{byte_pipe, ByteReader, ByteWriter, DEFAULT_CHUNK_SIZE};
 pub use error::{PauseError, ReconnectError, RecvError, SendError, TryRecvError};
 pub use pipe::{
-    detached_pair, pipe, DetachableReceiver, DetachableSender, IntoIter, DEFAULT_CAPACITY,
+    detached_pair, pipe, DetachableReceiver, DetachableSender, IntoIter, PipeWatcher,
+    DEFAULT_CAPACITY,
 };
 pub use stats::{PipeStats, StatsSnapshot};

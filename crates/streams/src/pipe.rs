@@ -26,6 +26,28 @@ use crate::stats::PipeStats;
 /// [`pipe`] when the caller does not care about tuning back-pressure.
 pub const DEFAULT_CAPACITY: usize = 64;
 
+/// A readiness hook installed on a pipe endpoint.
+///
+/// Watchers are the event-driven alternative to the blocking condvar waits:
+/// a cooperative scheduler (such as the sharded runtime in
+/// `rapidware-proxy`) registers a watcher and is *notified* when the pipe
+/// may have become usable again, instead of parking a whole OS thread on
+/// the pipe.  Notifications are **level-assisted edge triggers**:
+///
+/// * a watcher may be notified spuriously (the condition may already have
+///   been consumed by the time it runs), but
+/// * it is never *missed*: registration fires immediately when the watched
+///   condition already holds, and every state transition that could unblock
+///   the watcher fires it after the pipe's internal lock is released.
+///
+/// Implementations must be cheap and must never block or re-enter the pipe
+/// that notified them (they run on the thread that triggered the
+/// transition).
+pub trait PipeWatcher: Send + Sync {
+    /// Called when the watched endpoint may be ready.
+    fn notify(&self);
+}
+
 // ---------------------------------------------------------------------------
 // Receiver-side shared state (the DIS buffer).
 // ---------------------------------------------------------------------------
@@ -40,6 +62,10 @@ struct RecvInner<T> {
     eof: bool,
     /// Set when every receiver handle has been dropped or `close` was called.
     closed: bool,
+    /// Notified when items (or EOF/close) become observable to a reader.
+    data_watcher: Option<Arc<dyn PipeWatcher>>,
+    /// Notified when buffer space (or close) becomes observable to a writer.
+    space_watcher: Option<Arc<dyn PipeWatcher>>,
 }
 
 struct RecvShared<T> {
@@ -63,6 +89,8 @@ struct SendInner<T> {
     sink: Option<Arc<RecvShared<T>>>,
     paused: bool,
     closed: bool,
+    /// Notified when the sender becomes attached-and-unpaused (or closed).
+    ready_watcher: Option<Arc<dyn PipeWatcher>>,
     /// Number of `send` calls that have committed to the current sink but
     /// not yet finished pushing.  `pause` waits for this to reach zero so
     /// that no item can land on the *old* receiver after the pause completes
@@ -182,6 +210,7 @@ pub fn pipe<T>(capacity: usize) -> (DetachableSender<T>, DetachableReceiver<T>) 
                 sink: Some(Arc::clone(&receiver.shared)),
                 paused: false,
                 closed: false,
+                ready_watcher: None,
                 in_flight: 0,
             }),
             resumed: Condvar::new(),
@@ -216,6 +245,7 @@ impl<T> DetachableSender<T> {
                     sink: None,
                     paused: false,
                     closed: false,
+                    ready_watcher: None,
                     in_flight: 0,
                 }),
                 resumed: Condvar::new(),
@@ -329,6 +359,103 @@ impl<T> DetachableSender<T> {
         result
     }
 
+    /// Delivers as much of `items` as currently fits, **without blocking**,
+    /// and returns the items that were not delivered.
+    ///
+    /// This is the cooperative-scheduler counterpart of
+    /// [`send_batch`](Self::send_batch): instead of parking the calling
+    /// thread on back-pressure, pause, or detachment, the call pushes the
+    /// longest prefix that fits and hands the rest back so the caller can
+    /// retry when its [`PipeWatcher`] fires.  An empty returned `Vec` means
+    /// everything was delivered.  Items delivered by this call are counted
+    /// in the pipe stats before the receiver lock is released, so an item a
+    /// consumer has received is always already counted.
+    ///
+    /// ```
+    /// use rapidware_streams::pipe;
+    ///
+    /// let (tx, rx) = pipe::<u32>(2);
+    /// let leftover = tx.try_send_batch(vec![0, 1, 2, 3]).unwrap();
+    /// assert_eq!(leftover, vec![2, 3], "only two slots were available");
+    /// assert_eq!(rx.recv_up_to(8).unwrap(), vec![0, 1]);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError::Closed`] if this sender has been closed or
+    /// [`SendError::ReceiverClosed`] if the attached receiver was closed,
+    /// carrying the undelivered items.  A paused or detached sender is not
+    /// an error: nothing is delivered and every item is handed back.
+    pub fn try_send_batch(&self, items: Vec<T>) -> Result<Vec<T>, SendError<Vec<T>>> {
+        if items.is_empty() {
+            return Ok(items);
+        }
+        // Phase 1: non-blocking attachment check; register in-flight so a
+        // concurrent `pause` waits for the push below before detaching.
+        let sink = {
+            let mut s = self.shared.inner.lock();
+            if s.closed {
+                return Err(SendError::Closed(items));
+            }
+            if s.paused {
+                self.shared.stats.record_blocked_send();
+                return Ok(items);
+            }
+            match &s.sink {
+                Some(sink) => {
+                    let sink = Arc::clone(sink);
+                    s.in_flight += 1;
+                    sink
+                }
+                None => {
+                    self.shared.stats.record_blocked_send();
+                    return Ok(items);
+                }
+            }
+        };
+        // Phase 2: push the prefix that fits under one receiver lock.
+        let result = {
+            let mut items = items;
+            let mut r = sink.inner.lock();
+            if r.closed {
+                drop(r);
+                Err(SendError::ReceiverClosed(items))
+            } else {
+                let space = r.capacity.saturating_sub(r.queue.len());
+                let leftover = items.split_off(space.min(items.len()));
+                let delivered = items.len() as u64;
+                for item in items {
+                    r.queue.push_back(item);
+                }
+                if delivered > 0 {
+                    // Counted before the lock is released ("received ⇒
+                    // counted", as in the blocking paths).
+                    sink.stats.record_items(delivered);
+                    self.shared.stats.record_items(delivered);
+                }
+                let watcher = if delivered > 0 { r.data_watcher.clone() } else { None };
+                drop(r);
+                if delivered > 0 {
+                    sink.not_empty.notify_one();
+                    if let Some(watcher) = watcher {
+                        watcher.notify();
+                    }
+                }
+                if !leftover.is_empty() {
+                    self.shared.stats.record_blocked_send();
+                }
+                Ok(leftover)
+            }
+        };
+        // Phase 3: un-register and wake any pauser.
+        {
+            let mut s = self.shared.inner.lock();
+            s.in_flight -= 1;
+        }
+        self.shared.idle.notify_all();
+        result
+    }
+
     fn push_batch_to(
         &self,
         sink: &Arc<RecvShared<T>>,
@@ -371,8 +498,12 @@ impl<T> DetachableSender<T> {
                     }
                     None => {
                         record_delivered!();
+                        let watcher = r.data_watcher.clone();
                         drop(r);
                         sink.not_empty.notify_one();
+                        if let Some(watcher) = watcher {
+                            watcher.notify();
+                        }
                         return Ok(());
                     }
                 }
@@ -380,8 +511,12 @@ impl<T> DetachableSender<T> {
             match pending.take().or_else(|| iter.next()) {
                 None => {
                     record_delivered!();
+                    let watcher = r.data_watcher.clone();
                     drop(r);
                     sink.not_empty.notify_one();
+                    if let Some(watcher) = watcher {
+                        watcher.notify();
+                    }
                     return Ok(());
                 }
                 Some(item) => {
@@ -391,6 +526,9 @@ impl<T> DetachableSender<T> {
                     pending = Some(item);
                     record_delivered!();
                     sink.not_empty.notify_one();
+                    if let Some(watcher) = r.data_watcher.clone() {
+                        watcher.notify();
+                    }
                     self.shared.stats.record_blocked_send();
                     sink.not_full.wait(&mut r);
                 }
@@ -415,8 +553,12 @@ impl<T> DetachableSender<T> {
         // received is always already visible in the stats.
         sink.stats.record_item();
         self.shared.stats.record_item();
+        let watcher = r.data_watcher.clone();
         drop(r);
         sink.not_empty.notify_one();
+        if let Some(watcher) = watcher {
+            watcher.notify();
+        }
         Ok(())
     }
 
@@ -546,11 +688,15 @@ impl<T> DetachableSender<T> {
         }
         s.sink = Some(Arc::clone(&receiver.shared));
         s.paused = false;
+        let ready = s.ready_watcher.clone();
         drop(s);
         self.shared.stats.record_reconnect();
         receiver.shared.stats.record_reconnect();
         self.shared.resumed.notify_all();
         receiver.shared.not_empty.notify_all();
+        if let Some(ready) = ready {
+            ready.notify();
+        }
         Ok(())
     }
 
@@ -562,23 +708,30 @@ impl<T> DetachableSender<T> {
     }
 
     fn close_impl(&self) {
-        let sink = {
+        let (sink, ready) = {
             let mut s = self.shared.inner.lock();
             if s.closed {
-                None
+                (None, None)
             } else {
                 s.closed = true;
-                s.sink.take()
+                (s.sink.take(), s.ready_watcher.clone())
             }
         };
         self.shared.resumed.notify_all();
+        if let Some(ready) = ready {
+            ready.notify();
+        }
         if let Some(sink) = sink {
             let mut r = sink.inner.lock();
             r.eof = true;
             r.attached = false;
+            let watcher = r.data_watcher.clone();
             drop(r);
             sink.not_empty.notify_all();
             sink.drained.notify_all();
+            if let Some(watcher) = watcher {
+                watcher.notify();
+            }
         }
     }
 
@@ -604,6 +757,26 @@ impl<T> DetachableSender<T> {
     pub fn stats(&self) -> PipeStats {
         self.shared.stats.clone()
     }
+
+    /// Installs (or replaces) the readiness watcher of this sender.
+    ///
+    /// The watcher is notified when a paused or detached sender becomes
+    /// attached-and-unpaused again ([`reconnect`](Self::reconnect)) and when
+    /// the sender is closed.  If the sender is already usable (or already
+    /// closed) at registration time, the watcher fires immediately — a
+    /// watcher registered "too late" can never miss the transition it was
+    /// installed to observe.
+    pub fn set_ready_watcher(&self, watcher: Arc<dyn PipeWatcher>) {
+        let fire = {
+            let mut s = self.shared.inner.lock();
+            let fire = s.closed || (s.sink.is_some() && !s.paused);
+            s.ready_watcher = Some(Arc::clone(&watcher));
+            fire
+        };
+        if fire {
+            watcher.notify();
+        }
+    }
 }
 
 impl<T> DetachableReceiver<T> {
@@ -622,6 +795,8 @@ impl<T> DetachableReceiver<T> {
                     attached: false,
                     eof: false,
                     closed: false,
+                    data_watcher: None,
+                    space_watcher: None,
                 }),
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
@@ -648,10 +823,14 @@ impl<T> DetachableReceiver<T> {
         loop {
             if let Some(item) = r.queue.pop_front() {
                 let empty = r.queue.is_empty();
+                let watcher = r.space_watcher.clone();
                 drop(r);
                 self.shared.not_full.notify_one();
                 if empty {
                     self.shared.drained.notify_all();
+                }
+                if let Some(watcher) = watcher {
+                    watcher.notify();
                 }
                 return Ok(item);
             }
@@ -702,12 +881,16 @@ impl<T> DetachableReceiver<T> {
                 let take = r.queue.len().min(max);
                 let batch: Vec<T> = r.queue.drain(..take).collect();
                 let empty = r.queue.is_empty();
+                let watcher = r.space_watcher.clone();
                 drop(r);
                 // Potentially many slots opened up: wake every blocked
                 // producer, not just one.
                 self.shared.not_full.notify_all();
                 if empty {
                     self.shared.drained.notify_all();
+                }
+                if let Some(watcher) = watcher {
+                    watcher.notify();
                 }
                 return Ok(batch);
             }
@@ -719,6 +902,63 @@ impl<T> DetachableReceiver<T> {
             }
             self.shared.not_empty.wait(&mut r);
         }
+    }
+
+    /// Receives up to `max` buffered items with a single lock acquisition,
+    /// **without blocking**.
+    ///
+    /// This is the cooperative-scheduler counterpart of
+    /// [`recv_up_to`](Self::recv_up_to): where a thread-per-filter worker
+    /// parks on an empty pipe, a pooled chain task calls `try_recv_up_to`,
+    /// and — when it reports [`TryRecvError::Empty`] — goes idle until the
+    /// receiver's data [`PipeWatcher`] fires.  The returned batch preserves
+    /// arrival order and is never empty.
+    ///
+    /// ```
+    /// use rapidware_streams::{pipe, TryRecvError};
+    ///
+    /// let (tx, rx) = pipe::<u32>(8);
+    /// assert_eq!(rx.try_recv_up_to(4).unwrap_err(), TryRecvError::Empty);
+    /// tx.send_batch(vec![0, 1, 2]).unwrap();
+    /// assert_eq!(rx.try_recv_up_to(2).unwrap(), vec![0, 1]);
+    /// assert_eq!(rx.try_recv_up_to(2).unwrap(), vec![2]);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryRecvError::Empty`] if nothing is buffered (but the
+    /// stream is still live), [`TryRecvError::Eof`] after the attached
+    /// sender closed and the buffer drained, or [`TryRecvError::Closed`] if
+    /// the receiver was closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn try_recv_up_to(&self, max: usize) -> Result<Vec<T>, TryRecvError> {
+        assert!(max > 0, "try_recv_up_to needs a non-zero batch size");
+        let mut r = self.shared.inner.lock();
+        if !r.queue.is_empty() {
+            let take = r.queue.len().min(max);
+            let batch: Vec<T> = r.queue.drain(..take).collect();
+            let empty = r.queue.is_empty();
+            let watcher = r.space_watcher.clone();
+            drop(r);
+            self.shared.not_full.notify_all();
+            if empty {
+                self.shared.drained.notify_all();
+            }
+            if let Some(watcher) = watcher {
+                watcher.notify();
+            }
+            return Ok(batch);
+        }
+        if r.closed {
+            return Err(TryRecvError::Closed);
+        }
+        if r.eof {
+            return Err(TryRecvError::Eof);
+        }
+        Err(TryRecvError::Empty)
     }
 
     /// Like [`recv`](Self::recv) but gives up after `timeout`.
@@ -733,10 +973,14 @@ impl<T> DetachableReceiver<T> {
         loop {
             if let Some(item) = r.queue.pop_front() {
                 let empty = r.queue.is_empty();
+                let watcher = r.space_watcher.clone();
                 drop(r);
                 self.shared.not_full.notify_one();
                 if empty {
                     self.shared.drained.notify_all();
+                }
+                if let Some(watcher) = watcher {
+                    watcher.notify();
                 }
                 return Ok(item);
             }
@@ -775,10 +1019,14 @@ impl<T> DetachableReceiver<T> {
         let mut r = self.shared.inner.lock();
         if let Some(item) = r.queue.pop_front() {
             let empty = r.queue.is_empty();
+            let watcher = r.space_watcher.clone();
             drop(r);
             self.shared.not_full.notify_one();
             if empty {
                 self.shared.drained.notify_all();
+            }
+            if let Some(watcher) = watcher {
+                watcher.notify();
             }
             return Ok(item);
         }
@@ -836,20 +1084,35 @@ impl<T> DetachableReceiver<T> {
         r.closed = true;
         r.attached = false;
         r.queue.clear();
+        let data_watcher = r.data_watcher.clone();
+        let space_watcher = r.space_watcher.clone();
         drop(r);
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
         self.shared.drained.notify_all();
+        // Both sides of a cooperative pipeline must observe the close: a
+        // reader task to stop waiting for data, a writer task to fail fast
+        // instead of waiting for space that will never appear.
+        if let Some(watcher) = data_watcher {
+            watcher.notify();
+        }
+        if let Some(watcher) = space_watcher {
+            watcher.notify();
+        }
     }
 
     /// Drains every currently buffered item into a `Vec` without blocking.
     pub fn drain_buffered(&self) -> Vec<T> {
         let mut r = self.shared.inner.lock();
         let items: Vec<T> = r.queue.drain(..).collect();
+        let watcher = r.space_watcher.clone();
         drop(r);
         if !items.is_empty() {
             self.shared.not_full.notify_all();
             self.shared.drained.notify_all();
+            if let Some(watcher) = watcher {
+                watcher.notify();
+            }
         }
         items
     }
@@ -857,6 +1120,46 @@ impl<T> DetachableReceiver<T> {
     /// Lifetime transfer statistics for this receiver.
     pub fn stats(&self) -> PipeStats {
         self.shared.stats.clone()
+    }
+
+    /// Installs (or replaces) the data-readiness watcher of this receiver.
+    ///
+    /// The watcher is notified after items are delivered into the buffer,
+    /// when the attached sender closes (EOF becomes observable), and when
+    /// the receiver itself is closed.  If any of those conditions already
+    /// holds at registration time the watcher fires immediately, so a
+    /// consumer that registers *after* items arrived can never sleep
+    /// through them — the missed-notify window a bare condition variable
+    /// would have here is closed by design.
+    pub fn set_data_watcher(&self, watcher: Arc<dyn PipeWatcher>) {
+        let fire = {
+            let mut r = self.shared.inner.lock();
+            let fire = !r.queue.is_empty() || r.eof || r.closed;
+            r.data_watcher = Some(Arc::clone(&watcher));
+            fire
+        };
+        if fire {
+            watcher.notify();
+        }
+    }
+
+    /// Installs (or replaces) the space-readiness watcher of this receiver.
+    ///
+    /// The watcher is notified after a consumer pops items (buffer space
+    /// opened up) and when the receiver is closed (writers should fail
+    /// fast).  If the buffer already has free space — or the receiver is
+    /// already closed — at registration time, the watcher fires
+    /// immediately.
+    pub fn set_space_watcher(&self, watcher: Arc<dyn PipeWatcher>) {
+        let fire = {
+            let mut r = self.shared.inner.lock();
+            let fire = r.queue.len() < r.capacity || r.closed;
+            r.space_watcher = Some(Arc::clone(&watcher));
+            fire
+        };
+        if fire {
+            watcher.notify();
+        }
     }
 }
 
@@ -1258,5 +1561,210 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<DetachableSender<u32>>();
         assert_send::<DetachableReceiver<u32>>();
+    }
+
+    /// A watcher that counts its notifications and flags a condvar, so
+    /// tests can wait for (and count) wake-ups.
+    struct CountingWatcher {
+        fired: AtomicUsize,
+        gate: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl CountingWatcher {
+        fn new() -> Arc<Self> {
+            Arc::new(Self {
+                fired: AtomicUsize::new(0),
+                gate: Mutex::new(false),
+                cv: Condvar::new(),
+            })
+        }
+
+        fn count(&self) -> usize {
+            self.fired.load(Ordering::SeqCst)
+        }
+
+        /// Waits (bounded) until the watcher has fired at least once since
+        /// the last `reset`, returning whether it did.
+        fn wait_fired(&self, timeout: Duration) -> bool {
+            let mut gate = self.gate.lock();
+            if *gate {
+                return true;
+            }
+            self.cv.wait_for(&mut gate, timeout);
+            *gate
+        }
+
+        fn reset(&self) {
+            *self.gate.lock() = false;
+        }
+    }
+
+    impl PipeWatcher for CountingWatcher {
+        fn notify(&self) {
+            self.fired.fetch_add(1, Ordering::SeqCst);
+            let mut gate = self.gate.lock();
+            *gate = true;
+            self.cv.notify_all();
+        }
+    }
+
+    #[test]
+    fn try_recv_up_to_is_nonblocking_and_ordered() {
+        let (tx, rx) = pipe::<u32>(16);
+        assert_eq!(rx.try_recv_up_to(4).unwrap_err(), TryRecvError::Empty);
+        tx.send_batch((0..6).collect()).unwrap();
+        assert_eq!(rx.try_recv_up_to(4).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(rx.try_recv_up_to(4).unwrap(), vec![4, 5]);
+        assert_eq!(rx.try_recv_up_to(4).unwrap_err(), TryRecvError::Empty);
+        tx.close();
+        assert_eq!(rx.try_recv_up_to(4).unwrap_err(), TryRecvError::Eof);
+        rx.close();
+        assert_eq!(rx.try_recv_up_to(4).unwrap_err(), TryRecvError::Closed);
+    }
+
+    #[test]
+    fn try_send_batch_delivers_the_prefix_that_fits() {
+        let (tx, rx) = pipe::<u32>(3);
+        let leftover = tx.try_send_batch(vec![0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(leftover, vec![3, 4]);
+        assert_eq!(rx.recv_up_to(8).unwrap(), vec![0, 1, 2]);
+        // Retrying the leftover now succeeds completely.
+        assert!(tx.try_send_batch(leftover).unwrap().is_empty());
+        assert_eq!(rx.recv_up_to(8).unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn try_send_batch_on_paused_or_detached_hands_everything_back() {
+        let (tx, _rx) = pipe::<u8>(4);
+        tx.pause().unwrap();
+        assert_eq!(tx.try_send_batch(vec![1, 2]).unwrap(), vec![1, 2]);
+        let detached = DetachableSender::<u8>::new_detached();
+        assert_eq!(detached.try_send_batch(vec![3]).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn try_send_batch_error_cases_return_items() {
+        let (tx, rx) = pipe::<u8>(4);
+        rx.close();
+        assert!(matches!(
+            tx.try_send_batch(vec![1, 2]).unwrap_err(),
+            SendError::ReceiverClosed(rest) if rest == vec![1, 2]
+        ));
+        tx.close();
+        assert!(matches!(
+            tx.try_send_batch(vec![3]).unwrap_err(),
+            SendError::Closed(rest) if rest == vec![3]
+        ));
+    }
+
+    #[test]
+    fn data_watcher_fires_on_delivery_eof_and_close() {
+        let (tx, rx) = pipe::<u8>(8);
+        let watcher = CountingWatcher::new();
+        rx.set_data_watcher(watcher.clone());
+        assert_eq!(watcher.count(), 0, "no data yet: registration must not fire");
+
+        tx.send(1).unwrap();
+        assert!(watcher.wait_fired(Duration::from_secs(1)));
+        watcher.reset();
+        tx.send_batch(vec![2, 3]).unwrap();
+        assert!(watcher.wait_fired(Duration::from_secs(1)));
+        watcher.reset();
+        let leftover = tx.try_send_batch(vec![4]).unwrap();
+        assert!(leftover.is_empty());
+        assert!(watcher.wait_fired(Duration::from_secs(1)));
+        watcher.reset();
+        tx.close();
+        assert!(watcher.wait_fired(Duration::from_secs(1)), "EOF must wake the reader");
+    }
+
+    #[test]
+    fn data_watcher_registered_after_delivery_fires_immediately() {
+        // The missed-notify regression: items arrive *before* the watcher
+        // exists.  A naive edge-triggered hook would leave the consumer
+        // asleep forever; registration must observe the level.
+        let (tx, rx) = pipe::<u8>(8);
+        tx.send(7).unwrap();
+        let watcher = CountingWatcher::new();
+        rx.set_data_watcher(watcher.clone());
+        assert_eq!(watcher.count(), 1, "registration fires when data is already buffered");
+
+        // Same for a stream that already ended.
+        let (tx2, rx2) = pipe::<u8>(8);
+        tx2.close();
+        let eof_watcher = CountingWatcher::new();
+        rx2.set_data_watcher(eof_watcher.clone());
+        assert_eq!(eof_watcher.count(), 1, "registration fires on an already-ended stream");
+    }
+
+    #[test]
+    fn space_watcher_fires_on_pop_and_close() {
+        let (tx, rx) = pipe::<u8>(2);
+        tx.send_batch(vec![1, 2]).unwrap();
+        let watcher = CountingWatcher::new();
+        rx.set_space_watcher(watcher.clone());
+        assert_eq!(watcher.count(), 0, "full buffer: registration must not fire");
+
+        assert_eq!(rx.try_recv_up_to(1).unwrap(), vec![1]);
+        assert!(watcher.wait_fired(Duration::from_secs(1)));
+        watcher.reset();
+        rx.close();
+        assert!(watcher.wait_fired(Duration::from_secs(1)), "close must wake writers");
+
+        // A receiver with free space fires at registration.
+        let (_tx3, rx3) = pipe::<u8>(2);
+        let roomy = CountingWatcher::new();
+        rx3.set_space_watcher(roomy.clone());
+        assert_eq!(roomy.count(), 1);
+    }
+
+    #[test]
+    fn ready_watcher_fires_on_reconnect_and_when_already_usable() {
+        let (tx, rx) = pipe::<u8>(4);
+        let watcher = CountingWatcher::new();
+        tx.set_ready_watcher(watcher.clone());
+        assert_eq!(watcher.count(), 1, "a connected sender is already usable");
+        watcher.reset();
+        tx.pause().unwrap();
+        let rx2 = DetachableReceiver::new_detached(4);
+        tx.reconnect(&rx2).unwrap();
+        assert!(watcher.wait_fired(Duration::from_secs(1)));
+        drop(rx);
+    }
+
+    #[test]
+    fn received_implies_counted_under_try_paths() {
+        // The PR 3 pipe-stats invariant, re-checked on the non-blocking
+        // path used by the pooled runtime: at every point where a consumer
+        // holds a received item, that item is already visible in the pipe
+        // stats.  The consumer drains with try_recv_up_to while the
+        // producer races try_send_batch.
+        let (tx, rx) = pipe::<u64>(8);
+        let producer = thread::spawn(move || {
+            let mut pending: Vec<u64> = (0..2_000).collect();
+            while !pending.is_empty() {
+                pending = tx.try_send_batch(pending).unwrap();
+                if !pending.is_empty() {
+                    thread::yield_now();
+                }
+            }
+        });
+        let mut received = 0u64;
+        while received < 2_000 {
+            match rx.try_recv_up_to(16) {
+                Ok(batch) => {
+                    received += batch.len() as u64;
+                    assert!(
+                        rx.stats().items() >= received,
+                        "an item was received before it was counted"
+                    );
+                }
+                Err(TryRecvError::Empty) => thread::yield_now(),
+                Err(other) => panic!("unexpected receive error: {other}"),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.stats().items(), 2_000);
     }
 }

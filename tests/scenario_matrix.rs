@@ -11,7 +11,8 @@
 //! * the loss-driven scenarios insert FEC after the spike and remove it
 //!   after recovery, converging back to an empty chain,
 //! * the same spec and seed produce a byte-identical trace on every run,
-//! * the sync and threaded appliers agree byte for byte, and
+//! * the sync, threaded, and pooled (sharded worker-pool) appliers agree
+//!   byte for byte, and
 //! * replaying a recorded trace reproduces the identical report.
 //!
 //! The per-run health criteria live in `ScenarioOutcome::health_problems`,
@@ -47,6 +48,17 @@ fn every_builtin_scenario_closes_the_loop_on_both_appliers_at_both_seeds() {
                 "{context}: sync and threaded appliers diverge"
             );
             assert_eq!(outcome.report, threaded.report, "{context}: reports differ");
+
+            // The pooled applier — the whole chain as one cooperative task
+            // on a sharded worker pool, reconfigured through the same proxy
+            // control surface — must agree byte for byte as well.
+            let pooled = engine.run_pooled();
+            assert_eq!(
+                outcome.trace.canonical_text(),
+                pooled.trace.canonical_text(),
+                "{context}: sync and pooled appliers diverge"
+            );
+            assert_eq!(outcome.report, pooled.report, "{context}: pooled reports differ");
         }
     }
 }
@@ -109,6 +121,17 @@ fn every_fanout_scenario_closes_its_per_lane_loops_on_both_appliers_at_both_seed
                 "{context}: sync and session appliers diverge"
             );
             assert_eq!(outcome.report, session.report, "{context}: reports differ");
+
+            // And so must the pooled session applier, where the head, the
+            // fanout stage, and every lane run as tasks on a fixed worker
+            // pool with zero dedicated threads per session.
+            let pooled = engine.run_pooled();
+            assert_eq!(
+                outcome.trace.canonical_text(),
+                pooled.trace.canonical_text(),
+                "{context}: sync and pooled fanout appliers diverge"
+            );
+            assert_eq!(outcome.report, pooled.report, "{context}: pooled reports differ");
         }
     }
 }
@@ -138,4 +161,20 @@ fn batch_size_does_not_change_the_closed_loop() {
     let batched = ScenarioEngine::new(spec.with_batch_size(32)).run_threaded();
     assert_eq!(per_packet.trace.canonical_text(), batched.trace.canonical_text());
     assert_eq!(per_packet.report, batched.report);
+}
+
+#[test]
+fn scheduler_shape_does_not_change_the_closed_loop() {
+    // The sharded runtime must be invisible to the control plane too:
+    // worker count and step batch size are pure execution details, so a
+    // 1-shard batch-1 pool and an 8-shard batch-32 pool produce the same
+    // trace as each other (and, via the matrix test, as the sync run).
+    use rapidware::engine::RuntimeApplier;
+    let spec = ScenarioSpec::handoff_cliff().with_packets(1_200);
+    let engine = ScenarioEngine::new(spec);
+    let window = 50usize;
+    let single = engine.run_with(&mut RuntimeApplier::new(1, 1, window));
+    let wide = engine.run_with(&mut RuntimeApplier::new(8, 32, window));
+    assert_eq!(single.trace.canonical_text(), wide.trace.canonical_text());
+    assert_eq!(single.report, wide.report);
 }

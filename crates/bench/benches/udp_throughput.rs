@@ -1,0 +1,138 @@
+//! Socket-path vs in-process-pipe throughput, at batch sizes 1 and 32.
+//!
+//! The question this answers: what does leaving the process cost?  The
+//! same null chain moves the same packets either over detachable pipes
+//! (`Proxy::add_stream_batched`) or over two loopback UDP sockets
+//! (`Proxy::add_stream_udp` — encode, datagram, decode on both edges), and
+//! both paths are measured at a per-packet batch size and at batch 32.
+//!
+//! The wire path pays for framing (encode + CRC + decode) and two kernel
+//! crossings per packet, so the pipe path is expected to win by an order
+//! of magnitude; the number that matters is the socket path's absolute
+//! packets/second, which bounds what one proxy ingress can absorb from a
+//! real network.  The run asserts only sanity (every packet arrives);
+//! ratios are reported, not asserted, because kernel UDP performance is
+//! not ours to promise.
+//!
+//! Run with `cargo bench -p rapidware-bench --bench udp_throughput`.
+
+use std::net::UdpSocket;
+use std::time::{Duration, Instant};
+
+use rapidware::packet::{Packet, PacketKind, SeqNo, StreamId};
+use rapidware::proxy::{Proxy, UdpStreamConfig};
+use rapidware::streams::{DetachableReceiver, TryRecvError};
+use rapidware::transport::{UdpConfig, UdpIngress};
+
+const PACKETS: u64 = 20_000;
+const WINDOW: u64 = 100;
+const PAYLOAD: usize = 256;
+const CAPACITY: usize = 512;
+
+fn packet(seq: u64) -> Packet {
+    Packet::new(
+        StreamId::new(1),
+        SeqNo::new(seq),
+        PacketKind::AudioData,
+        vec![(seq % 251) as u8; PAYLOAD],
+    )
+}
+
+/// Drains `count` packets, panicking if the stream stalls for 60 s.
+fn drain(rx: &DetachableReceiver<Packet>, count: u64) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut received = 0u64;
+    while received < count {
+        assert!(Instant::now() < deadline, "stream stalled at {received}/{count}");
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(_) => received += 1,
+            Err(TryRecvError::Empty) => continue,
+            Err(other) => panic!("stream ended early: {other}"),
+        }
+    }
+    received
+}
+
+/// Pipes end to end: producer thread writes the chain input, main thread
+/// drains the output.  Returns packets/second.
+fn pipe_path(batch_size: usize) -> f64 {
+    let mut proxy = Proxy::new("bench");
+    let (input, output) = proxy.add_stream_batched("s", CAPACITY, batch_size).unwrap();
+    let producer = std::thread::spawn(move || {
+        for window in 0..(PACKETS / WINDOW) {
+            let batch: Vec<Packet> = (window * WINDOW..(window + 1) * WINDOW).map(packet).collect();
+            input.send_batch(batch).unwrap();
+        }
+    });
+    let start = Instant::now();
+    let received = drain(&output, PACKETS);
+    let elapsed = start.elapsed();
+    producer.join().unwrap();
+    proxy.shutdown().unwrap();
+    received as f64 / elapsed.as_secs_f64()
+}
+
+/// Sockets end to end: producer thread encodes and sends datagrams to the
+/// proxy ingress (paced against the ingress counter, since UDP has no
+/// back-pressure), main thread drains the app-side ingress.  Returns
+/// packets/second.
+fn socket_path(batch_size: usize) -> f64 {
+    let app_rx = UdpIngress::bind(
+        "127.0.0.1:0",
+        &UdpConfig::default().with_capacity(CAPACITY).with_batch_size(batch_size),
+    )
+    .unwrap();
+    let mut proxy = Proxy::new("bench");
+    let handle = proxy
+        .add_stream_udp(
+            "s",
+            UdpStreamConfig::to_peer(app_rx.local_addr())
+                .with_capacity(CAPACITY)
+                .with_batch_size(batch_size),
+        )
+        .unwrap();
+    let ingress_addr = handle.ingress_addr();
+    // Pace end to end against the *receiver-side* counter: neither the
+    // proxy ingress nor the app ingress may fall a full window behind, so
+    // no socket buffer on the path can overflow.
+    let app_stats = app_rx.stats();
+    let producer = std::thread::spawn(move || {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let mut scratch = Vec::new();
+        for window in 0..(PACKETS / WINDOW) {
+            for seq in window * WINDOW..(window + 1) * WINDOW {
+                packet(seq).encode_into(&mut scratch);
+                socket.send_to(&scratch, ingress_addr).unwrap();
+            }
+            while app_stats.rx_datagrams() < (window + 1) * WINDOW {
+                std::thread::yield_now();
+            }
+        }
+    });
+    let start = Instant::now();
+    let received = drain(&app_rx.receiver(), PACKETS);
+    let elapsed = start.elapsed();
+    producer.join().unwrap();
+    proxy.shutdown().unwrap();
+    received as f64 / elapsed.as_secs_f64()
+}
+
+fn main() {
+    println!("udp_throughput: {PACKETS} packets of {PAYLOAD} B through a null chain\n");
+    println!("{:<28} {:>16} {:>16}", "path", "batch=1", "batch=32");
+    let pipe_1 = pipe_path(1);
+    let pipe_32 = pipe_path(32);
+    println!("{:<28} {:>13.0} pps {:>13.0} pps", "in-process pipes", pipe_1, pipe_32);
+    let socket_1 = socket_path(1);
+    let socket_32 = socket_path(32);
+    println!("{:<28} {:>13.0} pps {:>13.0} pps", "loopback UDP sockets", socket_1, socket_32);
+    println!(
+        "\npipe/socket ratio: {:.1}x at batch=1, {:.1}x at batch=32",
+        pipe_1 / socket_1,
+        pipe_32 / socket_32
+    );
+    println!(
+        "socket batching gain: {:.2}x (batch=32 over batch=1)",
+        socket_32 / socket_1
+    );
+}

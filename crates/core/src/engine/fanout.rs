@@ -447,7 +447,7 @@ fn send_marker(input: &rapidware_streams::DetachableSender<Packet>, marker_seq: 
 /// overflows a pipe.  Draining every lane keeps the fanout moving no
 /// matter which pipe fills first.  Shared by the threaded-session and
 /// pooled-session appliers so the protocol cannot drift between runtimes.
-fn drain_lanes_until_marker(
+pub(super) fn drain_lanes_until_marker(
     outputs: &[DetachableReceiver<Packet>],
     marker_seq: u64,
 ) -> Vec<Vec<Packet>> {
@@ -482,7 +482,7 @@ fn drain_lanes_until_marker(
 /// Round-robin drains every lane to end of stream, appending everything
 /// (markers excluded) to `residue`; the finishing counterpart of
 /// [`drain_lanes_until_marker`].
-fn drain_lanes_to_eof(outputs: &[DetachableReceiver<Packet>], residue: &mut [Vec<Packet>]) {
+pub(super) fn drain_lanes_to_eof(outputs: &[DetachableReceiver<Packet>], residue: &mut [Vec<Packet>]) {
     let mut done = vec![false; outputs.len()];
     while done.iter().any(|flag| !flag) {
         let mut progressed = false;
@@ -1037,6 +1037,14 @@ impl FanoutEngine {
     /// byte-identical to the sync and threaded-session runs.
     pub fn run_pooled(&self) -> FanoutOutcome {
         self.run_with(&mut RuntimeFanoutApplier::for_spec(&self.spec))
+    }
+
+    /// Runs the scenario on a [`UdpFanoutApplier`](super::UdpFanoutApplier):
+    /// the session's ingress and every lane egress are loopback UDP
+    /// sockets.  The report must agree with the in-process appliers at the
+    /// same seed.
+    pub fn run_udp(&self) -> FanoutOutcome {
+        self.run_with(&mut super::UdpFanoutApplier::for_spec(&self.spec))
     }
 
     /// Runs the scenario against any applier.

@@ -46,10 +46,12 @@ mod fanout;
 mod report;
 mod spec;
 mod trace;
+mod udp;
 
 pub use applier::{
     apply_actions_to_chain, ActionApplier, RuntimeApplier, SyncChainApplier, ThreadedProxyApplier,
 };
+pub use udp::{UdpApplier, UdpFanoutApplier};
 pub use fanout::{
     FanoutApplier, FanoutEngine, FanoutOutcome, FanoutReport, FanoutSpec, LaneReport, LaneSpec,
     RuntimeFanoutApplier, SessionFanoutApplier, SyncFanoutApplier,
@@ -210,6 +212,14 @@ impl ScenarioEngine {
             self.spec.batch_size,
             window,
         ))
+    }
+
+    /// Runs the scenario against a [`UdpApplier`]: every packet crosses
+    /// two real loopback UDP sockets on its way through the chain.  The
+    /// report must agree with the in-process appliers at the same seed.
+    pub fn run_udp(&self) -> ScenarioOutcome {
+        let window = self.spec.sample_interval as usize;
+        self.run_with(&mut UdpApplier::new(self.spec.batch_size, window))
     }
 
     /// Runs the scenario against any applier.

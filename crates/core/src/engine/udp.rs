@@ -1,0 +1,356 @@
+//! Appliers that run a scenario's chain over **real loopback UDP sockets**.
+//!
+//! Same closed loop, different data plane: where the threaded and pooled
+//! appliers move packets over in-process pipes, [`UdpApplier`] and
+//! [`UdpFanoutApplier`] encode every packet into a datagram, send it to a
+//! proxy whose stream/session endpoints are UDP sockets
+//! ([`Proxy::add_stream_udp`] / [`Proxy::add_session_udp`]), and decode
+//! what comes back off the application-side sockets:
+//!
+//! ```text
+//!   engine ──encode──▶ UDP ──▶ UdpIngress ─▶ chain ─▶ UdpEgress ──▶ UDP ──decode──▶ engine
+//! ```
+//!
+//! Determinism over a real socket path relies on two facts: loopback UDP
+//! from a single socket is FIFO and (with window-bounded in-flight data)
+//! lossless, and the appliers quiesce with the same control-marker
+//! protocol as their in-process siblings — a [`PacketKind::Control`]
+//! marker rides the full socket → chain → socket path, so everything a
+//! window produced is collected, in order, before the engine moves on.
+//! The scenario-matrix harness holds these appliers to the same standard
+//! as the rest: the reports (delivered + recovered totals included) must
+//! match the sync applier exactly at fixed seeds.
+
+use std::net::UdpSocket;
+
+use rapidware_packet::{Packet, PacketKind, SeqNo};
+use rapidware_proxy::{Proxy, UdpSessionConfig, UdpSessionHandle, UdpStreamConfig, UdpStreamHandle};
+use rapidware_raplets::{apply_to_proxy, apply_to_session, AdaptationAction};
+use rapidware_streams::DetachableReceiver;
+use rapidware_transport::{UdpConfig, UdpIngress};
+
+use super::applier::{marker_stream, ActionApplier};
+use super::fanout::{drain_lanes_to_eof, drain_lanes_until_marker, FanoutApplier, FanoutSpec};
+
+/// Encodes `packet` and sends it to `peer` as one datagram.
+fn transmit(socket: &UdpSocket, peer: std::net::SocketAddr, packet: &Packet, scratch: &mut Vec<u8>) {
+    packet.encode_into(scratch);
+    socket
+        .send_to(scratch, peer)
+        .expect("loopback sends do not fail");
+}
+
+fn marker(seq: u64) -> Packet {
+    Packet::new(marker_stream(), SeqNo::new(seq), PacketKind::Control, Vec::new())
+}
+
+/// The wire applier: one flat stream on a [`Proxy`] whose endpoints are
+/// loopback UDP sockets, reconfigured through the ordinary proxy control
+/// surface while datagrams flow.
+#[derive(Debug)]
+pub struct UdpApplier {
+    proxy: Proxy,
+    stream: String,
+    handle: UdpStreamHandle,
+    tx: UdpSocket,
+    scratch: Vec<u8>,
+    rx: UdpIngress,
+    next_marker: u64,
+    finished: bool,
+}
+
+impl UdpApplier {
+    /// Spins up a proxy with one UDP-backed stream processing packets in
+    /// batches of up to `batch_size`, plus the application-side sockets on
+    /// both ends of it.  `window_hint` sizes the pipes so a whole sample
+    /// window (plus parity overhead) fits without stalling the pumps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loopback socket cannot be bound (resource exhaustion).
+    pub fn new(batch_size: usize, window_hint: usize) -> Self {
+        let capacity = (window_hint.max(32)) * 4;
+        let udp_config = UdpConfig::default().with_capacity(capacity);
+        let rx = UdpIngress::bind("127.0.0.1:0", &udp_config)
+            .expect("binding an ephemeral loopback socket");
+        let mut proxy = Proxy::new("scenario-proxy");
+        let handle = proxy
+            .add_stream_udp(
+                "scenario",
+                UdpStreamConfig::to_peer(rx.local_addr())
+                    .with_capacity(capacity)
+                    .with_batch_size(batch_size.max(1)),
+            )
+            .expect("a fresh proxy accepts its first UDP stream");
+        let tx = UdpSocket::bind("127.0.0.1:0").expect("binding the app-side send socket");
+        Self {
+            proxy,
+            stream: "scenario".to_string(),
+            handle,
+            tx,
+            scratch: Vec::new(),
+            rx,
+            next_marker: 0,
+            finished: false,
+        }
+    }
+
+    fn quiesce(&mut self) -> Vec<Packet> {
+        let marker_seq = self.next_marker;
+        self.next_marker += 1;
+        transmit(&self.tx, self.handle.ingress_addr(), &marker(marker_seq), &mut self.scratch);
+        let mut collected = Vec::new();
+        loop {
+            let packet = self
+                .rx
+                .recv()
+                .expect("the marker is still in flight, so the stream cannot end");
+            if packet.kind() == PacketKind::Control && packet.stream() == marker_stream() {
+                if packet.seq().value() == marker_seq {
+                    return collected;
+                }
+                continue;
+            }
+            collected.push(packet);
+        }
+    }
+}
+
+impl ActionApplier for UdpApplier {
+    fn label(&self) -> &'static str {
+        "udp"
+    }
+
+    fn process(&mut self, packets: Vec<Packet>) -> Vec<Packet> {
+        for packet in &packets {
+            transmit(&self.tx, self.handle.ingress_addr(), packet, &mut self.scratch);
+        }
+        self.quiesce()
+    }
+
+    fn apply(&mut self, actions: &[AdaptationAction]) -> Vec<Packet> {
+        apply_to_proxy(&self.proxy, &self.stream, actions)
+            .expect("responder actions are valid for the live chain");
+        self.quiesce()
+    }
+
+    fn installed_filters(&self) -> Vec<String> {
+        self.proxy
+            .filter_names(&self.stream)
+            .expect("the scenario stream exists for the applier's lifetime")
+    }
+
+    fn finish(&mut self) -> Vec<Packet> {
+        self.finished = true;
+        // Closing the chain input flushes every filter; the residue rides
+        // out the egress followed by the transport FIN, which ends the
+        // app-side stream.
+        self.handle.close_input();
+        let mut residue = Vec::new();
+        while let Ok(packet) = self.rx.recv() {
+            if packet.kind() == PacketKind::Control && packet.stream() == marker_stream() {
+                continue;
+            }
+            residue.push(packet);
+        }
+        residue
+    }
+}
+
+impl Drop for UdpApplier {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.handle.close_input();
+        }
+        let _ = self.proxy.shutdown();
+    }
+}
+
+/// The wire fanout applier: a session on a [`Proxy`] with a UDP ingress
+/// and one UDP egress per receiver lane, each delivering to its own
+/// application-side socket.
+pub struct UdpFanoutApplier {
+    proxy: Proxy,
+    session: String,
+    handle: UdpSessionHandle,
+    tx: UdpSocket,
+    scratch: Vec<u8>,
+    /// Application-side sockets, one per lane (kept alive; their pipe
+    /// receivers are in `outputs`).
+    lane_rx: Vec<UdpIngress>,
+    outputs: Vec<DetachableReceiver<Packet>>,
+    lane_names: Vec<String>,
+    /// Packets collected for a lane outside its own turn; prepended to that
+    /// lane's next `process` result so nothing is ever dropped.
+    pending: Vec<Vec<Packet>>,
+    next_marker: u64,
+    finished: bool,
+}
+
+impl std::fmt::Debug for UdpFanoutApplier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpFanoutApplier")
+            .field("lanes", &self.lane_names)
+            .finish()
+    }
+}
+
+impl UdpFanoutApplier {
+    /// Spins up a UDP-backed session for a spec: head filters installed,
+    /// one lane (and one application-side socket) per
+    /// [`LaneSpec`](super::LaneSpec), pipes sized so a whole sample window
+    /// fits without stalling the pumps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loopback socket cannot be bound (resource exhaustion).
+    pub fn for_spec(spec: &FanoutSpec) -> Self {
+        let capacity = (spec.sample_interval.max(32) as usize) * 4;
+        let udp_config = UdpConfig::default().with_capacity(capacity);
+        let mut lane_rx = Vec::with_capacity(spec.lanes.len());
+        let mut session_config = UdpSessionConfig::new()
+            .with_capacity(capacity)
+            .with_batch_size(spec.batch_size.max(1));
+        for lane in &spec.lanes {
+            let ingress = UdpIngress::bind("127.0.0.1:0", &udp_config)
+                .expect("binding an ephemeral loopback socket");
+            session_config = session_config.with_lane(&lane.name, ingress.local_addr());
+            lane_rx.push(ingress);
+        }
+        let mut proxy = Proxy::new("scenario-proxy");
+        let handle = proxy
+            .add_session_udp(spec.name.clone(), session_config)
+            .expect("a fresh proxy accepts its first UDP session");
+        let session = proxy.session(&spec.name).expect("the session was just created");
+        for (position, filter_spec) in spec.head_filters.iter().enumerate() {
+            session
+                .insert_head_filter(position, filter_spec)
+                .expect("head filter specs reference registered kinds");
+        }
+        let tx = UdpSocket::bind("127.0.0.1:0").expect("binding the app-side send socket");
+        let outputs: Vec<DetachableReceiver<Packet>> =
+            lane_rx.iter().map(UdpIngress::receiver).collect();
+        let lane_names: Vec<String> = spec.lanes.iter().map(|lane| lane.name.clone()).collect();
+        let lane_count = lane_names.len();
+        Self {
+            proxy,
+            session: spec.name.clone(),
+            handle,
+            tx,
+            scratch: Vec::new(),
+            lane_rx,
+            outputs,
+            lane_names,
+            pending: vec![Vec::new(); lane_count],
+            next_marker: 0,
+            finished: false,
+        }
+    }
+
+    /// Sends one control marker into the session's UDP ingress (it fans
+    /// out to every lane) and drains all lanes concurrently until each copy
+    /// emerges.
+    fn quiesce_all(&mut self) -> Vec<Vec<Packet>> {
+        let marker_seq = self.next_marker;
+        self.next_marker += 1;
+        transmit(&self.tx, self.handle.ingress_addr(), &marker(marker_seq), &mut self.scratch);
+        drain_lanes_until_marker(&self.outputs, marker_seq)
+    }
+}
+
+impl FanoutApplier for UdpFanoutApplier {
+    fn label(&self) -> &'static str {
+        "udp"
+    }
+
+    fn process(&mut self, packets: Vec<Packet>) -> Vec<Vec<Packet>> {
+        for packet in &packets {
+            transmit(&self.tx, self.handle.ingress_addr(), packet, &mut self.scratch);
+        }
+        let mut out = self.quiesce_all();
+        for (lane, extra) in out.iter_mut().enumerate() {
+            if !self.pending[lane].is_empty() {
+                let mut merged = std::mem::take(&mut self.pending[lane]);
+                merged.append(extra);
+                *extra = merged;
+            }
+        }
+        out
+    }
+
+    fn apply(&mut self, lane: usize, actions: &[AdaptationAction]) -> Vec<Packet> {
+        let session = self
+            .proxy
+            .session(&self.session)
+            .expect("the scenario session exists for the applier's lifetime");
+        apply_to_session(session, &self.lane_names[lane], actions)
+            .expect("responder actions are valid for the live lane");
+        let mut all = self.quiesce_all();
+        let target = std::mem::take(&mut all[lane]);
+        for (index, extra) in all.into_iter().enumerate() {
+            if !extra.is_empty() {
+                self.pending[index].extend(extra);
+            }
+        }
+        target
+    }
+
+    fn lane_filters(&self, lane: usize) -> Vec<String> {
+        self.proxy
+            .session(&self.session)
+            .and_then(|session| session.lane_filter_names(&self.lane_names[lane]))
+            .expect("spec lanes exist for the applier's lifetime")
+    }
+
+    fn head_filters(&self) -> Vec<String> {
+        self.proxy
+            .session(&self.session)
+            .expect("the scenario session exists for the applier's lifetime")
+            .head_filter_names()
+    }
+
+    fn finish(&mut self) -> Vec<Vec<Packet>> {
+        self.finished = true;
+        // Closing the session input flushes the head through every lane;
+        // each lane's egress sends its residue and a FIN, which closes the
+        // matching app-side pipe, so the EOF drain below terminates.
+        self.handle.close_input();
+        let mut residue: Vec<Vec<Packet>> = std::mem::take(&mut self.pending);
+        drain_lanes_to_eof(&self.outputs, &mut residue);
+        residue
+    }
+}
+
+impl Drop for UdpFanoutApplier {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.handle.close_input();
+        }
+        let _ = self.lane_rx.drain(..);
+        let _ = self.proxy.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{FanoutEngine, ScenarioEngine, ScenarioSpec};
+
+    #[test]
+    fn the_udp_applier_matches_the_sync_applier_on_a_small_scenario() {
+        let spec = ScenarioSpec::handoff_cliff().with_packets(400);
+        let engine = ScenarioEngine::new(spec);
+        let sync = engine.run_sync();
+        let udp = engine.run_udp();
+        assert_eq!(sync.report, udp.report, "the wire must not change the outcome");
+        assert_eq!(sync.trace.canonical_text(), udp.trace.canonical_text());
+    }
+
+    #[test]
+    fn the_udp_fanout_applier_matches_the_sync_applier_on_a_small_spec() {
+        let spec = super::super::FanoutSpec::all_wired().with_packets(300);
+        let engine = FanoutEngine::new(spec);
+        let sync = engine.run_sync();
+        let udp = engine.run_udp();
+        assert_eq!(sync.report, udp.report, "the wire must not change the outcome");
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`fec`] | `rapidware-fec` | (n, k) block erasure codes over GF(2⁸) |
 //! | [`filters`] | `rapidware-filters` | the `Filter` trait, the reconfigurable chain, and the built-in filter library |
 //! | [`proxy`] | `rapidware-proxy` | thread-per-filter proxy runtime, filter registry, control protocol |
+//! | [`transport`] | `rapidware-transport` | real UDP ingress/egress endpoints and the deterministic loopback impairment shim |
 //! | [`raplets`] | `rapidware-raplets` | observer / responder raplets and the adaptation engine |
 //! | [`netsim`] | `rapidware-netsim` | deterministic wireless LAN simulator (the testbed substitute) |
 //! | [`media`] | `rapidware-media` | synthetic audio / video workloads and measurement sinks |
@@ -52,6 +53,7 @@ pub use rapidware_pavilion as pavilion;
 pub use rapidware_proxy as proxy;
 pub use rapidware_raplets as raplets;
 pub use rapidware_streams as streams;
+pub use rapidware_transport as transport;
 
 mod builder;
 pub mod engine;
@@ -84,8 +86,9 @@ pub mod prelude {
     pub use rapidware_pavilion::{CollaborativeSession, DeviceProfile};
     pub use rapidware_proxy::{
         Command, ControlManager, FilterRegistry, FilterSpec, PooledChain, PooledSession, Proxy,
-        Runtime, RuntimeConfig, ThreadedChain,
+        Runtime, RuntimeConfig, ThreadedChain, UdpSessionConfig, UdpStreamConfig,
     };
+    pub use rapidware_transport::{ImpairedUdp, ImpairmentPlan, UdpConfig, UdpEgress, UdpIngress};
     pub use rapidware_raplets::{
         AdaptationAction, AdaptationEngine, FecResponder, LinkSample, LossRateObserver,
     };

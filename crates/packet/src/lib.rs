@@ -46,5 +46,5 @@ pub use buffer::{BufferPush, PacketBuffer};
 pub use crc::{crc32, crc32_finish, crc32_init, crc32_update};
 pub use id::{BlockId, SeqNo, StreamId};
 pub use kind::{FrameType, PacketKind};
-pub use packet::{DecodeError, Packet, PacketHeader, HEADER_LEN};
+pub use packet::{DecodeError, Packet, PacketHeader, HEADER_LEN, MAX_PAYLOAD_LEN};
 pub use stats::{LossEvent, ReceiptStats, WindowStats};

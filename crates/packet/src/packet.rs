@@ -26,6 +26,18 @@ use crate::kind::{FrameType, PacketKind};
 /// | 36 | 4 | CRC-32 of header-so-far + payload |
 pub const HEADER_LEN: usize = 40;
 
+/// Maximum payload length [`Packet::decode`] accepts.
+///
+/// Frames arriving from a network (datagram reassembly, a corrupted or
+/// hostile peer) carry an attacker-controlled length field; without a cap, a
+/// forged header could declare a multi-gigabyte payload and drive a
+/// reassembly buffer to reserve it before any integrity check runs.  The cap
+/// is far above every real workload in this system (media payloads are a few
+/// kilobytes, UDP datagrams top out at 65,507 bytes) while keeping the worst
+/// case allocation bounded.  [`DecodeError::FrameTooLarge`] reports
+/// violations before any payload is touched.
+pub const MAX_PAYLOAD_LEN: usize = 1 << 20;
+
 /// Fixed metadata carried by every packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PacketHeader {
@@ -56,6 +68,12 @@ pub enum DecodeError {
     Truncated,
     /// The payload length field points past the end of the input.
     BadLength,
+    /// The payload length field exceeds [`MAX_PAYLOAD_LEN`]; the frame is
+    /// rejected before any payload is read (the datagram-reassembly guard).
+    FrameTooLarge {
+        /// Payload length the header declared.
+        declared: usize,
+    },
     /// The kind tag is not one of the known packet kinds.
     UnknownKind(u8),
     /// The frame-type byte of a video packet is invalid.
@@ -74,6 +92,9 @@ impl fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "packet shorter than header"),
             DecodeError::BadLength => write!(f, "payload length exceeds packet size"),
+            DecodeError::FrameTooLarge { declared } => {
+                write!(f, "declared payload length {declared} exceeds the {MAX_PAYLOAD_LEN}-byte frame cap")
+            }
             DecodeError::UnknownKind(tag) => write!(f, "unknown packet kind tag {tag}"),
             DecodeError::UnknownFrameType(v) => write!(f, "unknown frame type byte {v}"),
             DecodeError::BadChecksum { expected, actual } => {
@@ -318,6 +339,11 @@ impl Packet {
         let block = cursor.get_u64();
         let payload_len = cursor.get_u32() as usize;
         let carried_crc = cursor.get_u32();
+        if payload_len > MAX_PAYLOAD_LEN {
+            return Err(DecodeError::FrameTooLarge {
+                declared: payload_len,
+            });
+        }
         if wire.len() < HEADER_LEN + payload_len {
             return Err(DecodeError::BadLength);
         }

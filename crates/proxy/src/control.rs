@@ -202,6 +202,19 @@ impl fmt::Display for Response {
                         )?;
                     }
                 }
+                for transport in &status.transports {
+                    write!(
+                        f,
+                        " udp={}:{} at={} rx={} tx={} decode-err={} drop={}",
+                        transport.name,
+                        if transport.session { "session" } else { "stream" },
+                        transport.ingress_addr,
+                        transport.ingress.rx_packets,
+                        transport.egress.tx_packets,
+                        transport.ingress.decode_errors,
+                        transport.ingress.dropped + transport.egress.dropped,
+                    )?;
+                }
                 if let Some(runtime) = &status.runtime {
                     write!(
                         f,

@@ -40,6 +40,9 @@ pub enum ProxyError {
     /// A pooled stream or session was requested on a proxy whose sharded
     /// runtime was never enabled.
     RuntimeDisabled,
+    /// A UDP transport endpoint could not be created (socket bind or
+    /// configuration failure; the text carries the OS error).
+    Transport(String),
     /// The chain has already been shut down.
     ChainClosed,
     /// A worker thread disappeared unexpectedly (panicked).
@@ -65,6 +68,7 @@ impl fmt::Display for ProxyError {
             ProxyError::RuntimeDisabled => {
                 write!(f, "sharded runtime not enabled on this proxy (use with_runtime)")
             }
+            ProxyError::Transport(what) => write!(f, "transport endpoint failed: {what}"),
             ProxyError::ChainClosed => write!(f, "chain has been shut down"),
             ProxyError::WorkerFailed(name) => write!(f, "filter worker {name} failed"),
         }

@@ -65,6 +65,7 @@ mod registry;
 pub mod runtime;
 mod session;
 mod threaded;
+mod udp;
 
 pub use control::{Command, ControlManager, Response};
 pub use error::ProxyError;
@@ -73,3 +74,9 @@ pub use registry::{FilterRegistry, FilterSpec};
 pub use runtime::{PooledChain, PooledSession, Runtime, RuntimeConfig, RuntimeStatus, ShardStatus};
 pub use session::{LaneStatus, Session, SessionStatus};
 pub use threaded::{ChainStats, ThreadedChain, DEFAULT_BATCH_SIZE};
+pub use udp::{
+    UdpSessionConfig, UdpSessionHandle, UdpStreamConfig, UdpStreamHandle, UdpTransportStatus,
+};
+// Re-exported so callers reading `ProxyStatus::transports` (or holding the
+// stats handles in a `Udp*Handle`) need not depend on the transport crate.
+pub use rapidware_transport::{TransportSnapshot, TransportStats};

@@ -8,11 +8,17 @@ use rapidware_filters::Filter;
 use rapidware_packet::Packet;
 use rapidware_streams::{DetachableReceiver, DetachableSender};
 
+use rapidware_transport::{UdpConfig, UdpEgress, UdpIngress};
+
 use crate::error::ProxyError;
 use crate::registry::{FilterRegistry, FilterSpec};
 use crate::runtime::{PooledChain, PooledSession, Runtime, RuntimeConfig, RuntimeStatus};
 use crate::session::{Session, SessionStatus};
 use crate::threaded::{ChainStats, ThreadedChain};
+use crate::udp::{
+    UdpSessionConfig, UdpSessionHandle, UdpSessionTransport, UdpStreamConfig, UdpStreamHandle,
+    UdpStreamTransport, UdpTransportStatus,
+};
 
 /// A snapshot of one stream's configuration and statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,6 +114,10 @@ pub struct ProxyStatus {
     /// Sharded-runtime snapshot (per-shard queue depths, live tasks,
     /// steals) when the proxy runs a worker pool; `None` otherwise.
     pub runtime: Option<RuntimeStatus>,
+    /// Per-endpoint counters of every UDP-backed stream and session
+    /// (rx/tx datagrams and packets, decode errors, drops), sorted by
+    /// name.
+    pub transports: Vec<UdpTransportStatus>,
 }
 
 /// One RAPIDware proxy: a set of named streams and fanout sessions, a
@@ -118,6 +128,8 @@ pub struct Proxy {
     streams: BTreeMap<String, StreamChain>,
     sessions: BTreeMap<String, Session>,
     pooled_sessions: BTreeMap<String, PooledSession>,
+    udp_streams: BTreeMap<String, UdpStreamTransport>,
+    udp_sessions: BTreeMap<String, UdpSessionTransport>,
     runtime: Option<Arc<Runtime>>,
 }
 
@@ -146,6 +158,8 @@ impl Proxy {
             streams: BTreeMap::new(),
             sessions: BTreeMap::new(),
             pooled_sessions: BTreeMap::new(),
+            udp_streams: BTreeMap::new(),
+            udp_sessions: BTreeMap::new(),
             runtime: None,
         }
     }
@@ -369,6 +383,163 @@ impl Proxy {
         names
     }
 
+    /// Creates a stream whose endpoints are **real UDP sockets**: an
+    /// ingress socket decodes arriving datagrams straight into the chain
+    /// input, and the chain output is framed and sent to
+    /// `config.egress_peer`, one packet per datagram.  The chain itself is
+    /// an ordinary stream — it appears in [`stream_names`](Self::stream_names),
+    /// accepts live filter splices through the usual control surface, and
+    /// runs thread-per-filter or on the worker pool per `config.pooled`.
+    ///
+    /// The returned [`UdpStreamHandle`] carries the concrete socket
+    /// addresses (ports are ephemeral by default), the per-endpoint
+    /// counters, and [`close_input`](UdpStreamHandle::close_input) for a
+    /// clean end of stream; the same counters surface in
+    /// [`ProxyStatus::transports`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::Splice`] if the stream name is taken,
+    /// [`ProxyError::RuntimeDisabled`] for a pooled placement without a
+    /// runtime, or [`ProxyError::Transport`] if a socket cannot be bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.capacity` is zero.
+    pub fn add_stream_udp(
+        &mut self,
+        name: impl Into<String>,
+        config: UdpStreamConfig,
+    ) -> Result<UdpStreamHandle, ProxyError> {
+        let name = name.into();
+        let chain = if config.pooled {
+            let runtime = self.runtime.as_ref().ok_or(ProxyError::RuntimeDisabled)?;
+            StreamChain::Pooled(runtime.add_chain_with(
+                name.clone(),
+                config.capacity,
+                config.batch_size.max(1),
+            ))
+        } else {
+            StreamChain::Threaded(ThreadedChain::with_batch_size(
+                config.capacity,
+                config.batch_size.max(1),
+            )?)
+        };
+        let (input, output) = self.install_stream(name.clone(), chain)?;
+        let udp_config = UdpConfig::default()
+            .with_capacity(config.capacity)
+            .with_batch_size(config.batch_size.max(1));
+        let ingress = UdpIngress::bind_into(config.ingress_bind, input.clone(), &udp_config)
+            .map_err(|err| self.transport_failure(&name, err))?;
+        let egress = UdpEgress::drain(output, config.egress_peer, &udp_config)
+            .map_err(|err| self.transport_failure(&name, err))?;
+        let handle = UdpStreamHandle {
+            ingress_addr: ingress.local_addr(),
+            egress_addr: egress.local_addr(),
+            ingress_stats: ingress.stats(),
+            egress_stats: egress.stats(),
+            input: input.clone(),
+        };
+        self.udp_streams.insert(
+            name,
+            UdpStreamTransport {
+                ingress,
+                egress,
+                input,
+            },
+        );
+        Ok(handle)
+    }
+
+    /// Removes the half-installed stream after a socket failure and wraps
+    /// the error; an `add_stream_udp` that fails leaves no trace behind.
+    fn transport_failure(&mut self, name: &str, err: std::io::Error) -> ProxyError {
+        if let Some(chain) = self.streams.remove(name) {
+            let _ = chain.shutdown();
+        }
+        ProxyError::Transport(err.to_string())
+    }
+
+    /// Creates a fanout session whose endpoints are **real UDP sockets**:
+    /// one ingress socket feeding the shared head chain, and one egress
+    /// socket per `config.lanes` entry sending that lane's packets to its
+    /// peer.  The session is an ordinary session otherwise — it appears in
+    /// [`session_names`](Self::session_names) and accepts per-lane filter
+    /// splices through [`session`](Self::session) /
+    /// [`pooled_session`](Self::pooled_session) (per `config.pooled`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::Splice`] if the session name is taken,
+    /// [`ProxyError::RuntimeDisabled`] for a pooled placement without a
+    /// runtime, or [`ProxyError::Transport`] if a socket cannot be bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.capacity` is zero.
+    pub fn add_session_udp(
+        &mut self,
+        name: impl Into<String>,
+        config: UdpSessionConfig,
+    ) -> Result<UdpSessionHandle, ProxyError> {
+        let name = name.into();
+        let input = if config.pooled {
+            self.add_session_pooled(name.clone(), config.capacity, config.batch_size.max(1))?
+        } else {
+            self.add_session(name.clone(), config.capacity, config.batch_size.max(1))?
+        };
+        let udp_config = UdpConfig::default()
+            .with_capacity(config.capacity)
+            .with_batch_size(config.batch_size.max(1));
+        let result = (|| -> Result<(UdpIngress, Vec<(String, UdpEgress)>), ProxyError> {
+            let ingress = UdpIngress::bind_into(config.ingress_bind, input.clone(), &udp_config)
+                .map_err(|err| ProxyError::Transport(err.to_string()))?;
+            let mut lanes = Vec::with_capacity(config.lanes.len());
+            for (lane_name, peer) in &config.lanes {
+                let lane_output = if config.pooled {
+                    self.pooled_session(&name)?.add_lane(lane_name)?
+                } else {
+                    self.session(&name)?.add_lane(lane_name)?
+                };
+                let egress = UdpEgress::drain(lane_output, *peer, &udp_config)
+                    .map_err(|err| ProxyError::Transport(err.to_string()))?;
+                lanes.push((lane_name.clone(), egress));
+            }
+            Ok((ingress, lanes))
+        })();
+        let (ingress, lanes) = match result {
+            Ok(parts) => parts,
+            Err(err) => {
+                // Tear the half-installed session down so the name is free.
+                if let Some(session) = self.sessions.remove(&name) {
+                    let _ = session.shutdown();
+                }
+                if let Some(session) = self.pooled_sessions.remove(&name) {
+                    let _ = session.shutdown();
+                }
+                return Err(err);
+            }
+        };
+        let handle = UdpSessionHandle {
+            ingress_addr: ingress.local_addr(),
+            ingress_stats: ingress.stats(),
+            lanes: lanes
+                .iter()
+                .map(|(lane_name, egress)| (lane_name.clone(), egress.stats()))
+                .collect(),
+            input: input.clone(),
+        };
+        self.udp_sessions.insert(
+            name,
+            UdpSessionTransport {
+                ingress,
+                lanes,
+                input,
+            },
+        );
+        Ok(handle)
+    }
+
     /// Instantiates a filter from `spec` and splices it into `stream` at
     /// `position`.
     ///
@@ -463,6 +634,17 @@ impl Proxy {
             .chain(self.pooled_sessions.values().map(PooledSession::status))
             .collect();
         sessions.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut transports: Vec<UdpTransportStatus> = self
+            .udp_streams
+            .iter()
+            .map(|(name, transport)| transport.status(name))
+            .chain(
+                self.udp_sessions
+                    .iter()
+                    .map(|(name, transport)| transport.status(name)),
+            )
+            .collect();
+        transports.sort_by(|a, b| a.name.cmp(&b.name));
         ProxyStatus {
             name: self.name.clone(),
             streams: self
@@ -478,6 +660,7 @@ impl Proxy {
             sessions,
             available_kinds: self.registry.kinds(),
             runtime: self.runtime.as_ref().map(|runtime| runtime.status()),
+            transports,
         }
     }
 
@@ -489,6 +672,22 @@ impl Proxy {
     /// the remaining streams regardless).
     pub fn shutdown(&mut self) -> Result<(), ProxyError> {
         let mut first_error = None;
+        // Transport teardown brackets the chain teardown: ingress pumps
+        // stop first (while their chains are still draining, so a pump
+        // blocked on chain back-pressure can always exit), the chain
+        // inputs close so every chain flushes, and the egress pumps are
+        // joined last — after the chains have delivered their final
+        // output, so nothing in flight is stranded.
+        let mut udp_streams = std::mem::take(&mut self.udp_streams);
+        let mut udp_sessions = std::mem::take(&mut self.udp_sessions);
+        for transport in udp_streams.values_mut() {
+            transport.ingress.shutdown();
+            transport.input.close();
+        }
+        for transport in udp_sessions.values_mut() {
+            transport.ingress.shutdown();
+            transport.input.close();
+        }
         for (_, chain) in std::mem::take(&mut self.streams) {
             if let Err(err) = chain.shutdown() {
                 first_error.get_or_insert(err);
@@ -502,6 +701,14 @@ impl Proxy {
         for (_, session) in std::mem::take(&mut self.pooled_sessions) {
             if let Err(err) = session.shutdown() {
                 first_error.get_or_insert(err);
+            }
+        }
+        for transport in udp_streams.values_mut() {
+            transport.egress.shutdown();
+        }
+        for transport in udp_sessions.values_mut() {
+            for (_, egress) in &mut transport.lanes {
+                egress.shutdown();
             }
         }
         // Pooled chains and sessions are down; stopping the workers last
@@ -752,6 +959,115 @@ mod tests {
         ));
         assert!(proxy.runtime().is_none());
         assert!(proxy.status().runtime.is_none());
+    }
+
+    fn encode_to(socket: &std::net::UdpSocket, peer: std::net::SocketAddr, packet: &Packet) {
+        let mut scratch = Vec::new();
+        packet.encode_into(&mut scratch);
+        socket.send_to(&scratch, peer).unwrap();
+    }
+
+    #[test]
+    fn udp_streams_carry_packets_over_real_sockets() {
+        let mut proxy = Proxy::new("wire");
+        // The application's receiving endpoint.
+        let app_rx = rapidware_transport::UdpIngress::bind(
+            "127.0.0.1:0",
+            &rapidware_transport::UdpConfig::default(),
+        )
+        .unwrap();
+        let handle = proxy
+            .add_stream_udp("audio", UdpStreamConfig::to_peer(app_rx.local_addr()))
+            .unwrap();
+        // The stream is an ordinary stream: filters splice in live.
+        proxy.insert_filter("audio", 0, &FilterSpec::new("tap").with_param("name", "wire")).unwrap();
+        assert_eq!(proxy.stream_names(), vec!["audio"]);
+
+        let app_tx = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+        for seq in 0..16 {
+            encode_to(&app_tx, handle.ingress_addr(), &packet(seq));
+        }
+        for seq in 0..16 {
+            assert_eq!(app_rx.recv().unwrap().seq().value(), seq);
+        }
+        // Ending the stream from the proxy side flushes and FINs.
+        handle.close_input();
+        assert!(app_rx.recv().is_err(), "FIN must end the app-side stream");
+
+        let status = proxy.status();
+        assert_eq!(status.transports.len(), 1);
+        let transport = &status.transports[0];
+        assert_eq!(transport.name, "audio");
+        assert!(!transport.session);
+        assert_eq!(transport.ingress.rx_packets, 16);
+        assert_eq!(transport.egress.tx_packets, 17, "16 data + 1 FIN");
+        assert_eq!(handle.ingress_stats().rx_packets(), 16);
+        assert_eq!(handle.egress_stats().tx_packets(), 17);
+        assert_ne!(handle.egress_addr().port(), 0);
+        // The control protocol renders the endpoint counters.
+        let rendered = crate::Response::Status(status).to_string();
+        assert!(rendered.contains("udp=audio:stream"), "{rendered}");
+        assert!(rendered.contains("rx=16"), "{rendered}");
+        proxy.shutdown().unwrap();
+    }
+
+    #[test]
+    fn udp_sessions_fan_out_to_per_lane_sockets() {
+        let config = rapidware_transport::UdpConfig::default();
+        let lane_a = rapidware_transport::UdpIngress::bind("127.0.0.1:0", &config).unwrap();
+        let lane_b = rapidware_transport::UdpIngress::bind("127.0.0.1:0", &config).unwrap();
+        let mut proxy = Proxy::with_runtime("wire", RuntimeConfig::new(2, 8));
+        let handle = proxy
+            .add_session_udp(
+                "fanout",
+                UdpSessionConfig::new()
+                    .pooled()
+                    .with_lane("a", lane_a.local_addr())
+                    .with_lane("b", lane_b.local_addr()),
+            )
+            .unwrap();
+        assert_eq!(proxy.session_names(), vec!["fanout"]);
+        let app_tx = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+        for seq in 0..8 {
+            encode_to(&app_tx, handle.ingress_addr(), &packet(seq));
+        }
+        for seq in 0..8 {
+            assert_eq!(lane_a.recv().unwrap().seq().value(), seq);
+            assert_eq!(lane_b.recv().unwrap().seq().value(), seq);
+        }
+        handle.close_input();
+        assert!(lane_a.recv().is_err(), "lane a must see the FIN");
+        assert!(lane_b.recv().is_err(), "lane b must see the FIN");
+        assert_eq!(handle.lane_stats("a").unwrap().tx_packets(), 9);
+        assert!(handle.lane_stats("nope").is_none());
+        let status = proxy.status();
+        assert_eq!(status.transports.len(), 1);
+        assert!(status.transports[0].session);
+        assert_eq!(status.transports[0].egress.tx_packets, 18, "two lanes x (8 + FIN)");
+        proxy.shutdown().unwrap();
+    }
+
+    #[test]
+    fn udp_failures_leave_no_half_installed_stream_behind() {
+        let mut proxy = Proxy::new("wire");
+        let peer = std::net::SocketAddr::from(([127, 0, 0, 1], 9));
+        // Binding a non-local address fails; the stream name must be free
+        // again afterwards.
+        let bogus = UdpStreamConfig::to_peer(peer)
+            .with_ingress_bind(std::net::SocketAddr::from(([203, 0, 113, 1], 0)));
+        assert!(matches!(
+            proxy.add_stream_udp("s", bogus),
+            Err(ProxyError::Transport(_))
+        ));
+        assert!(proxy.stream_names().is_empty());
+        // Pooled placement still requires a runtime.
+        assert!(matches!(
+            proxy.add_stream_udp("s", UdpStreamConfig::to_peer(peer).pooled()),
+            Err(ProxyError::RuntimeDisabled)
+        ));
+        // And the name stays usable for a working configuration.
+        proxy.add_stream_udp("s", UdpStreamConfig::to_peer(peer)).unwrap();
+        proxy.shutdown().unwrap();
     }
 
     #[test]

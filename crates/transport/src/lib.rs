@@ -1,0 +1,165 @@
+//! # rapidware-transport — real UDP ingress/egress behind the proxy
+//!
+//! Every other crate in this workspace moves packets over in-process
+//! detachable pipes or the simulated `netsim` medium.  This crate is where
+//! bytes first cross a socket: it carries the existing wire format
+//! ([`Packet::encode_into`] / [`Packet::decode`], one packet per datagram)
+//! over nonblocking [`std::net::UdpSocket`]s, behind endpoints that expose
+//! the *same surface* as a [`DetachableSender`] / [`DetachableReceiver`]
+//! pair — `send` / `send_batch` / `try_send_batch` on the way out, `recv` /
+//! `recv_up_to` / `try_recv_up_to` plus [`PipeWatcher`]-style readiness on
+//! the way in — so filter chains, fanout lanes, and pooled-runtime tasks
+//! run unmodified whether their peer is a pipe or a socket.
+//!
+//! * [`UdpIngress`] — binds a socket; a pump thread decodes each datagram
+//!   and delivers it into a detachable pipe (its own, or one supplied by
+//!   the proxy so the packets land directly on a chain input).
+//! * [`UdpEgress`] — a pump thread drains a detachable pipe (its own, or a
+//!   chain output supplied by the proxy), frames each packet with
+//!   [`Packet::encode_into`], and sends one datagram per packet to a peer.
+//! * [`ImpairedUdp`] — a loopback relay applying a **seeded, deterministic**
+//!   drop/delay schedule to the datagrams passing through it, mirroring
+//!   `netsim`'s `ScheduledLoss` so scenario runs over real sockets stay
+//!   reproducible.
+//!
+//! ## End of stream
+//!
+//! UDP has no connection teardown, so the transport defines one: when an
+//! egress pump's upstream ends (the pipe reports EOF), it sends a final
+//! **FIN frame** — a [`PacketKind::Control`] packet on the reserved
+//! [`FIN_STREAM`] — and an ingress that receives a FIN closes its pipe, so
+//! the consumer observes the same clean end-of-stream a local pipe would
+//! deliver.  [`FIN_STREAM`] is reserved for the transport; application
+//! traffic must not use it.
+//!
+//! ## Delivery accounting
+//!
+//! Both endpoints keep [`TransportStats`]: datagrams and packets in and
+//! out, decode errors, and drops.  The ingress counts a packet **before**
+//! handing it to the pipe, upholding the same received ⇒ counted invariant
+//! the in-process pipes provide — by the time a consumer holds a packet,
+//! the endpoint's counters already include it.
+//!
+//! ## Example
+//!
+//! ```
+//! use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+//! use rapidware_transport::{UdpConfig, UdpEgress, UdpIngress};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let config = UdpConfig::default();
+//! let ingress = UdpIngress::bind("127.0.0.1:0", &config)?;
+//! let egress = UdpEgress::connect(ingress.local_addr(), &config)?;
+//!
+//! let packet = Packet::new(StreamId::new(1), SeqNo::new(0), PacketKind::AudioData, vec![1, 2, 3]);
+//! egress.send(packet.clone()).expect("egress pipe is open");
+//! assert_eq!(ingress.recv().expect("delivered over loopback"), packet);
+//!
+//! egress.close(); // sends the FIN frame
+//! assert!(ingress.recv().is_err(), "FIN closes the stream");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`Packet::encode_into`]: rapidware_packet::Packet::encode_into
+//! [`Packet::decode`]: rapidware_packet::Packet::decode
+//! [`DetachableSender`]: rapidware_streams::DetachableSender
+//! [`DetachableReceiver`]: rapidware_streams::DetachableReceiver
+//! [`PipeWatcher`]: rapidware_streams::PipeWatcher
+//! [`PacketKind::Control`]: rapidware_packet::PacketKind::Control
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod endpoint;
+mod impaired;
+mod stats;
+
+pub use endpoint::{UdpConfig, UdpEgress, UdpIngress};
+pub use impaired::{
+    ImpairedSnapshot, ImpairedStats, ImpairedUdp, ImpairmentPhase, ImpairmentPlan,
+};
+pub use stats::{TransportSnapshot, TransportStats};
+
+use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+
+/// Largest datagram the transport will send or receive: the IPv4 UDP
+/// maximum (65,535 minus the 8-byte UDP and 20-byte IP headers).  Packets
+/// whose wire form exceeds this are counted as drops at the egress; larger
+/// datagrams arriving at an ingress are truncated by the OS and rejected by
+/// the frame CRC.
+pub const MAX_DATAGRAM_LEN: usize = 65_507;
+
+/// Stream id reserved for the transport's FIN frames.
+///
+/// Chosen next to the scenario engine's quiescence-marker stream
+/// (`u32::MAX`) so both live outside any plausible media stream id space.
+pub const FIN_STREAM: u32 = u32::MAX - 1;
+
+/// Builds the FIN frame an egress sends when its upstream ends.
+pub fn fin_packet() -> Packet {
+    Packet::new(
+        StreamId::new(FIN_STREAM),
+        SeqNo::new(0),
+        PacketKind::Control,
+        Vec::new(),
+    )
+}
+
+/// Returns `true` if `packet` is a transport FIN frame.
+pub fn is_fin(packet: &Packet) -> bool {
+    packet.kind() == PacketKind::Control && packet.stream().value() == FIN_STREAM
+}
+
+/// Sanity guard used by the egress: `true` if the packet fits in one
+/// datagram.
+pub(crate) fn fits_in_datagram(packet: &Packet) -> bool {
+    packet.wire_len() <= MAX_DATAGRAM_LEN
+}
+
+/// Resolves a peer argument to its first socket address (shared by the
+/// egress and the impairment relay so the two cannot drift).
+pub(crate) fn resolve_peer(
+    peer: impl std::net::ToSocketAddrs,
+) -> std::io::Result<std::net::SocketAddr> {
+    peer.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "peer resolved to nothing")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidware_packet::HEADER_LEN;
+
+    #[test]
+    fn fin_frames_are_recognised_and_fit_in_a_datagram() {
+        let fin = fin_packet();
+        assert!(is_fin(&fin));
+        assert!(fits_in_datagram(&fin));
+        let data = Packet::new(StreamId::new(1), SeqNo::new(0), PacketKind::Data, vec![1]);
+        assert!(!is_fin(&data));
+        // A control packet on another stream is not a FIN.
+        let marker = Packet::new(StreamId::new(u32::MAX), SeqNo::new(0), PacketKind::Control, vec![]);
+        assert!(!is_fin(&marker));
+    }
+
+    #[test]
+    fn the_datagram_cap_accounts_for_the_header() {
+        let snug = Packet::new(
+            StreamId::new(1),
+            SeqNo::new(0),
+            PacketKind::Data,
+            vec![0u8; MAX_DATAGRAM_LEN - HEADER_LEN],
+        );
+        assert!(fits_in_datagram(&snug));
+        let oversized = Packet::new(
+            StreamId::new(1),
+            SeqNo::new(0),
+            PacketKind::Data,
+            vec![0u8; MAX_DATAGRAM_LEN - HEADER_LEN + 1],
+        );
+        assert!(!fits_in_datagram(&oversized));
+    }
+}

@@ -1,0 +1,221 @@
+//! Transport integration tests: the socket endpoints must behave like
+//! pipes — same surface, same ordering, same EOF, and the same stats
+//! invariant — and the impairment relay must be deterministic per seed.
+//!
+//! Everything here synchronises on data (blocking receives, watchdog
+//! deadlines), never on sleeps.
+
+use std::net::UdpSocket;
+use std::time::{Duration, Instant};
+
+use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+use rapidware_streams::{pipe, DetachableReceiver, TryRecvError};
+use rapidware_transport::{
+    ImpairmentPlan, UdpConfig, UdpEgress, UdpIngress,
+};
+
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+fn packet(seq: u64) -> Packet {
+    Packet::new(StreamId::new(3), SeqNo::new(seq), PacketKind::AudioData, vec![(seq % 251) as u8; 64])
+}
+
+/// The received ⇒ counted regression, shared across **both endpoint
+/// kinds**: at every point where the consumer holds `n` packets, the
+/// endpoint's own counter must already be at least `n`.  PR 3 established
+/// this for the in-process pipes; the socket endpoints must uphold the
+/// identical discipline or loss-rate observers comparing "sent" with
+/// "counted at the receiver" would transiently over-report loss.
+///
+/// `counted` reads the endpoint's counter; `drain` pulls the next batch.
+fn assert_received_implies_counted(
+    received: &mut u64,
+    target: u64,
+    counted: impl Fn() -> u64,
+    drain: impl Fn() -> Result<Vec<Packet>, TryRecvError>,
+) {
+    let deadline = Instant::now() + WATCHDOG;
+    while *received < target {
+        assert!(Instant::now() < deadline, "endpoint stalled at {received}/{target}");
+        match drain() {
+            Ok(batch) => {
+                *received += batch.len() as u64;
+                let visible = counted();
+                assert!(
+                    visible >= *received,
+                    "consumer holds {received} packets but only {visible} are counted"
+                );
+            }
+            Err(TryRecvError::Empty) => std::thread::yield_now(),
+            Err(other) => panic!("unexpected receive error: {other}"),
+        }
+    }
+}
+
+#[test]
+fn received_implies_counted_on_pipe_endpoints() {
+    let (tx, rx) = pipe::<Packet>(8);
+    let producer = std::thread::spawn(move || {
+        let mut pending: Vec<Packet> = (0..2_000).map(packet).collect();
+        while !pending.is_empty() {
+            pending = tx.try_send_batch(pending).unwrap();
+            if !pending.is_empty() {
+                std::thread::yield_now();
+            }
+        }
+    });
+    let stats = rx.stats();
+    let mut received = 0u64;
+    assert_received_implies_counted(&mut received, 2_000, || stats.items(), || {
+        rx.try_recv_up_to(16)
+    });
+    assert_eq!(stats.items(), 2_000);
+    producer.join().unwrap();
+}
+
+#[test]
+fn received_implies_counted_on_socket_endpoints() {
+    // Windowed flow control, exactly like the transport's real drivers
+    // (the appliers quiesce every window): UDP has no end-to-end
+    // back-pressure, so an unpaced 2,000-packet blast would overflow the
+    // loopback socket buffer and the OS — not the endpoint — would drop.
+    let config = UdpConfig::default().with_capacity(8);
+    let ingress = UdpIngress::bind("127.0.0.1:0", &config).unwrap();
+    let egress = UdpEgress::connect(ingress.local_addr(), &config).unwrap();
+    let stats = ingress.stats();
+    let mut received = 0u64;
+    for window in 0..40u64 {
+        egress
+            .send_batch((window * 50..(window + 1) * 50).map(packet).collect())
+            .unwrap();
+        assert_received_implies_counted(&mut received, (window + 1) * 50, || stats.rx_packets(), || {
+            ingress.try_recv_up_to(16)
+        });
+    }
+    assert_eq!(stats.rx_packets(), 2_000);
+}
+
+#[test]
+fn the_socket_surface_is_interchangeable_with_a_pipe_receiver() {
+    // Code written against DetachableReceiver<Packet> must accept an
+    // ingress's receiver handle without knowing a socket is behind it.
+    fn drain_to_eof(rx: &DetachableReceiver<Packet>) -> Vec<u64> {
+        let mut seqs = Vec::new();
+        let deadline = Instant::now() + WATCHDOG;
+        loop {
+            assert!(Instant::now() < deadline, "receiver stalled");
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(packet) => seqs.push(packet.seq().value()),
+                Err(TryRecvError::Empty) => continue,
+                Err(_) => return seqs,
+            }
+        }
+    }
+    let config = UdpConfig::default();
+    let ingress = UdpIngress::bind("127.0.0.1:0", &config).unwrap();
+    let egress = UdpEgress::connect(ingress.local_addr(), &config).unwrap();
+    egress.send_batch((0..10).map(packet).collect()).unwrap();
+    egress.close();
+    let handle = ingress.receiver();
+    assert_eq!(drain_to_eof(&handle), (0..10).collect::<Vec<_>>());
+}
+
+#[test]
+fn impaired_relay_is_deterministic_per_seed() {
+    // The same plan and seed must drop the same frames on every run —
+    // the property that makes scenario runs over real sockets repeatable.
+    fn run(seed: u64) -> (Vec<u64>, u64) {
+        let config = UdpConfig::default();
+        let ingress = UdpIngress::bind("127.0.0.1:0", &config).unwrap();
+        let relay = rapidware_transport::ImpairedUdp::spawn(
+            ingress.local_addr(),
+            ImpairmentPlan::bernoulli(seed, 0.2),
+        )
+        .unwrap();
+        let egress = UdpEgress::connect(relay.local_addr(), &config).unwrap();
+        // Drain concurrently so the survivors never pile up in a socket
+        // buffer while the producer runs ahead (the relay's decisions
+        // depend only on arrival order, not on consumer speed).
+        let consumer = std::thread::spawn(move || {
+            let mut seqs = Vec::new();
+            let deadline = Instant::now() + WATCHDOG;
+            loop {
+                assert!(Instant::now() < deadline, "impaired stream never ended");
+                match ingress.recv_timeout(Duration::from_millis(50)) {
+                    Ok(packet) => seqs.push(packet.seq().value()),
+                    Err(TryRecvError::Empty) => continue,
+                    Err(_) => return seqs,
+                }
+            }
+        });
+        for window in 0..10u64 {
+            egress
+                .send_batch((window * 50..(window + 1) * 50).map(packet).collect())
+                .unwrap();
+        }
+        egress.close();
+        let seqs = consumer.join().unwrap();
+        (seqs, relay.stats().dropped())
+    }
+    let (first, dropped_first) = run(2001);
+    let (second, dropped_second) = run(2001);
+    assert_eq!(first, second, "same seed must survive the same frames");
+    assert_eq!(dropped_first, dropped_second);
+    assert!(dropped_first > 0, "a 20% regime must drop something in 500 frames");
+    assert_eq!(first.len() as u64 + dropped_first, 500);
+
+    let (other, _) = run(42);
+    assert_ne!(first, other, "different seeds must explore different loss");
+}
+
+#[test]
+fn impaired_delay_reorders_deterministically_without_loss() {
+    let config = UdpConfig::default();
+    let ingress = UdpIngress::bind("127.0.0.1:0", &config).unwrap();
+    // Hold every 4th data frame back for 3 frames.
+    let relay = rapidware_transport::ImpairedUdp::spawn(
+        ingress.local_addr(),
+        ImpairmentPlan::new(7, vec![(0, rapidware_transport::ImpairmentPhase::delay(4, 3))]),
+    )
+    .unwrap();
+    let egress = UdpEgress::connect(relay.local_addr(), &config).unwrap();
+    egress.send_batch((0..40).map(packet).collect()).unwrap();
+    egress.close();
+    let mut seqs = Vec::new();
+    let deadline = Instant::now() + WATCHDOG;
+    loop {
+        assert!(Instant::now() < deadline, "delayed stream never ended");
+        match ingress.recv_timeout(Duration::from_millis(50)) {
+            Ok(packet) => seqs.push(packet.seq().value()),
+            Err(TryRecvError::Empty) => continue,
+            Err(_) => break,
+        }
+    }
+    assert_eq!(seqs.len(), 40, "delay must never lose frames");
+    let mut sorted = seqs.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..40).collect::<Vec<_>>());
+    assert_ne!(seqs, sorted, "a held frame must come out late");
+    assert!(relay.stats().delayed() > 0);
+    assert_eq!(relay.stats().dropped(), 0);
+}
+
+#[test]
+fn undecodable_datagrams_do_not_reach_the_consumer() {
+    let config = UdpConfig::default();
+    let ingress = UdpIngress::bind("127.0.0.1:0", &config).unwrap();
+    let probe = UdpSocket::bind("127.0.0.1:0").unwrap();
+    // A truncated frame and a corrupted frame: both must be counted and
+    // neither may surface as a packet.
+    let valid = packet(5).encode();
+    probe.send_to(&valid[..20], ingress.local_addr()).unwrap();
+    let mut corrupted = valid.to_vec();
+    corrupted[25] ^= 0xFF;
+    probe.send_to(&corrupted, ingress.local_addr()).unwrap();
+    probe.send_to(&valid, ingress.local_addr()).unwrap();
+    let delivered = ingress.recv().unwrap();
+    assert_eq!(delivered.seq().value(), 5);
+    assert_eq!(ingress.stats().decode_errors(), 2);
+    assert_eq!(ingress.stats().rx_packets(), 1);
+    assert_eq!(ingress.stats().rx_datagrams(), 3);
+}

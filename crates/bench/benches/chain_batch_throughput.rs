@@ -9,7 +9,9 @@
 //!   (batch size 1) vs batched workers draining up to 32 packets per pipe
 //!   lock.
 //!
-//! Prints packets/second for each path and the batched/per-packet speedup.
+//! Prints packets/second for each path and the batched/per-packet speedup,
+//! and writes the criterion-style summary (median/min/max per path) to
+//! `BENCH_chain_batch.json` at the workspace root.
 //! Run with `cargo bench -p rapidware-bench --bench chain_batch_throughput`.
 
 use std::time::Instant;
@@ -17,6 +19,7 @@ use std::time::Instant;
 use rapidware::filters::{FecDecoderFilter, FecEncoderFilter, FilterChain};
 use rapidware::packet::{Packet, PacketKind, SeqNo, StreamId};
 use rapidware::proxy::ThreadedChain;
+use rapidware_bench::report::{median, BenchReport};
 
 const PACKETS: usize = 8_192;
 const BATCH: usize = 32;
@@ -48,9 +51,15 @@ fn fec_chain() -> FilterChain {
     chain
 }
 
-/// Runs `measure` `REPETITIONS` times and returns the best packets/second.
-fn best_pps(measure: impl Fn() -> f64) -> f64 {
-    (0..REPETITIONS).map(|_| measure()).fold(0.0, f64::max)
+/// Runs `measure` `REPETITIONS` times and returns every packets/second
+/// sample (the JSON report keeps them all; the printed table uses the
+/// best, the report's headline statistic is the median).
+fn pps_samples(measure: impl Fn() -> f64) -> Vec<f64> {
+    (0..REPETITIONS).map(|_| measure()).collect()
+}
+
+fn best(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(0.0, f64::max)
 }
 
 fn sync_per_packet(packets: &[Packet]) -> f64 {
@@ -136,8 +145,10 @@ fn main() {
     // The paper's architecture: thread-per-filter with pipes between the
     // stages.  This is where batching pays — pipe locking, cross-thread
     // wake-ups, and per-packet dispatch are amortised over each batch.
-    let threaded_serial = best_pps(|| threaded(&packets, false));
-    let threaded_batch = best_pps(|| threaded(&packets, true));
+    let threaded_serial_samples = pps_samples(|| threaded(&packets, false));
+    let threaded_batch_samples = pps_samples(|| threaded(&packets, true));
+    let threaded_serial = best(&threaded_serial_samples);
+    let threaded_batch = best(&threaded_batch_samples);
     let speedup = threaded_batch / threaded_serial;
     println!("threaded/per-packet:  {threaded_serial:>12.0} packets/s");
     println!("threaded/batch-{BATCH}:    {threaded_batch:>12.0} packets/s");
@@ -153,9 +164,24 @@ fn main() {
     // Supplementary: the synchronous chain in isolation.  Here the FEC
     // arithmetic dominates and batching only amortises dispatch and
     // intermediate-buffer allocation, so the gap is small by design.
-    let sync_serial = best_pps(|| sync_per_packet(&packets));
-    let sync_batch = best_pps(|| sync_batched(&packets));
+    let sync_serial_samples = pps_samples(|| sync_per_packet(&packets));
+    let sync_batch_samples = pps_samples(|| sync_batched(&packets));
+    let sync_serial = best(&sync_serial_samples);
+    let sync_batch = best(&sync_batch_samples);
     println!("sync/per-packet:      {sync_serial:>12.0} packets/s");
     println!("sync/batch-{BATCH}:        {sync_batch:>12.0} packets/s");
     println!("sync speedup:         {:.2}x", sync_batch / sync_serial);
+
+    let mut report = BenchReport::new("chain_batch");
+    report.record("threaded/per-packet", "packets/s", &threaded_serial_samples);
+    report.record(format!("threaded/batch-{BATCH}"), "packets/s", &threaded_batch_samples);
+    report.record("sync/per-packet", "packets/s", &sync_serial_samples);
+    report.record(format!("sync/batch-{BATCH}"), "packets/s", &sync_batch_samples);
+    report.record(
+        "threaded/speedup",
+        "x",
+        &[median(&threaded_batch_samples) / median(&threaded_serial_samples)],
+    );
+    let path = report.write().expect("writing the bench report");
+    println!("report: {}", path.display());
 }

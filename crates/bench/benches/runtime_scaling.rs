@@ -16,6 +16,11 @@
 //! asserts the pooled runtime reaches at least **4x** the thread-per-filter
 //! session density at 256 sessions on 8 workers.
 //!
+//! Each mode runs `REPETITIONS` times (sessions are single-use: `drive`
+//! closes every input, so a repetition rebuilds them from scratch); the
+//! median packets/second and the measured thread counts go to
+//! `BENCH_runtime_scaling.json` at the workspace root.
+//!
 //! Run with `cargo bench -p rapidware-bench --bench runtime_scaling`.
 
 use std::time::Instant;
@@ -23,12 +28,14 @@ use std::time::Instant;
 use rapidware::packet::{Packet, PacketKind, SeqNo, StreamId};
 use rapidware::proxy::{FilterSpec, Session};
 use rapidware::runtime::{Runtime, RuntimeConfig};
+use rapidware_bench::report::{median, BenchReport};
 
 const SESSIONS: usize = 256;
 const WORKERS: usize = 8;
 const PACKETS_PER_SESSION: u64 = 100;
 const PIPE_CAPACITY: usize = 256; // a whole burst fits: drains can be sequential
 const BATCH_SIZE: usize = 16;
+const REPETITIONS: usize = 3;
 
 fn packet(seq: u64) -> Packet {
     Packet::new(StreamId::new(1), SeqNo::new(seq), PacketKind::AudioData, vec![(seq % 251) as u8; 64])
@@ -86,15 +93,11 @@ fn drive(
     (SESSIONS as u64 * PACKETS_PER_SESSION) as f64 / elapsed
 }
 
-fn main() {
-    println!(
-        "runtime scaling: {SESSIONS} fanout sessions (1 head filter + 1 lane), \
-         burst of {PACKETS_PER_SESSION} packets each"
-    );
-    println!("{}", "-".repeat(72));
-
-    // --- Thread-per-filter: each session spawns a head stage worker and a
-    // fanout worker (2 threads/session at this shape).
+/// One full thread-per-filter run: build the sessions, push the burst,
+/// tear everything down.  Returns (threads used to host, packets/second).
+fn threaded_run() -> (usize, f64) {
+    // Each session spawns a head stage worker and a fanout worker
+    // (2 threads/session at this shape).
     let (threaded_threads, sessions) = hosting_threads(SESSIONS * 2, || {
         let sessions: Vec<(Session, _, _)> = (0..SESSIONS)
             .map(|i| {
@@ -122,8 +125,12 @@ fn main() {
         session.shutdown().expect("clean shutdown");
     }
     drop(sessions);
+    (threaded_threads, threaded_pps)
+}
 
-    // --- Pooled: the same 256 sessions as tasks on WORKERS fixed workers.
+/// One full pooled run: the same 256 sessions as tasks on `WORKERS` fixed
+/// workers.  Returns (threads used to host, packets/second).
+fn pooled_run() -> (usize, f64) {
     let runtime = Runtime::start(
         RuntimeConfig::new(WORKERS, BATCH_SIZE).with_pipe_capacity(PIPE_CAPACITY),
     );
@@ -153,6 +160,38 @@ fn main() {
     drop(pooled);
     assert_eq!(runtime.live_tasks(), 0, "no leaked tasks after the pooled run");
     runtime.shutdown().expect("worker pool joins cleanly");
+    (pooled_threads, pooled_pps)
+}
+
+fn main() {
+    println!(
+        "runtime scaling: {SESSIONS} fanout sessions (1 head filter + 1 lane), \
+         burst of {PACKETS_PER_SESSION} packets each, {REPETITIONS} repetitions"
+    );
+    println!("{}", "-".repeat(72));
+
+    // Thread counts come from the first repetition (they are a property of
+    // the topology, not of load); throughput keeps every sample.
+    let mut threaded_threads = 0usize;
+    let mut threaded_samples = Vec::with_capacity(REPETITIONS);
+    for rep in 0..REPETITIONS {
+        let (threads, pps) = threaded_run();
+        if rep == 0 {
+            threaded_threads = threads;
+        }
+        threaded_samples.push(pps);
+    }
+    let mut pooled_threads = 0usize;
+    let mut pooled_samples = Vec::with_capacity(REPETITIONS);
+    for rep in 0..REPETITIONS {
+        let (threads, pps) = pooled_run();
+        if rep == 0 {
+            pooled_threads = threads;
+        }
+        pooled_samples.push(pps);
+    }
+    let threaded_pps = median(&threaded_samples);
+    let pooled_pps = median(&pooled_samples);
 
     let threaded_density = SESSIONS as f64 / threaded_threads as f64;
     let pooled_density = SESSIONS as f64 / pooled_threads as f64;
@@ -164,6 +203,20 @@ fn main() {
     );
     let density_gain = pooled_density / threaded_density;
     println!("session-density gain:            {density_gain:>8.2}x");
+
+    // Write the report before the density assert: a machine that misses
+    // the 4x bar still leaves its numbers behind for inspection.
+    let mut report = BenchReport::new("runtime_scaling");
+    report.record("thread-per-filter/throughput", "packets/s", &threaded_samples);
+    report.record("pooled/throughput", "packets/s", &pooled_samples);
+    report.record("thread-per-filter/hosting-threads", "threads", &[threaded_threads as f64]);
+    report.record("pooled/hosting-threads", "threads", &[pooled_threads as f64]);
+    report.record("thread-per-filter/density", "sessions/thread", &[threaded_density]);
+    report.record("pooled/density", "sessions/thread", &[pooled_density]);
+    report.record("density-gain", "x", &[density_gain]);
+    let path = report.write().expect("writing the bench report");
+    println!("report: {}", path.display());
+
     assert!(
         density_gain >= 4.0,
         "pooled runtime must host >= 4x the sessions per thread at {SESSIONS} sessions on \

@@ -14,6 +14,9 @@
 //! ratios are reported, not asserted, because kernel UDP performance is
 //! not ours to promise.
 //!
+//! Every path runs `REPETITIONS` times; the table prints medians and the
+//! full samples go to `BENCH_udp_throughput.json` at the workspace root.
+//!
 //! Run with `cargo bench -p rapidware-bench --bench udp_throughput`.
 
 use std::net::UdpSocket;
@@ -23,11 +26,19 @@ use rapidware::packet::{Packet, PacketKind, SeqNo, StreamId};
 use rapidware::proxy::{Proxy, UdpStreamConfig};
 use rapidware::streams::{DetachableReceiver, TryRecvError};
 use rapidware::transport::{UdpConfig, UdpIngress};
+use rapidware_bench::report::{median, BenchReport};
 
 const PACKETS: u64 = 20_000;
 const WINDOW: u64 = 100;
 const PAYLOAD: usize = 256;
 const CAPACITY: usize = 512;
+const REPETITIONS: usize = 3;
+
+/// Runs `measure` `REPETITIONS` times and returns every packets/second
+/// sample.
+fn pps_samples(measure: impl Fn() -> f64) -> Vec<f64> {
+    (0..REPETITIONS).map(|_| measure()).collect()
+}
 
 fn packet(seq: u64) -> Packet {
     Packet::new(
@@ -118,13 +129,20 @@ fn socket_path(batch_size: usize) -> f64 {
 }
 
 fn main() {
-    println!("udp_throughput: {PACKETS} packets of {PAYLOAD} B through a null chain\n");
+    println!(
+        "udp_throughput: {PACKETS} packets of {PAYLOAD} B through a null chain, \
+         median of {REPETITIONS} runs\n"
+    );
     println!("{:<28} {:>16} {:>16}", "path", "batch=1", "batch=32");
-    let pipe_1 = pipe_path(1);
-    let pipe_32 = pipe_path(32);
+    let pipe_1_samples = pps_samples(|| pipe_path(1));
+    let pipe_32_samples = pps_samples(|| pipe_path(32));
+    let pipe_1 = median(&pipe_1_samples);
+    let pipe_32 = median(&pipe_32_samples);
     println!("{:<28} {:>13.0} pps {:>13.0} pps", "in-process pipes", pipe_1, pipe_32);
-    let socket_1 = socket_path(1);
-    let socket_32 = socket_path(32);
+    let socket_1_samples = pps_samples(|| socket_path(1));
+    let socket_32_samples = pps_samples(|| socket_path(32));
+    let socket_1 = median(&socket_1_samples);
+    let socket_32 = median(&socket_32_samples);
     println!("{:<28} {:>13.0} pps {:>13.0} pps", "loopback UDP sockets", socket_1, socket_32);
     println!(
         "\npipe/socket ratio: {:.1}x at batch=1, {:.1}x at batch=32",
@@ -135,4 +153,13 @@ fn main() {
         "socket batching gain: {:.2}x (batch=32 over batch=1)",
         socket_32 / socket_1
     );
+
+    let mut report = BenchReport::new("udp_throughput");
+    report.record("pipes/batch-1", "packets/s", &pipe_1_samples);
+    report.record("pipes/batch-32", "packets/s", &pipe_32_samples);
+    report.record("sockets/batch-1", "packets/s", &socket_1_samples);
+    report.record("sockets/batch-32", "packets/s", &socket_32_samples);
+    report.record("sockets/batching-gain", "x", &[socket_32 / socket_1]);
+    let path = report.write().expect("writing the bench report");
+    println!("report: {}", path.display());
 }

@@ -48,13 +48,13 @@ use rapidware_streams::DetachableReceiver;
 
 use super::applier::{apply_actions_to_chain, marker_stream};
 use super::report::ReceiverOutcome;
-use super::spec::{LossRegime, RapletSet};
+use super::spec::{validate_regime, LossRegime, RapletSet, SpecError};
 use super::trace::{describe_action, describe_event, ScenarioTrace, TraceEvent};
 use super::TimelineEntry;
 
 /// One receiver lane of a [`FanoutSpec`]: its link, and whether it runs an
 /// adaptation loop of its own.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LaneSpec {
     /// Lane name (used in traces, reports, and the live session).
     pub name: String,
@@ -93,7 +93,7 @@ impl LaneSpec {
 }
 
 /// A complete, declarative description of one fanout scenario.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FanoutSpec {
     /// Scenario name (used in traces and reports).
     pub name: String,
@@ -199,6 +199,34 @@ impl FanoutSpec {
             Self::tiered_wireless(),
             Self::all_wired(),
         ]
+    }
+
+    /// Checks the spec for degenerate inputs that would otherwise panic
+    /// deep inside the engine, the live session, or the simulator: zero
+    /// packets, no lanes, duplicate lane names, empty phase lists, nested
+    /// walks, zero strides.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.packets == 0 {
+            return Err(SpecError::ZeroPackets {
+                scenario: self.name.clone(),
+            });
+        }
+        if self.lanes.is_empty() {
+            return Err(SpecError::NoLanes {
+                scenario: self.name.clone(),
+            });
+        }
+        let mut seen = HashSet::new();
+        for lane in &self.lanes {
+            if !seen.insert(lane.name.as_str()) {
+                return Err(SpecError::DuplicateLane {
+                    scenario: self.name.clone(),
+                    lane: lane.name.clone(),
+                });
+            }
+            validate_regime(&lane.regime, &self.name, &format!("lane {}", lane.name))?;
+        }
+        Ok(())
     }
 
     /// Overrides the simulator seed.
@@ -1027,6 +1055,13 @@ impl FanoutEngine {
         self.run_with(&mut SyncFanoutApplier::for_spec(&self.spec))
     }
 
+    /// Like [`run_sync`](Self::run_sync), but rejects degenerate specs with
+    /// a typed [`SpecError`] instead of panicking.
+    pub fn try_run_sync(&self) -> Result<FanoutOutcome, SpecError> {
+        self.spec.validate()?;
+        self.try_run_with(&mut SyncFanoutApplier::for_spec(&self.spec))
+    }
+
     /// Runs the scenario on a live threaded [`SessionFanoutApplier`].
     pub fn run_session(&self) -> FanoutOutcome {
         self.run_with(&mut SessionFanoutApplier::for_spec(&self.spec))
@@ -1051,11 +1086,22 @@ impl FanoutEngine {
     ///
     /// # Panics
     ///
-    /// Panics if the spec is degenerate (no lanes) or a filter fails, which
-    /// the built-in fanout scenarios never do.
+    /// Panics if the spec is degenerate (see [`FanoutSpec::validate`]) or a
+    /// filter fails, which the built-in fanout scenarios never do.  Use
+    /// [`try_run_with`](Self::try_run_with) to get degenerate specs back as
+    /// typed errors instead.
     pub fn run_with(&self, applier: &mut dyn FanoutApplier) -> FanoutOutcome {
+        self.try_run_with(applier).unwrap_or_else(|err| panic!("invalid fanout spec: {err}"))
+    }
+
+    /// Runs the scenario against any applier, rejecting degenerate specs
+    /// with a typed [`SpecError`] instead of panicking.
+    pub fn try_run_with(
+        &self,
+        applier: &mut dyn FanoutApplier,
+    ) -> Result<FanoutOutcome, SpecError> {
         let spec = &self.spec;
-        assert!(!spec.lanes.is_empty(), "a fanout scenario needs at least one lane");
+        spec.validate()?;
         let mut trace = ScenarioTrace::new(spec.name.clone(), spec.seed);
 
         // The topology: one seeded LAN, one receiver per lane, each with
@@ -1226,7 +1272,7 @@ impl FanoutEngine {
         for (lane, replayed_lane) in report.lanes.iter_mut().zip(replayed.lanes) {
             lane.timeline = replayed_lane.timeline;
         }
-        FanoutOutcome { report, trace }
+        Ok(FanoutOutcome { report, trace })
     }
 }
 
@@ -1409,6 +1455,55 @@ mod tests {
             assert!(!spec.lanes.is_empty());
             assert!(spec.lanes.iter().any(|l| !l.expect_adaptation));
         }
+    }
+
+    #[test]
+    fn degenerate_fanout_specs_return_typed_errors() {
+        let mut no_lanes = FanoutSpec::all_wired();
+        no_lanes.lanes.clear();
+        assert_eq!(
+            FanoutEngine::new(no_lanes).try_run_sync().unwrap_err(),
+            SpecError::NoLanes {
+                scenario: "fanout-all-wired".into()
+            }
+        );
+
+        let zero_packets = FanoutSpec::all_wired().with_packets(0);
+        assert_eq!(
+            FanoutEngine::new(zero_packets).try_run_sync().unwrap_err(),
+            SpecError::ZeroPackets {
+                scenario: "fanout-all-wired".into()
+            }
+        );
+
+        let mut duplicate = FanoutSpec::all_wired();
+        duplicate.lanes = vec![LaneSpec::wired("twin"), LaneSpec::wired("twin")];
+        assert_eq!(
+            duplicate.validate().unwrap_err(),
+            SpecError::DuplicateLane {
+                scenario: "fanout-all-wired".into(),
+                lane: "twin".into()
+            }
+        );
+
+        let mut empty_phases = FanoutSpec::all_wired();
+        empty_phases.lanes = vec![LaneSpec::lossy("phased", LossRegime::Phased(Vec::new()))];
+        assert!(matches!(
+            empty_phases.validate().unwrap_err(),
+            SpecError::EmptyPhases { .. }
+        ));
+
+        for spec in FanoutSpec::fanout_matrix() {
+            assert_eq!(spec.validate(), Ok(()), "{} must validate", spec.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fanout spec")]
+    fn run_with_still_panics_on_degenerate_specs() {
+        let mut spec = FanoutSpec::all_wired();
+        spec.lanes.clear();
+        let _ = FanoutEngine::new(spec).run_sync();
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 mod applier;
 mod fanout;
+mod generate;
 mod report;
 mod spec;
 mod trace;
@@ -56,8 +57,9 @@ pub use fanout::{
     FanoutApplier, FanoutEngine, FanoutOutcome, FanoutReport, FanoutSpec, LaneReport, LaneSpec,
     RuntimeFanoutApplier, SessionFanoutApplier, SyncFanoutApplier,
 };
+pub use generate::{ChurnEvent, GeneratedShape, GeneratedSpec, PlacementKind, PlacementSpec};
 pub use report::{ReceiverOutcome, ScenarioReport, TimelineEntry};
-pub use spec::{LossRegime, RapletSet, ScenarioSpec};
+pub use spec::{LossRegime, RapletSet, ScenarioSpec, SpecError};
 pub use trace::{describe_action, describe_event, ScenarioTrace, TraceEvent};
 
 use std::collections::HashSet;
@@ -192,6 +194,12 @@ impl ScenarioEngine {
         self.run_with(&mut SyncChainApplier::new())
     }
 
+    /// Like [`run_sync`](Self::run_sync), but rejects degenerate specs with
+    /// a typed [`SpecError`] instead of panicking.
+    pub fn try_run_sync(&self) -> Result<ScenarioOutcome, SpecError> {
+        self.try_run_with(&mut SyncChainApplier::new())
+    }
+
     /// Runs the scenario against a live [`ThreadedProxyApplier`] (filters
     /// on their own threads, reconfigured through the proxy control
     /// surface), using the spec's batch size.
@@ -226,11 +234,22 @@ impl ScenarioEngine {
     ///
     /// # Panics
     ///
-    /// Panics if the spec is degenerate (no receivers) or a filter fails,
-    /// which the built-in scenarios never do.
+    /// Panics if the spec is degenerate (see [`ScenarioSpec::validate`]) or
+    /// a filter fails, which the built-in scenarios never do.  Use
+    /// [`try_run_with`](Self::try_run_with) to get degenerate specs back as
+    /// typed errors instead.
     pub fn run_with(&self, chain: &mut dyn ActionApplier) -> ScenarioOutcome {
+        self.try_run_with(chain).unwrap_or_else(|err| panic!("invalid scenario spec: {err}"))
+    }
+
+    /// Runs the scenario against any applier, rejecting degenerate specs
+    /// with a typed [`SpecError`] instead of panicking.
+    pub fn try_run_with(
+        &self,
+        chain: &mut dyn ActionApplier,
+    ) -> Result<ScenarioOutcome, SpecError> {
         let spec = &self.spec;
-        assert!(!spec.receivers.is_empty(), "a scenario needs at least one receiver");
+        spec.validate()?;
         let mut trace = ScenarioTrace::new(spec.name.clone(), spec.seed);
 
         // The topology: one seeded LAN, one loss regime per receiver.
@@ -393,7 +412,7 @@ impl ScenarioEngine {
             timeline: trace.adaptation_timeline(),
             final_filters,
         };
-        ScenarioOutcome { report, trace }
+        Ok(ScenarioOutcome { report, trace })
     }
 }
 
@@ -507,6 +526,37 @@ mod tests {
         assert!(outcome.report.recovered_total() > 0, "FEC must repair some losses");
         assert!(outcome.report.converged());
         assert_eq!(outcome.trace.replay(), outcome.report);
+    }
+
+    #[test]
+    fn degenerate_specs_return_typed_errors_instead_of_panicking() {
+        let no_receivers = ScenarioSpec {
+            receivers: Vec::new(),
+            ..ScenarioSpec::steady_wlan()
+        };
+        assert_eq!(
+            ScenarioEngine::new(no_receivers).try_run_sync().unwrap_err(),
+            SpecError::NoReceivers {
+                scenario: "steady-wlan".into()
+            }
+        );
+        let zero_packets = ScenarioSpec::steady_wlan().with_packets(0);
+        assert_eq!(
+            ScenarioEngine::new(zero_packets).try_run_sync().unwrap_err(),
+            SpecError::ZeroPackets {
+                scenario: "steady-wlan".into()
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario spec")]
+    fn run_with_still_panics_on_degenerate_specs() {
+        let spec = ScenarioSpec {
+            receivers: Vec::new(),
+            ..ScenarioSpec::steady_wlan()
+        };
+        let _ = ScenarioEngine::new(spec).run_sync();
     }
 
     #[test]

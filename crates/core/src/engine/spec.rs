@@ -8,11 +8,134 @@
 //! cliff, multicast fan-out with one lossy receiver, congestion ramp, and a
 //! flapping link.
 
+use std::fmt;
+
 use rapidware_media::AudioConfig;
 use rapidware_netsim::{
     BernoulliLoss, DistanceLossModel, GilbertElliottLoss, LinearWalk, LossModel, PerfectLink,
-    ScheduledLoss, SimTime, WirelessLan,
+    ScheduledLoss, SimTime, StrideLoss, WirelessLan,
 };
+
+/// A degenerate scenario description, rejected before any simulation state
+/// is built.
+///
+/// The engines used to `assert!` their way past these (or panic deep inside
+/// `netsim` — an empty [`LossRegime::Phased`] only blew up when
+/// `ScheduledLoss::new` was finally constructed).  Validation turns each
+/// degenerate input into a typed, test-able error at the API boundary:
+/// [`ScenarioSpec::validate`], [`FanoutSpec::validate`](super::FanoutSpec::validate),
+/// and the engines' `try_run_with` entry points all return it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec transmits zero source packets.
+    ZeroPackets {
+        /// Name of the offending scenario.
+        scenario: String,
+    },
+    /// A flat scenario with no receivers.
+    NoReceivers {
+        /// Name of the offending scenario.
+        scenario: String,
+    },
+    /// A fanout scenario with no lanes.
+    NoLanes {
+        /// Name of the offending scenario.
+        scenario: String,
+    },
+    /// A [`LossRegime::Phased`] with an empty phase list.
+    EmptyPhases {
+        /// Name of the offending scenario.
+        scenario: String,
+        /// Which receiver or lane carries the empty schedule.
+        context: String,
+    },
+    /// A [`LossRegime::Walking`] nested inside [`LossRegime::Phased`]
+    /// (mobility is already a function of time and cannot be phased).
+    NestedWalk {
+        /// Name of the offending scenario.
+        scenario: String,
+        /// Which receiver or lane carries the nested walk.
+        context: String,
+    },
+    /// A stride regime with a zero stride.
+    ZeroStride {
+        /// Name of the offending scenario.
+        scenario: String,
+        /// Which receiver or lane carries the zero stride.
+        context: String,
+    },
+    /// Two fanout lanes share a name (live sessions key lanes by name).
+    DuplicateLane {
+        /// Name of the offending scenario.
+        scenario: String,
+        /// The duplicated lane name.
+        lane: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::ZeroPackets { scenario } => {
+                write!(f, "{scenario}: a scenario must transmit at least one packet")
+            }
+            SpecError::NoReceivers { scenario } => {
+                write!(f, "{scenario}: a scenario needs at least one receiver")
+            }
+            SpecError::NoLanes { scenario } => {
+                write!(f, "{scenario}: a fanout scenario needs at least one lane")
+            }
+            SpecError::EmptyPhases { scenario, context } => {
+                write!(f, "{scenario}: {context} has a phased regime with no phases")
+            }
+            SpecError::NestedWalk { scenario, context } => {
+                write!(f, "{scenario}: {context} nests a walking regime inside phases")
+            }
+            SpecError::ZeroStride { scenario, context } => {
+                write!(f, "{scenario}: {context} has a stride regime with stride 0")
+            }
+            SpecError::DuplicateLane { scenario, lane } => {
+                write!(f, "{scenario}: duplicate lane name {lane:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Validates one receiver/lane regime, shared by [`ScenarioSpec::validate`]
+/// and [`FanoutSpec::validate`](super::FanoutSpec::validate).
+pub(super) fn validate_regime(
+    regime: &LossRegime,
+    scenario: &str,
+    context: &str,
+) -> Result<(), SpecError> {
+    match regime {
+        LossRegime::Stride { every: 0 } => Err(SpecError::ZeroStride {
+            scenario: scenario.to_string(),
+            context: context.to_string(),
+        }),
+        LossRegime::Phased(phases) => {
+            if phases.is_empty() {
+                return Err(SpecError::EmptyPhases {
+                    scenario: scenario.to_string(),
+                    context: context.to_string(),
+                });
+            }
+            for (_, inner) in phases {
+                if matches!(inner, LossRegime::Walking(_)) {
+                    return Err(SpecError::NestedWalk {
+                        scenario: scenario.to_string(),
+                        context: context.to_string(),
+                    });
+                }
+                validate_regime(inner, scenario, context)?;
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
 
 /// The loss regime of one receiver's wireless channel over the whole run.
 ///
@@ -20,7 +143,7 @@ use rapidware_netsim::{
 /// the corresponding `netsim` machinery on a [`WirelessLan`], so the same
 /// spec can be re-run any number of times (and on any applier) with
 /// identical behaviour per seed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LossRegime {
     /// No loss at all.
     Perfect,
@@ -45,6 +168,14 @@ pub enum LossRegime {
         loss_good: f64,
         /// Loss probability while in the bad state.
         loss_bad: f64,
+    },
+    /// Deterministic stride loss: every `every`-th transmission dropped.
+    /// The generator's sharpest probe of FEC block alignment — a stride
+    /// beating against the (n, k) group size produces worst-case
+    /// correlated erasures.
+    Stride {
+        /// Drop every `every`-th packet (must be at least 1).
+        every: u64,
     },
     /// A mobile receiver walking the given trace under distance loss.
     Walking(LinearWalk),
@@ -83,6 +214,7 @@ impl LossRegime {
                 *loss_good,
                 *loss_bad,
             )),
+            LossRegime::Stride { every } => Box::new(StrideLoss::new(*every)),
             LossRegime::Phased(phases) => Box::new(ScheduledLoss::new(
                 phases
                     .iter()
@@ -109,7 +241,7 @@ impl LossRegime {
 }
 
 /// The raplet set installed into the adaptation engine for a run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RapletSet {
     /// Loss-observer thresholds `(high, low)` as loss fractions.
     pub loss_thresholds: (f64, f64),
@@ -142,7 +274,7 @@ impl RapletSet {
 /// Everything a run depends on is in the spec: the same spec and seed yield
 /// a byte-identical [`ScenarioTrace`](super::ScenarioTrace) on every run,
 /// on either applier.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Scenario name (used in traces and reports).
     pub name: String,
@@ -296,6 +428,30 @@ impl ScenarioSpec {
         ]
     }
 
+    /// Checks the spec for degenerate inputs that would otherwise panic
+    /// deep inside the engine or the simulator: zero packets, no
+    /// receivers, empty phase lists, nested walks, zero strides.
+    ///
+    /// The engines call this from `try_run_with`; callers constructing
+    /// specs programmatically (the scenario generator does) can call it
+    /// directly to reject a sample before running anything.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.packets == 0 {
+            return Err(SpecError::ZeroPackets {
+                scenario: self.name.clone(),
+            });
+        }
+        if self.receivers.is_empty() {
+            return Err(SpecError::NoReceivers {
+                scenario: self.name.clone(),
+            });
+        }
+        for (index, regime) in self.receivers.iter().enumerate() {
+            validate_regime(regime, &self.name, &format!("receiver {index}"))?;
+        }
+        Ok(())
+    }
+
     /// Overrides the simulator seed.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -369,6 +525,80 @@ mod tests {
             LossRegime::Walking(LinearWalk::office_to_conference_room()),
         )])
         .attach(&mut lan, "bad");
+    }
+
+    #[test]
+    fn every_builtin_spec_validates() {
+        for spec in ScenarioSpec::builtin_matrix() {
+            assert_eq!(spec.validate(), Ok(()), "{} must validate", spec.name);
+        }
+    }
+
+    #[test]
+    fn zero_packets_are_rejected_with_a_typed_error() {
+        let spec = ScenarioSpec::steady_wlan().with_packets(0);
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::ZeroPackets {
+                scenario: "steady-wlan".into()
+            })
+        );
+    }
+
+    #[test]
+    fn a_spec_without_receivers_is_rejected_with_a_typed_error() {
+        let mut spec = ScenarioSpec::steady_wlan();
+        spec.receivers.clear();
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::NoReceivers {
+                scenario: "steady-wlan".into()
+            })
+        );
+    }
+
+    #[test]
+    fn an_empty_phase_list_is_rejected_with_a_typed_error() {
+        let mut spec = ScenarioSpec::steady_wlan();
+        spec.receivers = vec![LossRegime::Perfect, LossRegime::Phased(Vec::new())];
+        let err = spec.validate().unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::EmptyPhases {
+                scenario: "steady-wlan".into(),
+                context: "receiver 1".into()
+            }
+        );
+        assert!(err.to_string().contains("no phases"), "{err}");
+    }
+
+    #[test]
+    fn a_walk_nested_inside_phases_is_rejected_with_a_typed_error() {
+        let mut spec = ScenarioSpec::steady_wlan();
+        spec.receivers = vec![LossRegime::Phased(vec![(
+            SimTime::ZERO,
+            LossRegime::Walking(LinearWalk::office_to_conference_room()),
+        )])];
+        assert!(matches!(spec.validate(), Err(SpecError::NestedWalk { .. })));
+    }
+
+    #[test]
+    fn a_zero_stride_is_rejected_with_a_typed_error() {
+        let mut spec = ScenarioSpec::steady_wlan();
+        spec.receivers = vec![LossRegime::Phased(vec![(
+            SimTime::ZERO,
+            LossRegime::Stride { every: 0 },
+        )])];
+        assert!(matches!(spec.validate(), Err(SpecError::ZeroStride { .. })));
+        spec.receivers = vec![LossRegime::Stride { every: 3 }];
+        assert_eq!(spec.validate(), Ok(()));
+    }
+
+    #[test]
+    fn stride_regimes_attach_and_drop_deterministically() {
+        let mut lan = WirelessLan::wavelan_2mbps(9);
+        LossRegime::Stride { every: 2 }.attach(&mut lan, "stride");
+        assert_eq!(lan.receiver_count(), 1);
     }
 
     #[test]

@@ -314,6 +314,23 @@ impl ScenarioTrace {
         text
     }
 
+    /// A stable 64-bit digest of the canonical text (FNV-1a over its
+    /// bytes).  Two traces digest equally exactly when
+    /// [`canonical_text`](Self::canonical_text) matches byte for byte, so
+    /// harnesses that compare many runs (the generated-conformance suite,
+    /// the seed corpus) can log and diff compact hex digests instead of
+    /// whole traces.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        for byte in self.canonical_text().as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        hash
+    }
+
     /// The adaptation timeline: every observer event, applied action, and
     /// chain reconfiguration, in order, with timestamps.  This is the
     /// subsequence that must match between the sync and threaded appliers.
@@ -455,6 +472,27 @@ mod tests {
         assert_eq!(report.timeline.len(), 3, "sample and totals are not timeline entries");
         assert!(report.final_filters.is_empty());
         assert_eq!(trace.replay(), report, "replay is deterministic");
+    }
+
+    #[test]
+    fn digest_tracks_canonical_text_byte_identity() {
+        let trace = sample_trace();
+        assert_eq!(trace.digest(), sample_trace().digest(), "digest is deterministic");
+        let mut other = sample_trace();
+        other.push(TraceEvent::Observed {
+            time: SimTime::from_secs(2),
+            event: "extra".into(),
+        });
+        assert_ne!(trace.digest(), other.digest(), "any extra byte changes the digest");
+        // Known-answer check so the digest can never silently change
+        // algorithm: FNV-1a of the empty trace header.
+        let empty = ScenarioTrace::new("d", 0);
+        let mut expected = 0xcbf2_9ce4_8422_2325u64;
+        for byte in empty.canonical_text().as_bytes() {
+            expected ^= u64::from(*byte);
+            expected = expected.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        assert_eq!(empty.digest(), expected);
     }
 
     #[test]

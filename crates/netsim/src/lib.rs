@@ -48,8 +48,8 @@ mod time;
 pub use event::{EventQueue, ScheduledEvent};
 pub use link::{LinkConfig, LinkKind, SimLink, TransmitOutcome};
 pub use loss::{
-    BernoulliLoss, DistanceLossModel, GilbertElliottLoss, LossModel, PerfectLink,
-    ScheduledLoss,
+    sample_phase_boundaries, BernoulliLoss, DistanceLossModel, GilbertElliottLoss, LossModel,
+    PerfectLink, ScheduledLoss, StrideLoss,
 };
 pub use mobility::{LinearWalk, MobilityModel, StaticPosition, WaypointWalk};
 pub use multicast::{DeliveryRecord, ReceiverId, WirelessLan};

@@ -245,6 +245,83 @@ impl LossModel for DistanceLossModel {
     }
 }
 
+/// Deterministic stride loss: every `n`-th transmission is dropped,
+/// counting from the first.
+///
+/// Unlike the stochastic models, stride loss consumes no randomness — the
+/// drop pattern is a pure function of how many packets the model has seen.
+/// That makes it the sharpest tool the scenario generator has for probing
+/// FEC block alignment: a stride that beats against the (n, k) group size
+/// produces worst-case correlated erasures no Bernoulli draw will reliably
+/// hit.
+#[derive(Debug, Clone, Copy)]
+pub struct StrideLoss {
+    every: u64,
+    transmitted: u64,
+}
+
+impl StrideLoss {
+    /// Creates a model that drops every `every`-th packet (the `every`-th,
+    /// `2×every`-th, ... transmissions are lost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn new(every: u64) -> Self {
+        assert!(every >= 1, "stride must be at least 1");
+        Self {
+            every,
+            transmitted: 0,
+        }
+    }
+
+    /// The configured stride.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+}
+
+impl LossModel for StrideLoss {
+    fn should_drop(&mut self, _rng: &mut StdRng, _now: SimTime, _len: usize) -> bool {
+        self.transmitted += 1;
+        self.transmitted.is_multiple_of(self.every)
+    }
+
+    fn nominal_loss_rate(&self) -> f64 {
+        1.0 / self.every as f64
+    }
+}
+
+/// Samples `count` strictly ascending phase-boundary times inside
+/// `(0, horizon)`, for building a [`ScheduledLoss`] with arbitrary phase
+/// edges.
+///
+/// The scenario generator uses this to place regime changes anywhere in a
+/// run — including mid-window and right next to each other — rather than
+/// only at the hand-picked whole-second marks the built-in scenarios use.
+/// Boundaries are deterministic per RNG state; fewer than `count` values
+/// are returned only when the horizon is too small to hold that many
+/// distinct microsecond ticks.
+pub fn sample_phase_boundaries(rng: &mut StdRng, count: usize, horizon: SimTime) -> Vec<SimTime> {
+    let span = horizon.as_micros();
+    if span <= 1 || count == 0 {
+        return Vec::new();
+    }
+    let mut boundaries: Vec<u64> = Vec::with_capacity(count);
+    // Bounded rejection sampling: duplicates are rare for realistic
+    // horizons, and the cap keeps tiny horizons from spinning.
+    let mut attempts = 0usize;
+    while boundaries.len() < count && attempts < count * 16 {
+        attempts += 1;
+        let candidate = rng.gen_range(1..span);
+        if !boundaries.contains(&candidate) {
+            boundaries.push(candidate);
+        }
+    }
+    boundaries.sort_unstable();
+    boundaries.into_iter().map(SimTime::from_micros).collect()
+}
+
 /// A loss model that switches between phases on a simulated-time schedule.
 ///
 /// Each phase is an inner [`LossModel`] active from its start time until the
@@ -443,6 +520,44 @@ mod tests {
     #[should_panic(expected = "at least one phase")]
     fn empty_schedule_panics() {
         let _ = ScheduledLoss::new(Vec::new());
+    }
+
+    #[test]
+    fn stride_loss_drops_exactly_every_nth_packet() {
+        let mut model = StrideLoss::new(4);
+        assert_eq!(model.every(), 4);
+        assert_eq!(model.nominal_loss_rate(), 0.25);
+        let mut r = rng(11);
+        let pattern: Vec<bool> =
+            (0..12).map(|_| model.should_drop(&mut r, SimTime::ZERO, 100)).collect();
+        let expected: Vec<bool> = (1..=12u64).map(|i| i % 4 == 0).collect();
+        assert_eq!(pattern, expected, "drops land on the 4th, 8th, 12th transmissions");
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be at least 1")]
+    fn stride_loss_rejects_zero() {
+        let _ = StrideLoss::new(0);
+    }
+
+    #[test]
+    fn phase_boundaries_are_ascending_distinct_and_seeded() {
+        let horizon = SimTime::from_secs(40);
+        let mut a = rng(77);
+        let mut b = rng(77);
+        let first = sample_phase_boundaries(&mut a, 5, horizon);
+        let second = sample_phase_boundaries(&mut b, 5, horizon);
+        assert_eq!(first, second, "same seed, same boundaries");
+        assert_eq!(first.len(), 5);
+        for pair in first.windows(2) {
+            assert!(pair[0] < pair[1], "boundaries strictly ascend");
+        }
+        assert!(first.iter().all(|&t| t > SimTime::ZERO && t < horizon));
+        // Degenerate horizons return what fits instead of spinning.
+        assert!(sample_phase_boundaries(&mut a, 3, SimTime::from_micros(1)).is_empty());
+        assert!(sample_phase_boundaries(&mut a, 0, horizon).is_empty());
+        let tiny = sample_phase_boundaries(&mut a, 10, SimTime::from_micros(4));
+        assert!(tiny.len() <= 3, "only 3 distinct ticks exist below 4µs");
     }
 
     #[test]

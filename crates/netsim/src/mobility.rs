@@ -44,7 +44,7 @@ impl MobilityModel for StaticPosition {
 
 /// A host that walks at constant speed from one distance to another, then
 /// stays there.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearWalk {
     start_m: f64,
     end_m: f64,

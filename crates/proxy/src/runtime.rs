@@ -298,6 +298,54 @@ struct PoolShared {
     live_tasks: AtomicUsize,
     next_shard: AtomicUsize,
     steals: AtomicU64,
+    #[cfg(any(test, feature = "chaos"))]
+    chaos: ChaosState,
+}
+
+/// Test-only fault injection for the worker pool (compiled in only for the
+/// proxy crate's own tests or under the `chaos` cargo feature).
+///
+/// The single fault on offer is a **shard stall**: the targeted shard's
+/// worker sleeps for a fixed duration before every task step it executes,
+/// simulating a worker wedged on a slow syscall or a noisy neighbour.  The
+/// stalled shard keeps its run queue, so the fault specifically exercises
+/// the pool's work stealing: sibling workers must pick the queue up or the
+/// whole session wedges.  Conservation invariants must hold regardless.
+#[cfg(any(test, feature = "chaos"))]
+#[derive(Debug)]
+struct ChaosState {
+    /// Shard whose worker is stalled (`usize::MAX` = none).
+    stall_shard: AtomicUsize,
+    /// Stall duration before each step, in microseconds.
+    stall_micros: AtomicU64,
+    /// Stall pauses workers have actually served.
+    stalls_served: AtomicU64,
+}
+
+#[cfg(any(test, feature = "chaos"))]
+impl Default for ChaosState {
+    fn default() -> Self {
+        Self {
+            stall_shard: AtomicUsize::new(usize::MAX),
+            stall_micros: AtomicU64::new(0),
+            stalls_served: AtomicU64::new(0),
+        }
+    }
+}
+
+#[cfg(any(test, feature = "chaos"))]
+impl ChaosState {
+    fn maybe_stall(&self, home: usize) {
+        if self.stall_shard.load(Ordering::Relaxed) != home {
+            return;
+        }
+        let micros = self.stall_micros.load(Ordering::Relaxed);
+        if micros == 0 {
+            return;
+        }
+        self.stalls_served.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_micros(micros));
+    }
 }
 
 impl PoolShared {
@@ -372,6 +420,8 @@ fn worker_loop(pool: &Arc<PoolShared>, home: usize) {
             return;
         }
         if let Some(task) = pool.pop(home) {
+            #[cfg(any(test, feature = "chaos"))]
+            pool.chaos.maybe_stall(home);
             run_task(&task, pool);
             continue;
         }
@@ -431,6 +481,8 @@ impl Runtime {
             live_tasks: AtomicUsize::new(0),
             next_shard: AtomicUsize::new(0),
             steals: AtomicU64::new(0),
+            #[cfg(any(test, feature = "chaos"))]
+            chaos: ChaosState::default(),
         });
         let workers = (0..config.shards)
             .map(|home| {
@@ -608,6 +660,35 @@ impl Runtime {
             capacity,
             batch_size,
         }
+    }
+
+    /// Chaos hook: stalls the worker of `shard` for `duration` before every
+    /// task step it executes, until [`chaos_clear`](Self::chaos_clear).
+    ///
+    /// Only compiled for tests or under the `chaos` feature.  Out-of-range
+    /// shards simply never match, which disables the stall.
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn chaos_stall_shard(&self, shard: usize, duration: Duration) {
+        self.shared
+            .chaos
+            .stall_micros
+            .store(duration.as_micros().min(u128::from(u64::MAX)) as u64, Ordering::SeqCst);
+        self.shared.chaos.stall_shard.store(shard, Ordering::SeqCst);
+    }
+
+    /// Chaos hook: removes any stall installed with
+    /// [`chaos_stall_shard`](Self::chaos_stall_shard).
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn chaos_clear(&self) {
+        self.shared.chaos.stall_shard.store(usize::MAX, Ordering::SeqCst);
+        self.shared.chaos.stall_micros.store(0, Ordering::SeqCst);
+    }
+
+    /// Chaos hook: stall pauses workers have actually served so far — lets
+    /// a test assert the fault it configured really fired.
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn chaos_stalls_served(&self) -> u64 {
+        self.shared.chaos.stalls_served.load(Ordering::SeqCst)
     }
 
     /// Stops the worker pool: workers finish their current step and exit.

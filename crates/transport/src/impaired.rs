@@ -19,7 +19,7 @@ use std::fmt;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -227,6 +227,7 @@ impl ImpairedStats {
 pub struct ImpairedUdp {
     local_addr: SocketAddr,
     stats: ImpairedStats,
+    plan: Arc<Mutex<ImpairmentPlan>>,
     stop: Arc<AtomicBool>,
     pump: Option<JoinHandle<()>>,
 }
@@ -254,9 +255,11 @@ impl ImpairedUdp {
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
         let local_addr = socket.local_addr()?;
         let stats = ImpairedStats::default();
+        let plan = Arc::new(Mutex::new(plan));
         let stop = Arc::new(AtomicBool::new(false));
         let pump = {
             let stats = stats.clone();
+            let plan = Arc::clone(&plan);
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name(format!("impaired-udp-{local_addr}"))
@@ -266,6 +269,7 @@ impl ImpairedUdp {
         Ok(Self {
             local_addr,
             stats,
+            plan,
             stop,
             pump: Some(pump),
         })
@@ -279,6 +283,25 @@ impl ImpairedUdp {
     /// The relay's counters.
     pub fn stats(&self) -> ImpairedStats {
         self.stats.clone()
+    }
+
+    /// Replaces the impairment schedule while the relay runs.
+    ///
+    /// The swap takes effect on the next data frame: the data-frame clock
+    /// keeps counting, but phase lookups (and stride decisions keyed on the
+    /// frame index) consult the new plan.  The relay's RNG stream is *not*
+    /// re-seeded — probabilistic decisions keep drawing from the original
+    /// seed's sequence, so two runs that swap plans at the same frame index
+    /// still behave identically.  This is the hook chaos tests use to
+    /// black out a socket mid-run (swap in a `drop_rate(1.0)` phase) and
+    /// later restore it.
+    pub fn set_plan(&self, plan: ImpairmentPlan) {
+        *self.plan.lock().expect("impairment plan lock") = plan;
+    }
+
+    /// A copy of the schedule currently in force.
+    pub fn plan(&self) -> ImpairmentPlan {
+        self.plan.lock().expect("impairment plan lock").clone()
     }
 
     /// Stops the relay thread and waits for it to exit.
@@ -299,11 +322,12 @@ impl Drop for ImpairedUdp {
 fn pump_impaired(
     socket: &UdpSocket,
     peer: SocketAddr,
-    plan: &ImpairmentPlan,
+    plan: &Mutex<ImpairmentPlan>,
     stats: &ImpairedStats,
     stop: &AtomicBool,
 ) {
-    let mut rng = StdRng::seed_from_u64(plan.seed());
+    let seed = plan.lock().expect("impairment plan lock").seed();
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut buf = vec![0u8; MAX_DATAGRAM_LEN];
     // Data frames relayed so far; the "clock" the plan's phases run on.
     let mut data_index = 0u64;
@@ -353,7 +377,7 @@ fn pump_impaired(
 
         let index = data_index;
         data_index += 1;
-        let phase = plan.phase_at(index);
+        let phase = *plan.lock().expect("impairment plan lock").phase_at(index);
         // One RNG draw per data frame regardless of phase, so the random
         // sequence each frame sees is independent of the schedule shape.
         let roll: f64 = rng.gen();

@@ -1,0 +1,327 @@
+//! The chaos suite: deliberate mid-run faults against the runtime and the
+//! transport, with conservation as the survival bar.
+//!
+//! Three fault families, matching the hooks the production crates expose
+//! behind `#[cfg(any(test, feature = "chaos"))]`:
+//!
+//! * **shard stalls** — [`Runtime::chaos_stall_shard`] wedges one worker
+//!   with a fixed pre-step sleep while sessions churn lanes under load;
+//!   work stealing must keep every stream flowing, per-lane conservation
+//!   (`sent == delivered + lost + undelivered`) must hold, and shutdown
+//!   must leak **zero** tasks;
+//! * **socket drop-outs** — [`ImpairedUdp::set_plan`] swaps a total
+//!   blackout in (and back out) mid-stream; every datagram is either
+//!   forwarded and received, or counted dropped — never silently lost
+//!   (`received ⇒ counted`);
+//! * **reordered and duplicated control markers** — non-FIN control frames
+//!   are duplicated and rode through a reordering relay; every data frame
+//!   still arrives exactly once, every marker copy is delivered (not
+//!   deduplicated into silence), and a duplicated FIN still ends the
+//!   stream cleanly exactly once.
+//!
+//! Everything runs under a watchdog: a wedged pool or socket fails fast
+//! instead of hanging CI.
+
+mod common;
+
+use std::net::UdpSocket;
+use std::time::Duration;
+
+use rapidware::packet::{Packet, PacketKind, SeqNo, StreamId};
+use rapidware::proxy::FilterSpec;
+use rapidware::runtime::{Runtime, RuntimeConfig};
+use rapidware::transport::{
+    fin_packet, ImpairedStats, ImpairedUdp, ImpairmentPhase, ImpairmentPlan, UdpConfig, UdpIngress,
+};
+
+use common::{
+    assert_conservation, audio_packet, drain_count_to_eof, send_encoded, watchdog, WATCHDOG,
+};
+
+const BATCH_SIZE: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Shard stalls.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn a_stalled_shard_never_breaks_conservation_or_leaks_tasks() {
+    watchdog("chaos-shard-stall", WATCHDOG, || {
+        const SESSIONS: usize = 8;
+        const PHASES: u64 = 4;
+        const PACKETS_PER_PHASE: u64 = 100;
+        let runtime = Runtime::start(RuntimeConfig::new(4, BATCH_SIZE).with_pipe_capacity(32));
+
+        struct Stream {
+            session: rapidware::runtime::PooledSession,
+            name: String,
+            backlog: Vec<Packet>,
+            base_rx: rapidware::streams::DetachableReceiver<Packet>,
+            base_delivered: u64,
+            churn_rx: Option<rapidware::streams::DetachableReceiver<Packet>>,
+            churn_name: String,
+            churn_delivered: u64,
+        }
+
+        let mut streams: Vec<Stream> = (0..SESSIONS)
+            .map(|index| {
+                let name = format!("chaos-{index}");
+                let session = runtime.add_session(&name);
+                let base_rx = session.add_lane("base").expect("fresh session");
+                Stream {
+                    session,
+                    name,
+                    backlog: Vec::new(),
+                    base_rx,
+                    base_delivered: 0,
+                    churn_rx: None,
+                    churn_name: String::new(),
+                    churn_delivered: 0,
+                }
+            })
+            .collect();
+
+        let mut next_seq = 0u64;
+        for phase in 0..PHASES {
+            // The fault schedule: the stall moves to a different shard each
+            // phase (including the one hosting the fanout tasks), with one
+            // clean phase to show recovery.
+            runtime.chaos_clear();
+            if phase != PHASES - 1 {
+                runtime.chaos_stall_shard(phase as usize % 4, Duration::from_micros(300));
+            }
+            // Lane churn while stalled: retire last phase's lossy lane,
+            // grow this phase's.
+            for s in streams.iter_mut() {
+                if let Some(rx) = s.churn_rx.take() {
+                    s.session.remove_lane(&s.churn_name).expect("churn lane exists");
+                    s.churn_delivered += drain_count_to_eof(&rx, BATCH_SIZE);
+                    let stats = s.session.lane_stats(&s.churn_name).expect("retired stats");
+                    assert_conservation(
+                        &format!("{}/{}", s.name, s.churn_name),
+                        stats.packets_in,
+                        s.churn_delivered,
+                        stats.packets_in - stats.packets_out,
+                        rx.available() as u64,
+                    );
+                    s.churn_delivered = 0;
+                }
+                s.churn_name = format!("churn-{phase}");
+                let rx = s.session.add_lane(&s.churn_name).expect("unique per phase");
+                s.session
+                    .insert_lane_filter(
+                        &s.churn_name,
+                        0,
+                        &FilterSpec::new("drop-every").with_param("n", "4"),
+                    )
+                    .expect("drop-every is registered");
+                s.churn_rx = Some(rx);
+                s.backlog.extend((next_seq..next_seq + PACKETS_PER_PHASE).map(|seq| {
+                    audio_packet(seq, 8)
+                }));
+            }
+            next_seq += PACKETS_PER_PHASE;
+            // Pump non-blockingly until the phase's traffic is in: a stall
+            // that wedged the pool shows up as no-progress under the
+            // watchdog, not as a blocked test.
+            loop {
+                let mut all_sent = true;
+                for s in streams.iter_mut() {
+                    if !s.backlog.is_empty() {
+                        let pending = std::mem::take(&mut s.backlog);
+                        s.backlog =
+                            s.session.input().try_send_batch(pending).expect("inputs stay open");
+                    }
+                    while let Ok(batch) = s.base_rx.try_recv_up_to(BATCH_SIZE) {
+                        s.base_delivered += batch.len() as u64;
+                    }
+                    if let Some(rx) = s.churn_rx.as_ref() {
+                        while let Ok(batch) = rx.try_recv_up_to(BATCH_SIZE) {
+                            s.churn_delivered += batch.len() as u64;
+                        }
+                    }
+                    all_sent &= s.backlog.is_empty();
+                }
+                if all_sent {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        assert!(
+            runtime.chaos_stalls_served() > 0,
+            "the configured stalls never actually fired"
+        );
+        runtime.chaos_clear();
+
+        // Teardown: every lane must conserve, the pool must come up empty.
+        let total = PHASES * PACKETS_PER_PHASE;
+        for mut s in streams {
+            s.session.close_input();
+            s.base_delivered += drain_count_to_eof(&s.base_rx, BATCH_SIZE);
+            if let Some(rx) = s.churn_rx.take() {
+                s.churn_delivered += drain_count_to_eof(&rx, BATCH_SIZE);
+                let stats = s.session.lane_stats(&s.churn_name).expect("lane stats");
+                assert_conservation(
+                    &format!("{}/{}", s.name, s.churn_name),
+                    stats.packets_in,
+                    s.churn_delivered,
+                    stats.packets_in - stats.packets_out,
+                    rx.available() as u64,
+                );
+            }
+            assert_eq!(
+                s.base_delivered, total,
+                "{}: the lossless whole-life lane must deliver every packet",
+                s.name
+            );
+            s.session.shutdown().expect("clean session shutdown");
+        }
+        assert_eq!(runtime.live_tasks(), 0, "stall chaos leaked shard tasks");
+        runtime.shutdown().expect("worker pool joins cleanly");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Socket drop-outs.
+// ---------------------------------------------------------------------------
+
+/// Blocks until the relay has accounted for `expected` data frames
+/// (forwarded + dropped + delayed), so plan swaps land on a quiescent
+/// relay and the test stays deterministic.
+fn await_relay_accounted(stats: &ImpairedStats, expected: u64) {
+    while stats.forwarded() + stats.dropped() + stats.delayed() < expected {
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn a_mid_run_socket_blackout_is_counted_never_silent() {
+    watchdog("chaos-socket-blackout", WATCHDOG, || {
+        const BEFORE: u64 = 100;
+        const DURING: u64 = 50;
+        const AFTER: u64 = 100;
+        let ingress = UdpIngress::bind("127.0.0.1:0", &UdpConfig::default()).unwrap();
+        let relay = ImpairedUdp::spawn(ingress.local_addr(), ImpairmentPlan::clean(7)).unwrap();
+        let stats = relay.stats();
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+
+        for seq in 0..BEFORE {
+            send_encoded(&tx, relay.local_addr(), &audio_packet(seq, 64));
+        }
+        await_relay_accounted(&stats, BEFORE);
+
+        // Drop-out: a total blackout phase edited in while the stream runs.
+        relay.set_plan(ImpairmentPlan::new(7, vec![(0, ImpairmentPhase::drop_rate(1.0))]));
+        assert_eq!(relay.plan().phase_at(0).drop_rate, 1.0);
+        for seq in BEFORE..BEFORE + DURING {
+            send_encoded(&tx, relay.local_addr(), &audio_packet(seq, 64));
+        }
+        await_relay_accounted(&stats, BEFORE + DURING);
+        assert_eq!(stats.dropped(), DURING, "the blackout must count every loss");
+
+        // Recovery: the original plan comes back; traffic flows again.
+        relay.set_plan(ImpairmentPlan::clean(7));
+        for seq in BEFORE + DURING..BEFORE + DURING + AFTER {
+            send_encoded(&tx, relay.local_addr(), &audio_packet(seq, 64));
+        }
+        await_relay_accounted(&stats, BEFORE + DURING + AFTER);
+        send_encoded(&tx, relay.local_addr(), &fin_packet());
+
+        // received ⇒ counted: everything the relay forwarded reaches the
+        // application, everything else is in `dropped`, and the two sides
+        // add back up to the send count.
+        let mut received = Vec::new();
+        loop {
+            match ingress.recv_timeout(Duration::from_millis(50)) {
+                Ok(packet) => received.push(packet),
+                Err(rapidware::streams::TryRecvError::Empty) => continue,
+                Err(_) => break,
+            }
+        }
+        assert_eq!(received.len() as u64, stats.forwarded(), "forwarded ⇒ received");
+        assert_conservation(
+            "blackout relay",
+            BEFORE + DURING + AFTER,
+            stats.forwarded(),
+            stats.dropped(),
+            0,
+        );
+        let seqs: Vec<u64> = received.iter().map(|p| p.seq().value()).collect();
+        let expected: Vec<u64> =
+            (0..BEFORE).chain(BEFORE + DURING..BEFORE + DURING + AFTER).collect();
+        assert_eq!(seqs, expected, "survivors arrive in order with the blackout window cut out");
+        assert_eq!(stats.control(), 1, "the FIN passed the relay untouched");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Reordered and duplicated control markers.
+// ---------------------------------------------------------------------------
+
+/// A non-FIN control marker (the quiescence-marker shape the engine uses).
+fn marker(id: u64) -> Packet {
+    Packet::new(StreamId::new(u32::MAX), SeqNo::new(id), PacketKind::Control, Vec::new())
+}
+
+#[test]
+fn reordered_and_duplicated_markers_conserve_every_data_frame() {
+    watchdog("chaos-marker-storm", WATCHDOG, || {
+        const TOTAL: u64 = 120;
+        const MARKER_EVERY: u64 = 30;
+        let ingress = UdpIngress::bind("127.0.0.1:0", &UdpConfig::default()).unwrap();
+        // The relay holds every 5th data frame back 3 frames — a
+        // deterministic reordering — while control frames pass immediately
+        // (flushing any held frames first, so no data crosses a marker).
+        let relay = ImpairedUdp::spawn(
+            ingress.local_addr(),
+            ImpairmentPlan::new(11, vec![(0, ImpairmentPhase::delay(5, 3))]),
+        )
+        .unwrap();
+        let stats = relay.stats();
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+
+        let mut markers_sent = 0u64;
+        for seq in 0..TOTAL {
+            // Duplicated markers, and reordered relative to the stream: the
+            // marker for a window is sent *before* that window's last data
+            // frame, then again after it.
+            if seq % MARKER_EVERY == MARKER_EVERY - 1 {
+                send_encoded(&tx, relay.local_addr(), &marker(seq / MARKER_EVERY));
+                markers_sent += 1;
+            }
+            send_encoded(&tx, relay.local_addr(), &audio_packet(seq, 64));
+            if seq % MARKER_EVERY == MARKER_EVERY - 1 {
+                send_encoded(&tx, relay.local_addr(), &marker(seq / MARKER_EVERY));
+                markers_sent += 1;
+            }
+        }
+        await_relay_accounted(&stats, TOTAL);
+        // A duplicated FIN: the first ends the stream, the second must be
+        // absorbed without wedging or reopening anything.
+        send_encoded(&tx, relay.local_addr(), &fin_packet());
+        send_encoded(&tx, relay.local_addr(), &fin_packet());
+
+        let mut data = Vec::new();
+        let mut markers_received = 0u64;
+        loop {
+            match ingress.recv_timeout(Duration::from_millis(50)) {
+                Ok(packet) if packet.kind() == PacketKind::Control => markers_received += 1,
+                Ok(packet) => data.push(packet),
+                Err(rapidware::streams::TryRecvError::Empty) => continue,
+                Err(_) => break,
+            }
+        }
+        // received ⇒ counted: every data frame exactly once (the delays
+        // reorder, never drop), every marker copy delivered, none invented.
+        let mut seqs: Vec<u64> = data.iter().map(|p| p.seq().value()).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..TOTAL).collect::<Vec<_>>(), "each data frame exactly once");
+        assert_eq!(markers_received, markers_sent, "every duplicated marker copy is delivered");
+        assert!(stats.delayed() > 0, "the reordering schedule never actually held a frame");
+        assert_conservation("marker relay", TOTAL, stats.forwarded(), stats.dropped(), 0);
+        assert_eq!(stats.dropped(), 0);
+        // The duplicate FIN arrived after the pipe closed; nothing to do,
+        // nothing wedged — the drain loop above already returned on EOF.
+    });
+}

@@ -1,0 +1,209 @@
+//! The multicast-tree soak: a **thousand receivers** behind one source,
+//! crossing the three subsystems the repo grew separately — fanout
+//! sessions, the sharded pooled runtime, and real UDP — in one bounded
+//! test.
+//!
+//! ```text
+//!   source ─▶ root session (10 branch lanes)      ── pooled runtime
+//!                │ … per branch …
+//!                ▼
+//!        UDP bridge (loopback socket hop)          ── transport
+//!                ▼
+//!        tier-2 session (100 leaf lanes)           ── pooled runtime
+//!                ▼
+//!        10 × 100 = 1000 leaf receivers
+//! ```
+//!
+//! The claims, all inside one watchdog:
+//!
+//! * every one of the 1000 leaves receives **every** source packet, in
+//!   order (the tree is lossless end to end, across two fanout hops and a
+//!   real socket hop);
+//! * per-leaf conservation holds from independent counters
+//!   (`sent == delivered + lost + undelivered` with `lost == 0`);
+//! * the whole tree — 1 root + 10 tier-2 sessions, 1010 lanes, ~1030 pool
+//!   tasks — runs on **one** fixed 4-worker runtime, and shuts down with
+//!   **zero** leaked tasks.
+
+mod common;
+
+use std::net::UdpSocket;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rapidware::runtime::{Runtime, RuntimeConfig};
+use rapidware::streams::TryRecvError;
+use rapidware::transport::{fin_packet, UdpConfig, UdpIngress};
+
+use common::{assert_conservation, audio_packet, send_encoded, watchdog};
+
+const BRANCHES: usize = 10;
+const LEAVES_PER_BRANCH: usize = 100; // 10 × 100 = 1000 receivers
+const PACKETS: u64 = 200;
+const BATCH_SIZE: usize = 16;
+const TREE_WALL_CLOCK: Duration = Duration::from_secs(240);
+
+#[test]
+fn a_thousand_leaf_multicast_tree_delivers_everything_over_udp_bridges() {
+    watchdog("multicast-tree-soak", TREE_WALL_CLOCK, || {
+        let runtime = Runtime::start(RuntimeConfig::new(4, BATCH_SIZE));
+
+        // Tier 2 first: each branch gets its own UDP ingress, a pooled
+        // session fed from it, and 100 leaf lanes.
+        let config = UdpConfig::default();
+        let mut tier2 = Vec::with_capacity(BRANCHES);
+        let mut pumps = Vec::with_capacity(BRANCHES);
+        let mut bridge_addrs = Vec::with_capacity(BRANCHES);
+        for branch in 0..BRANCHES {
+            let ingress = UdpIngress::bind("127.0.0.1:0", &config).unwrap();
+            bridge_addrs.push(ingress.local_addr());
+            let session = Arc::new(runtime.add_session(format!("tier2-{branch}")));
+            let leaves: Vec<_> = (0..LEAVES_PER_BRANCH)
+                .map(|leaf| {
+                    let name = format!("leaf-{leaf}");
+                    let rx = session.add_lane(&name).expect("fresh tier-2 session");
+                    (name, rx)
+                })
+                .collect();
+            // The ingress pump: datagrams from the branch bridge become the
+            // tier-2 session's source stream; the bridge's FIN closes it.
+            let pump = {
+                let session = Arc::clone(&session);
+                let rx = ingress.receiver();
+                std::thread::spawn(move || {
+                    let input = session.input();
+                    while let Ok(packet) = rx.recv() {
+                        input.send(packet).expect("tier-2 input stays open");
+                    }
+                    session.close_input();
+                })
+            };
+            pumps.push(pump);
+            tier2.push((session, leaves, ingress));
+        }
+
+        // The root: one pooled session whose 10 branch lanes each feed a
+        // UDP bridge to a tier-2 ingress.
+        let root = runtime.add_session("root");
+        let mut bridges = Vec::with_capacity(BRANCHES);
+        for (branch, peer) in bridge_addrs.iter().copied().enumerate() {
+            let rx = root.add_lane(format!("branch-{branch}")).expect("fresh root session");
+            bridges.push(std::thread::spawn(move || {
+                let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+                let mut relayed = 0u64;
+                while let Ok(packet) = rx.recv() {
+                    send_encoded(&socket, peer, &packet);
+                    relayed += 1;
+                }
+                // Lane EOF: tell the far ingress the stream is over.
+                send_encoded(&socket, peer, &fin_packet());
+                relayed
+            }));
+        }
+
+        // Leaf collectors: one thread per branch sweeps its 100 leaf
+        // endpoints non-blockingly until every one reports EOF, checking
+        // order as it goes.
+        let collectors: Vec<_> = tier2
+            .iter()
+            .map(|(_, leaves, _)| {
+                let endpoints: Vec<_> =
+                    leaves.iter().map(|(name, rx)| (name.clone(), rx.clone())).collect();
+                std::thread::spawn(move || {
+                    let mut delivered = vec![0u64; endpoints.len()];
+                    let mut next_expected = vec![0u64; endpoints.len()];
+                    let mut open = vec![true; endpoints.len()];
+                    let mut remaining = endpoints.len();
+                    while remaining > 0 {
+                        let mut progressed = false;
+                        for (index, (name, rx)) in endpoints.iter().enumerate() {
+                            if !open[index] {
+                                continue;
+                            }
+                            loop {
+                                match rx.try_recv_up_to(BATCH_SIZE) {
+                                    Ok(batch) => {
+                                        for packet in &batch {
+                                            assert_eq!(
+                                                packet.seq().value(),
+                                                next_expected[index],
+                                                "{name}: leaf delivered out of order"
+                                            );
+                                            next_expected[index] += 1;
+                                        }
+                                        delivered[index] += batch.len() as u64;
+                                        progressed = true;
+                                    }
+                                    Err(TryRecvError::Empty) => break,
+                                    Err(_) => {
+                                        open[index] = false;
+                                        remaining -= 1;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        if !progressed {
+                            std::thread::yield_now();
+                        }
+                    }
+                    delivered
+                })
+            })
+            .collect();
+
+        // Drive the source and end the stream.
+        let input = root.input();
+        for seq in 0..PACKETS {
+            input.send(audio_packet(seq, 64)).expect("root input stays open");
+        }
+        root.close_input();
+
+        // Every branch bridge must have relayed the full stream.
+        for (branch, bridge) in bridges.into_iter().enumerate() {
+            let relayed = bridge.join().expect("bridge thread must not panic");
+            assert_eq!(relayed, PACKETS, "branch {branch}: the UDP bridge lost traffic");
+        }
+        for pump in pumps {
+            pump.join().expect("ingress pump must not panic");
+        }
+
+        // Every leaf, in every branch: full delivery and conservation.
+        let mut total_delivered = 0u64;
+        for ((session, leaves, ingress), collector) in tier2.iter().zip(collectors) {
+            let delivered = collector.join().expect("collector must not panic");
+            for ((name, rx), count) in leaves.iter().zip(delivered) {
+                assert_eq!(
+                    count,
+                    PACKETS,
+                    "{}/{name}: a leaf missed part of the stream",
+                    session.name()
+                );
+                let stats = session.lane_stats(name).expect("leaf stats");
+                assert_conservation(
+                    &format!("{}/{name}", session.name()),
+                    stats.packets_in,
+                    count,
+                    stats.packets_in - stats.packets_out,
+                    rx.available() as u64,
+                );
+                assert_eq!(stats.packets_in - stats.packets_out, 0, "lossless tree");
+                total_delivered += count;
+            }
+            assert_eq!(ingress.stats().rx_packets(), PACKETS, "bridge hop dropped datagrams");
+        }
+        assert_eq!(
+            total_delivered,
+            PACKETS * (BRANCHES * LEAVES_PER_BRANCH) as u64,
+            "1000 leaves × {PACKETS} packets"
+        );
+
+        // Teardown: the whole tree folds back into an empty pool.
+        root.shutdown().expect("root session shuts down cleanly");
+        for (session, _, _) in &tier2 {
+            session.shutdown().expect("tier-2 session shuts down cleanly");
+        }
+        assert_eq!(runtime.live_tasks(), 0, "the multicast tree leaked pool tasks");
+        runtime.shutdown().expect("worker pool joins cleanly");
+    });
+}

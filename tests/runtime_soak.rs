@@ -17,14 +17,17 @@
 //!   reports **zero** live tasks (churned-away lanes included) and the
 //!   worker pool joins without failure.
 
-use std::sync::mpsc;
+mod common;
+
 use std::sync::Arc;
 use std::time::Duration;
 
-use rapidware::packet::{Packet, PacketKind, SeqNo, StreamId};
+use rapidware::packet::Packet;
 use rapidware::proxy::FilterSpec;
 use rapidware::runtime::{PooledSession, Runtime, RuntimeConfig};
 use rapidware::streams::{DetachableReceiver, TryRecvError};
+
+use common::{assert_conservation, audio_packet, drain_count_to_eof, watchdog};
 
 const SHARDS: usize = 4;
 const BATCH_SIZE: usize = 16;
@@ -36,7 +39,7 @@ const PACKETS_PER_PHASE: u64 = 50; // 200 × 5 × 50 = 50 000 source packets
 const SOAK_WALL_CLOCK: Duration = Duration::from_secs(240);
 
 fn packet(seq: u64) -> Packet {
-    Packet::new(StreamId::new(1), SeqNo::new(seq), PacketKind::AudioData, vec![(seq % 251) as u8; 8])
+    audio_packet(seq, 8)
 }
 
 /// One soak session as a driver sees it.
@@ -116,23 +119,17 @@ impl SoakSession {
         self.session.remove_lane(&churn.name).expect("churn lane exists");
         // The lane's chain flushes to EOF once its backlog drains; everything
         // still queued at the endpoint belongs to `delivered`.
-        loop {
-            match churn.rx.try_recv_up_to(BATCH_SIZE) {
-                Ok(batch) => churn.delivered += batch.len() as u64,
-                Err(TryRecvError::Empty) => std::thread::yield_now(),
-                Err(_) => break,
-            }
-        }
+        churn.delivered += drain_count_to_eof(&churn.rx, BATCH_SIZE);
         let stats = self.session.lane_stats(&churn.name).expect("retired lanes keep stats");
         let lost = stats.packets_in - stats.packets_out;
         let undelivered = churn.rx.available() as u64;
         assert_eq!(undelivered, 0, "{}/{}: endpoint drained to EOF", self.name, churn.name);
-        assert_eq!(
+        assert_conservation(
+            &format!("{}/{}", self.name, churn.name),
             stats.packets_in,
-            churn.delivered + lost + undelivered,
-            "{}/{}: conservation violated (sent != delivered + lost + undelivered)",
-            self.name,
-            churn.name
+            churn.delivered,
+            lost,
+            undelivered,
         );
         if lossy && stats.packets_in >= 4 {
             assert!(lost > 0, "{}/{}: the drop filter never dropped", self.name, churn.name);
@@ -282,19 +279,5 @@ fn soak_200_sessions_with_lane_churn_on_a_4_shard_pool() {
     // The no-deadlock bound: the soak runs on a supervised thread and must
     // finish inside SOAK_WALL_CLOCK, or the watchdog fails the test
     // instead of letting CI hang.
-    let (done_tx, done_rx) = mpsc::channel();
-    let soak = std::thread::Builder::new()
-        .name("runtime-soak".into())
-        .spawn(move || {
-            run_soak();
-            let _ = done_tx.send(());
-        })
-        .expect("spawning the soak thread never fails");
-    match done_rx.recv_timeout(SOAK_WALL_CLOCK) {
-        Ok(()) => soak.join().expect("soak thread must not panic"),
-        Err(_) => panic!(
-            "soak did not finish within {SOAK_WALL_CLOCK:?}: the sharded runtime deadlocked or \
-             livelocked"
-        ),
-    }
+    watchdog("runtime-soak", SOAK_WALL_CLOCK, run_soak);
 }

@@ -19,7 +19,11 @@
 //! shared with the `scenario_matrix` bench binary so this harness and the
 //! CI report job can never drift apart.
 
+mod common;
+
 use rapidware::engine::{FanoutEngine, FanoutSpec, ScenarioEngine, ScenarioSpec, MATRIX_SEEDS};
+
+use common::assert_same_outcome;
 
 #[test]
 fn every_builtin_scenario_closes_the_loop_on_both_appliers_at_both_seeds() {
@@ -42,23 +46,27 @@ fn every_builtin_scenario_closes_the_loop_on_both_appliers_at_both_seeds() {
             // agree with the sync run byte for byte, which transitively
             // gives it every property checked above.
             let threaded = engine.run_threaded();
-            assert_eq!(
-                outcome.trace.canonical_text(),
-                threaded.trace.canonical_text(),
-                "{context}: sync and threaded appliers diverge"
+            assert_same_outcome(
+                &context,
+                "threaded",
+                &outcome.trace.canonical_text(),
+                &outcome.report,
+                &threaded.trace.canonical_text(),
+                &threaded.report,
             );
-            assert_eq!(outcome.report, threaded.report, "{context}: reports differ");
 
             // The pooled applier — the whole chain as one cooperative task
             // on a sharded worker pool, reconfigured through the same proxy
             // control surface — must agree byte for byte as well.
             let pooled = engine.run_pooled();
-            assert_eq!(
-                outcome.trace.canonical_text(),
-                pooled.trace.canonical_text(),
-                "{context}: sync and pooled appliers diverge"
+            assert_same_outcome(
+                &context,
+                "pooled",
+                &outcome.trace.canonical_text(),
+                &outcome.report,
+                &pooled.trace.canonical_text(),
+                &pooled.report,
             );
-            assert_eq!(outcome.report, pooled.report, "{context}: pooled reports differ");
         }
     }
 }
@@ -115,23 +123,27 @@ fn every_fanout_scenario_closes_its_per_lane_loops_on_both_appliers_at_both_seed
             // the splice protocol — must agree with the sync run byte for
             // byte.
             let session = engine.run_session();
-            assert_eq!(
-                outcome.trace.canonical_text(),
-                session.trace.canonical_text(),
-                "{context}: sync and session appliers diverge"
+            assert_same_outcome(
+                &context,
+                "session",
+                &outcome.trace.canonical_text(),
+                &outcome.report,
+                &session.trace.canonical_text(),
+                &session.report,
             );
-            assert_eq!(outcome.report, session.report, "{context}: reports differ");
 
             // And so must the pooled session applier, where the head, the
             // fanout stage, and every lane run as tasks on a fixed worker
             // pool with zero dedicated threads per session.
             let pooled = engine.run_pooled();
-            assert_eq!(
-                outcome.trace.canonical_text(),
-                pooled.trace.canonical_text(),
-                "{context}: sync and pooled fanout appliers diverge"
+            assert_same_outcome(
+                &context,
+                "pooled fanout",
+                &outcome.trace.canonical_text(),
+                &outcome.report,
+                &pooled.trace.canonical_text(),
+                &pooled.report,
             );
-            assert_eq!(outcome.report, pooled.report, "{context}: pooled reports differ");
         }
     }
 }

@@ -17,56 +17,20 @@
 //! still in flight would discard them by design, exactly as a real socket
 //! would.
 
+mod common;
+
 use std::net::UdpSocket;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use rapidware::filters::{FecDecoderFilter, Filter};
-use rapidware::packet::{Packet, PacketKind, SeqNo, StreamId};
+use rapidware::packet::Packet;
 use rapidware::proxy::{FilterSpec, Proxy, RuntimeConfig, UdpSessionConfig, UdpStreamConfig};
-use rapidware::streams::{DetachableReceiver, TryRecvError};
 use rapidware::transport::{ImpairedUdp, ImpairmentPlan, UdpConfig, UdpIngress};
 
-const WATCHDOG: Duration = Duration::from_secs(120);
+use common::{audio_packet, drain_count, drain_to_eof, send_encoded, WATCHDOG};
 
 fn packet(seq: u64) -> Packet {
-    Packet::new(StreamId::new(1), SeqNo::new(seq), PacketKind::AudioData, vec![(seq % 251) as u8; 96])
-}
-
-fn send_encoded(socket: &UdpSocket, peer: std::net::SocketAddr, packet: &Packet) {
-    let mut scratch = Vec::new();
-    packet.encode_into(&mut scratch);
-    socket.send_to(&scratch, peer).unwrap();
-}
-
-/// Drains exactly `count` packets from `rx` under the watchdog.
-fn drain_count(rx: &DetachableReceiver<Packet>, count: usize, deadline: Instant) -> Vec<Packet> {
-    let mut packets = Vec::with_capacity(count);
-    while packets.len() < count {
-        assert!(
-            Instant::now() < deadline,
-            "stream stalled at {}/{count}",
-            packets.len()
-        );
-        match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(packet) => packets.push(packet),
-            Err(TryRecvError::Empty) => continue,
-            Err(other) => panic!("stream ended early at {}/{count}: {other}", packets.len()),
-        }
-    }
-    packets
-}
-
-/// Drains `rx` to EOF under the watchdog, returning what was left.
-fn drain_to_eof(rx: &DetachableReceiver<Packet>, deadline: Instant) -> Vec<Packet> {
-    let mut packets = Vec::new();
-    loop {
-        assert!(Instant::now() < deadline, "stream never ended ({} left over)", packets.len());
-        match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(packet) => packets.push(packet),
-            Err(TryRecvError::Empty) => continue,
-            Err(_) => return packets,
-        }
-    }
+    audio_packet(seq, 96)
 }
 
 #[test]

@@ -1082,6 +1082,16 @@ impl FanoutEngine {
         self.run_with(&mut super::UdpFanoutApplier::for_spec(&self.spec))
     }
 
+    /// Runs the scenario on a
+    /// [`SharedUdpFanoutApplier`](super::SharedUdpFanoutApplier): the same
+    /// wire path as [`run_udp`](Self::run_udp), but the whole session rides
+    /// one shared carrier socket demuxed by the readiness reactor onto the
+    /// worker pool.  The report must agree with the in-process appliers at
+    /// the same seed.
+    pub fn run_udp_shared(&self) -> FanoutOutcome {
+        self.run_with(&mut super::SharedUdpFanoutApplier::for_spec(&self.spec))
+    }
+
     /// Runs the scenario against any applier.
     ///
     /// # Panics

@@ -117,6 +117,12 @@ struct Shrink {
     max_lanes: Option<usize>,
     max_receivers: Option<usize>,
     drop_head: bool,
+    /// Not a shrink: opts the spec into the shared-socket wire check
+    /// (`run_udp_shared` vs sync).  Lives here so it serializes with the
+    /// corpus line and survives shrinking like the true overrides —
+    /// a shrunk reproduction of a shared-socket divergence must still
+    /// exercise the shared-socket path.
+    shared_udp: bool,
 }
 
 /// A fully derived, serializable, shrinkable generated scenario.
@@ -168,6 +174,29 @@ impl GeneratedSpec {
     /// for flat shapes).
     pub fn churn(&self) -> &[ChurnEvent] {
         &self.churn
+    }
+
+    /// `true` if this spec's corpus line carries the `shared_udp` token:
+    /// conformance additionally runs the scenario over a shared-socket
+    /// carrier ([`ScenarioEngine::run_udp_shared`] /
+    /// [`FanoutEngine::run_udp_shared`]) and holds it to the sync
+    /// applier's bytes.
+    pub fn shared_udp(&self) -> bool {
+        self.shrink.shared_udp
+    }
+
+    /// Returns a copy of this spec with the shared-socket wire check
+    /// enabled (see [`shared_udp`](Self::shared_udp)).  The derived
+    /// scenario is unchanged — the flag only widens conformance.
+    #[must_use]
+    pub fn with_shared_udp(&self) -> Self {
+        Self::build(
+            self.seed,
+            Shrink {
+                shared_udp: true,
+                ..self.shrink
+            },
+        )
     }
 
     /// Rebuilds the spec from seed + overrides.  Every field below the
@@ -332,6 +361,9 @@ impl GeneratedSpec {
         if self.shrink.drop_head {
             line.push_str(" drop_head");
         }
+        if self.shrink.shared_udp {
+            line.push_str(" shared_udp");
+        }
         line
     }
 
@@ -344,6 +376,10 @@ impl GeneratedSpec {
         for token in line.split_whitespace() {
             if token == "drop_head" {
                 shrink.drop_head = true;
+                continue;
+            }
+            if token == "shared_udp" {
+                shrink.shared_udp = true;
                 continue;
             }
             let (key, value) = token
@@ -405,7 +441,10 @@ impl GeneratedSpec {
     /// * every receiver/lane accounts for every packet
     ///   (`delivered + recovered + lost + undelivered == packets`);
     /// * nothing delivered by the link fails to surface (`undelivered == 0`);
-    /// * replaying the recorded trace reproduces the report.
+    /// * replaying the recorded trace reproduces the report;
+    /// * with the `shared_udp` token, a run over a shared-socket carrier
+    ///   (reactor-demuxed, zero pump threads) matches the sync applier
+    ///   byte for byte too.
     pub fn conformance_problems(&self) -> Vec<String> {
         match &self.shape {
             GeneratedShape::Flat(spec) => self.flat_conformance(spec),
@@ -424,10 +463,14 @@ impl GeneratedSpec {
         if again.trace.canonical_text() != reference.trace.canonical_text() {
             problems.push("sync applier is not deterministic per seed".to_string());
         }
-        for (label, outcome) in [
+        let mut runs = vec![
             ("threaded", engine.run_threaded()),
             ("pooled", engine.run_pooled()),
-        ] {
+        ];
+        if self.shrink.shared_udp {
+            runs.push(("shared-udp", engine.run_udp_shared()));
+        }
+        for (label, outcome) in runs {
             if outcome.trace.canonical_text() != reference.trace.canonical_text() {
                 problems.push(format!("{label} trace diverges from sync"));
             }
@@ -491,10 +534,14 @@ impl GeneratedSpec {
         if again.trace.canonical_text() != reference.trace.canonical_text() {
             problems.push("sync fanout applier is not deterministic per seed".to_string());
         }
-        for (label, outcome) in [
+        let mut runs = vec![
             ("session", engine.run_session()),
             ("pooled", engine.run_pooled()),
-        ] {
+        ];
+        if self.shrink.shared_udp {
+            runs.push(("shared-udp", engine.run_udp_shared()));
+        }
+        for (label, outcome) in runs {
             if outcome.trace.canonical_text() != reference.trace.canonical_text() {
                 problems.push(format!("{label} trace diverges from sync"));
             }
@@ -783,10 +830,12 @@ mod tests {
                 max_lanes: Some(1),
                 max_receivers: Some(1),
                 drop_head: true,
+                shared_udp: true,
             },
         );
         let line = spec.to_line();
         assert!(line.contains("packets=100") && line.contains("drop_head"), "{line}");
+        assert!(line.contains("shared_udp"), "{line}");
         let replayed = GeneratedSpec::from_line(&line).unwrap();
         assert_eq!(spec, replayed);
         assert_eq!(spec.shape(), replayed.shape());
@@ -873,6 +922,29 @@ mod tests {
             })
             .expect("small flat samples exist");
         let spec = GeneratedSpec::sample(seed);
+        assert_eq!(spec.conformance_problems(), Vec::<String>::new(), "{}", spec.describe());
+    }
+
+    #[test]
+    fn the_shared_udp_token_survives_shrinking_and_widens_conformance() {
+        let spec = GeneratedSpec::from_line("seed=4 shared_udp").unwrap();
+        assert!(spec.shared_udp());
+        assert_eq!(spec.shape(), GeneratedSpec::sample(4).shape(), "flag leaves the shape alone");
+        // Shrinking keeps the flag: a minimized shared-socket failure still
+        // reproduces over the shared socket.
+        let minimal = GeneratedSpec::shrink_to_minimal(spec, &|_| true);
+        assert!(minimal.shared_udp());
+        assert!(minimal.to_line().contains("shared_udp"), "{}", minimal.to_line());
+
+        // One cheap end-to-end shared-socket conformance run as a unit
+        // test; the corpus sweep lives in the generated_scenarios suite.
+        let seed = (0..50u64)
+            .find(|&seed| {
+                matches!(GeneratedSpec::sample(seed).shape(), GeneratedShape::Flat(f)
+                    if f.packets <= 300 && f.receivers.len() == 1)
+            })
+            .expect("small flat samples exist");
+        let spec = GeneratedSpec::sample(seed).with_shared_udp();
         assert_eq!(spec.conformance_problems(), Vec::<String>::new(), "{}", spec.describe());
     }
 

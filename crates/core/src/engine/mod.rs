@@ -45,6 +45,7 @@ mod applier;
 mod fanout;
 mod generate;
 mod report;
+mod shared_udp;
 mod spec;
 mod trace;
 mod udp;
@@ -52,6 +53,7 @@ mod udp;
 pub use applier::{
     apply_actions_to_chain, ActionApplier, RuntimeApplier, SyncChainApplier, ThreadedProxyApplier,
 };
+pub use shared_udp::{SharedUdpApplier, SharedUdpFanoutApplier};
 pub use udp::{UdpApplier, UdpFanoutApplier};
 pub use fanout::{
     FanoutApplier, FanoutEngine, FanoutOutcome, FanoutReport, FanoutSpec, LaneReport, LaneSpec,
@@ -228,6 +230,16 @@ impl ScenarioEngine {
     pub fn run_udp(&self) -> ScenarioOutcome {
         let window = self.spec.sample_interval as usize;
         self.run_with(&mut UdpApplier::new(self.spec.batch_size, window))
+    }
+
+    /// Runs the scenario against a [`SharedUdpApplier`]: the same wire
+    /// path as [`run_udp`](Self::run_udp), but the proxy side is a
+    /// shared-socket carrier demuxed by the readiness reactor onto the
+    /// worker pool — one socket, zero pump threads.  The report must agree
+    /// with the in-process appliers at the same seed.
+    pub fn run_udp_shared(&self) -> ScenarioOutcome {
+        let window = self.spec.sample_interval as usize;
+        self.run_with(&mut SharedUdpApplier::new(self.spec.batch_size, window))
     }
 
     /// Runs the scenario against any applier.

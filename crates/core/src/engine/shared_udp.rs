@@ -1,62 +1,57 @@
-//! Appliers that run a scenario's chain over **real loopback UDP sockets**.
-//!
-//! Same closed loop, different data plane: where the threaded and pooled
-//! appliers move packets over in-process pipes, [`UdpApplier`] and
-//! [`UdpFanoutApplier`] encode every packet into a datagram, send it to a
-//! proxy whose stream/session endpoints are UDP sockets
-//! ([`Proxy::add_stream_udp`] / [`Proxy::add_session_udp`]), and decode
-//! what comes back off the application-side sockets:
+//! Appliers that run a scenario over a **shared-socket carrier**: the
+//! reactor-driven data plane from
+//! [`Proxy::add_udp_carrier`](rapidware_proxy::Proxy), where one bound UDP
+//! socket carries every stream of the scenario and pool tasks — woken by
+//! socket readiness, not pump threads — drain and flush it in batches.
 //!
 //! ```text
-//!   engine ──encode──▶ UDP ──▶ UdpIngress ─▶ chain ─▶ UdpEgress ──▶ UDP ──decode──▶ engine
+//!   engine ──encode──▶ UDP ──▶ carrier demux ─▶ pooled chain ─▶ carrier mux ──▶ UDP ──decode──▶ engine
 //! ```
 //!
-//! Determinism over a real socket path relies on two facts: loopback UDP
-//! from a single socket is FIFO and (with window-bounded in-flight data)
-//! lossless, and the appliers quiesce with the same control-marker
-//! protocol as their in-process siblings — a [`PacketKind::Control`]
-//! marker rides the full socket → chain → socket path, so everything a
-//! window produced is collected, in order, before the engine moves on.
-//! The scenario-matrix harness holds these appliers to the same standard
-//! as the rest: the reports (delivered + recovered totals included) must
-//! match the sync applier exactly at fixed seeds.
+//! [`SharedUdpApplier`] and [`SharedUdpFanoutApplier`] are the conformance
+//! witnesses for that path: they run the exact protocol of the pump-thread
+//! appliers in [`udp`](super::udp) — same control-marker quiescence, same
+//! app-side sockets — so the scenario matrix can require their reports and
+//! canonical traces to be **byte-identical** to the sync applier's.  The
+//! scenario's source packets ride stream id 1 and the quiescence markers
+//! ride the reserved marker stream; both ids are routed to the same chain,
+//! which preserves the single-socket FIFO order determinism rests on.
 
 use std::net::UdpSocket;
 
-use rapidware_packet::{Packet, PacketKind, SeqNo};
-use rapidware_proxy::{Proxy, UdpSessionConfig, UdpSessionHandle, UdpStreamConfig, UdpStreamHandle};
-use rapidware_raplets::{apply_to_proxy, apply_to_session, AdaptationAction};
+use rapidware_packet::{Packet, PacketKind, StreamId};
+use rapidware_proxy::{
+    Proxy, RuntimeConfig, SharedUdpSessionConfig, SharedUdpSessionHandle, SharedUdpStreamConfig,
+    SharedUdpStreamHandle, UdpCarrierConfig,
+};
+use rapidware_raplets::{apply_to_pooled_session, apply_to_proxy, AdaptationAction};
 use rapidware_streams::DetachableReceiver;
 use rapidware_transport::{UdpConfig, UdpIngress};
 
 use super::applier::{marker_stream, ActionApplier};
 use super::fanout::{drain_lanes_to_eof, drain_lanes_until_marker, FanoutApplier, FanoutSpec};
+use super::udp::{marker, transmit};
+use super::POOLED_APPLIER_SHARDS;
 
-/// Encodes `packet` and sends it to `peer` as one datagram.
-pub(super) fn transmit(
-    socket: &UdpSocket,
-    peer: std::net::SocketAddr,
-    packet: &Packet,
-    scratch: &mut Vec<u8>,
-) {
-    packet.encode_into(scratch);
-    socket
-        .send_to(scratch, peer)
-        .expect("loopback sends do not fail");
+/// The stream id scenario sources emit on (see
+/// [`AudioSource`](rapidware_media::AudioSource) construction in the
+/// engine): the carrier routes it, plus the marker stream, into the
+/// scenario chain.
+fn scenario_stream() -> StreamId {
+    StreamId::new(1)
 }
 
-pub(super) fn marker(seq: u64) -> Packet {
-    Packet::new(marker_stream(), SeqNo::new(seq), PacketKind::Control, Vec::new())
-}
+/// The name every applier-owned carrier registers under.
+const CARRIER: &str = "carrier";
 
-/// The wire applier: one flat stream on a [`Proxy`] whose endpoints are
-/// loopback UDP sockets, reconfigured through the ordinary proxy control
-/// surface while datagrams flow.
+/// The shared-socket applier: one flat pooled stream riding a carrier, so
+/// the whole closed loop crosses the readiness reactor instead of pump
+/// threads.
 #[derive(Debug)]
-pub struct UdpApplier {
+pub struct SharedUdpApplier {
     proxy: Proxy,
     stream: String,
-    handle: UdpStreamHandle,
+    handle: SharedUdpStreamHandle,
     tx: UdpSocket,
     scratch: Vec<u8>,
     rx: UdpIngress,
@@ -64,11 +59,11 @@ pub struct UdpApplier {
     finished: bool,
 }
 
-impl UdpApplier {
-    /// Spins up a proxy with one UDP-backed stream processing packets in
-    /// batches of up to `batch_size`, plus the application-side sockets on
-    /// both ends of it.  `window_hint` sizes the pipes so a whole sample
-    /// window (plus parity overhead) fits without stalling the pumps.
+impl SharedUdpApplier {
+    /// Spins up a proxy with a carrier and one shared-socket stream on a
+    /// [`POOLED_APPLIER_SHARDS`]-worker pool, plus the application-side
+    /// sockets on both ends.  `window_hint` sizes the pipes so a whole
+    /// sample window (plus parity overhead) fits without shedding frames.
     ///
     /// # Panics
     ///
@@ -78,15 +73,29 @@ impl UdpApplier {
         let udp_config = UdpConfig::default().with_capacity(capacity);
         let rx = UdpIngress::bind("127.0.0.1:0", &udp_config)
             .expect("binding an ephemeral loopback socket");
-        let mut proxy = Proxy::new("scenario-proxy");
-        let handle = proxy
-            .add_stream_udp(
-                "scenario",
-                UdpStreamConfig::to_peer(rx.local_addr())
+        let mut proxy = Proxy::with_runtime(
+            "scenario-proxy",
+            RuntimeConfig::new(POOLED_APPLIER_SHARDS, batch_size.max(1))
+                .with_pipe_capacity(capacity),
+        );
+        proxy
+            .add_udp_carrier(
+                CARRIER,
+                UdpCarrierConfig::new()
                     .with_capacity(capacity)
                     .with_batch_size(batch_size.max(1)),
             )
-            .expect("a fresh proxy accepts its first UDP stream");
+            .expect("a fresh proxy accepts its first carrier");
+        let handle = proxy
+            .add_stream_udp_shared(
+                "scenario",
+                SharedUdpStreamConfig::on_carrier(CARRIER, rx.local_addr())
+                    .with_stream(scenario_stream())
+                    .with_stream(marker_stream())
+                    .with_capacity(capacity)
+                    .with_batch_size(batch_size.max(1)),
+            )
+            .expect("a fresh carrier accepts its first stream");
         let tx = UdpSocket::bind("127.0.0.1:0").expect("binding the app-side send socket");
         Self {
             proxy,
@@ -121,9 +130,9 @@ impl UdpApplier {
     }
 }
 
-impl ActionApplier for UdpApplier {
+impl ActionApplier for SharedUdpApplier {
     fn label(&self) -> &'static str {
-        "udp"
+        "shared-udp"
     }
 
     fn process(&mut self, packets: Vec<Packet>) -> Vec<Packet> {
@@ -148,8 +157,8 @@ impl ActionApplier for UdpApplier {
     fn finish(&mut self) -> Vec<Packet> {
         self.finished = true;
         // Closing the chain input flushes every filter; the residue rides
-        // out the egress followed by the transport FIN, which ends the
-        // app-side stream.
+        // out the shared egress followed by a per-stream FIN, which ends
+        // the app-side stream.
         self.handle.close_input();
         let mut residue = Vec::new();
         while let Ok(packet) = self.rx.recv() {
@@ -162,7 +171,7 @@ impl ActionApplier for UdpApplier {
     }
 }
 
-impl Drop for UdpApplier {
+impl Drop for SharedUdpApplier {
     fn drop(&mut self) {
         if !self.finished {
             self.handle.close_input();
@@ -171,13 +180,13 @@ impl Drop for UdpApplier {
     }
 }
 
-/// The wire fanout applier: a session on a [`Proxy`] with a UDP ingress
-/// and one UDP egress per receiver lane, each delivering to its own
-/// application-side socket.
-pub struct UdpFanoutApplier {
+/// The shared-socket fanout applier: a pooled session riding a carrier,
+/// every lane multiplexed back out of the carrier's one socket to its own
+/// application-side receiver.
+pub struct SharedUdpFanoutApplier {
     proxy: Proxy,
     session: String,
-    handle: UdpSessionHandle,
+    handle: SharedUdpSessionHandle,
     tx: UdpSocket,
     scratch: Vec<u8>,
     /// Application-side sockets, one per lane (kept alive; their pipe
@@ -192,19 +201,19 @@ pub struct UdpFanoutApplier {
     finished: bool,
 }
 
-impl std::fmt::Debug for UdpFanoutApplier {
+impl std::fmt::Debug for SharedUdpFanoutApplier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("UdpFanoutApplier")
+        f.debug_struct("SharedUdpFanoutApplier")
             .field("lanes", &self.lane_names)
             .finish()
     }
 }
 
-impl UdpFanoutApplier {
-    /// Spins up a UDP-backed session for a spec: head filters installed,
-    /// one lane (and one application-side socket) per
+impl SharedUdpFanoutApplier {
+    /// Spins up a carrier-backed pooled session for a spec: head filters
+    /// installed, one egress lane (and one application-side socket) per
     /// [`LaneSpec`](super::LaneSpec), pipes sized so a whole sample window
-    /// fits without stalling the pumps.
+    /// fits without shedding frames.
     ///
     /// # Panics
     ///
@@ -213,7 +222,9 @@ impl UdpFanoutApplier {
         let capacity = (spec.sample_interval.max(32) as usize) * 4;
         let udp_config = UdpConfig::default().with_capacity(capacity);
         let mut lane_rx = Vec::with_capacity(spec.lanes.len());
-        let mut session_config = UdpSessionConfig::new()
+        let mut session_config = SharedUdpSessionConfig::on_carrier(CARRIER)
+            .with_stream(scenario_stream())
+            .with_stream(marker_stream())
             .with_capacity(capacity)
             .with_batch_size(spec.batch_size.max(1));
         for lane in &spec.lanes {
@@ -222,11 +233,25 @@ impl UdpFanoutApplier {
             session_config = session_config.with_lane(&lane.name, ingress.local_addr());
             lane_rx.push(ingress);
         }
-        let mut proxy = Proxy::new("scenario-proxy");
+        let mut proxy = Proxy::with_runtime(
+            "scenario-proxy",
+            RuntimeConfig::new(POOLED_APPLIER_SHARDS, spec.batch_size.max(1))
+                .with_pipe_capacity(capacity),
+        );
+        proxy
+            .add_udp_carrier(
+                CARRIER,
+                UdpCarrierConfig::new()
+                    .with_capacity(capacity)
+                    .with_batch_size(spec.batch_size.max(1)),
+            )
+            .expect("a fresh proxy accepts its first carrier");
         let handle = proxy
-            .add_session_udp(spec.name.clone(), session_config)
-            .expect("a fresh proxy accepts its first UDP session");
-        let session = proxy.session(&spec.name).expect("the session was just created");
+            .add_session_udp_shared(spec.name.clone(), session_config)
+            .expect("a fresh carrier accepts its first session");
+        let session = proxy
+            .pooled_session(&spec.name)
+            .expect("the session was just created");
         for (position, filter_spec) in spec.head_filters.iter().enumerate() {
             session
                 .insert_head_filter(position, filter_spec)
@@ -252,9 +277,9 @@ impl UdpFanoutApplier {
         }
     }
 
-    /// Sends one control marker into the session's UDP ingress (it fans
-    /// out to every lane) and drains all lanes concurrently until each copy
-    /// emerges.
+    /// Sends one control marker into the carrier (it routes to the session
+    /// head and fans out to every lane) and drains all lanes concurrently
+    /// until each copy emerges.
     fn quiesce_all(&mut self) -> Vec<Vec<Packet>> {
         let marker_seq = self.next_marker;
         self.next_marker += 1;
@@ -263,9 +288,9 @@ impl UdpFanoutApplier {
     }
 }
 
-impl FanoutApplier for UdpFanoutApplier {
+impl FanoutApplier for SharedUdpFanoutApplier {
     fn label(&self) -> &'static str {
-        "udp"
+        "shared-udp"
     }
 
     fn process(&mut self, packets: Vec<Packet>) -> Vec<Vec<Packet>> {
@@ -286,9 +311,9 @@ impl FanoutApplier for UdpFanoutApplier {
     fn apply(&mut self, lane: usize, actions: &[AdaptationAction]) -> Vec<Packet> {
         let session = self
             .proxy
-            .session(&self.session)
+            .pooled_session(&self.session)
             .expect("the scenario session exists for the applier's lifetime");
-        apply_to_session(session, &self.lane_names[lane], actions)
+        apply_to_pooled_session(session, &self.lane_names[lane], actions)
             .expect("responder actions are valid for the live lane");
         let mut all = self.quiesce_all();
         let target = std::mem::take(&mut all[lane]);
@@ -302,14 +327,14 @@ impl FanoutApplier for UdpFanoutApplier {
 
     fn lane_filters(&self, lane: usize) -> Vec<String> {
         self.proxy
-            .session(&self.session)
+            .pooled_session(&self.session)
             .and_then(|session| session.lane_filter_names(&self.lane_names[lane]))
             .expect("spec lanes exist for the applier's lifetime")
     }
 
     fn head_filters(&self) -> Vec<String> {
         self.proxy
-            .session(&self.session)
+            .pooled_session(&self.session)
             .expect("the scenario session exists for the applier's lifetime")
             .head_filter_names()
     }
@@ -317,8 +342,9 @@ impl FanoutApplier for UdpFanoutApplier {
     fn finish(&mut self) -> Vec<Vec<Packet>> {
         self.finished = true;
         // Closing the session input flushes the head through every lane;
-        // each lane's egress sends its residue and a FIN, which closes the
-        // matching app-side pipe, so the EOF drain below terminates.
+        // each lane sends its residue and a per-stream FIN out of the one
+        // carrier socket, which closes the matching app-side pipe, so the
+        // EOF drain below terminates.
         self.handle.close_input();
         let mut residue: Vec<Vec<Packet>> = std::mem::take(&mut self.pending);
         drain_lanes_to_eof(&self.outputs, &mut residue);
@@ -326,7 +352,7 @@ impl FanoutApplier for UdpFanoutApplier {
     }
 }
 
-impl Drop for UdpFanoutApplier {
+impl Drop for SharedUdpFanoutApplier {
     fn drop(&mut self) {
         if !self.finished {
             self.handle.close_input();
@@ -341,21 +367,21 @@ mod tests {
     use crate::engine::{FanoutEngine, ScenarioEngine, ScenarioSpec};
 
     #[test]
-    fn the_udp_applier_matches_the_sync_applier_on_a_small_scenario() {
+    fn the_shared_applier_matches_the_sync_applier_on_a_small_scenario() {
         let spec = ScenarioSpec::handoff_cliff().with_packets(400);
         let engine = ScenarioEngine::new(spec);
         let sync = engine.run_sync();
-        let udp = engine.run_udp();
-        assert_eq!(sync.report, udp.report, "the wire must not change the outcome");
-        assert_eq!(sync.trace.canonical_text(), udp.trace.canonical_text());
+        let shared = engine.run_udp_shared();
+        assert_eq!(sync.report, shared.report, "the carrier must not change the outcome");
+        assert_eq!(sync.trace.canonical_text(), shared.trace.canonical_text());
     }
 
     #[test]
-    fn the_udp_fanout_applier_matches_the_sync_applier_on_a_small_spec() {
+    fn the_shared_fanout_applier_matches_the_sync_applier_on_a_small_spec() {
         let spec = super::super::FanoutSpec::all_wired().with_packets(300);
         let engine = FanoutEngine::new(spec);
         let sync = engine.run_sync();
-        let udp = engine.run_udp();
-        assert_eq!(sync.report, udp.report, "the wire must not change the outcome");
+        let shared = engine.run_udp_shared();
+        assert_eq!(sync.report, shared.report, "the carrier must not change the outcome");
     }
 }

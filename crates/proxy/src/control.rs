@@ -207,13 +207,22 @@ impl fmt::Display for Response {
                         f,
                         " udp={}:{} at={} rx={} tx={} decode-err={} drop={}",
                         transport.name,
-                        if transport.session { "session" } else { "stream" },
+                        if transport.shared {
+                            "shared"
+                        } else if transport.session {
+                            "session"
+                        } else {
+                            "stream"
+                        },
                         transport.ingress_addr,
                         transport.ingress.rx_packets,
                         transport.egress.tx_packets,
                         transport.ingress.decode_errors,
                         transport.ingress.dropped + transport.egress.dropped,
                     )?;
+                    if transport.shared {
+                        write!(f, " unknown-stream={}", transport.unknown_streams)?;
+                    }
                 }
                 if let Some(runtime) = &status.runtime {
                     write!(

@@ -25,6 +25,8 @@ pub enum ProxyError {
     UnknownSession(String),
     /// The named receiver lane does not exist on this session.
     UnknownLane(String),
+    /// The named shared-socket carrier does not exist on this proxy.
+    UnknownCarrier(String),
     /// The filter kind named in a [`FilterSpec`](crate::FilterSpec) is not
     /// registered.
     UnknownFilterKind(String),
@@ -60,6 +62,7 @@ impl fmt::Display for ProxyError {
             ProxyError::UnknownStream(name) => write!(f, "unknown stream {name}"),
             ProxyError::UnknownSession(name) => write!(f, "unknown session {name}"),
             ProxyError::UnknownLane(name) => write!(f, "unknown receiver lane {name}"),
+            ProxyError::UnknownCarrier(name) => write!(f, "unknown carrier {name}"),
             ProxyError::UnknownFilterKind(kind) => write!(f, "unknown filter kind {kind}"),
             ProxyError::InvalidSpec { parameter, reason } => {
                 write!(f, "invalid filter spec parameter {parameter}: {reason}")

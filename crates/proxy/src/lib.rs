@@ -71,11 +71,16 @@ pub use control::{Command, ControlManager, Response};
 pub use error::ProxyError;
 pub use proxy::{Proxy, ProxyStatus, StreamStatus};
 pub use registry::{FilterRegistry, FilterSpec};
-pub use runtime::{PooledChain, PooledSession, Runtime, RuntimeConfig, RuntimeStatus, ShardStatus};
+pub use runtime::{
+    PooledChain, PooledSession, Runtime, RuntimeConfig, RuntimeStatus, ShardStatus, SocketDriver,
+    SocketInterest, SocketStep, SocketWork,
+};
 pub use session::{LaneStatus, Session, SessionStatus};
 pub use threaded::{ChainStats, ThreadedChain, DEFAULT_BATCH_SIZE};
 pub use udp::{
-    UdpSessionConfig, UdpSessionHandle, UdpStreamConfig, UdpStreamHandle, UdpTransportStatus,
+    SharedUdpSessionConfig, SharedUdpSessionHandle, SharedUdpStreamConfig, SharedUdpStreamHandle,
+    UdpCarrierConfig, UdpCarrierHandle, UdpSessionConfig, UdpSessionHandle, UdpStreamConfig,
+    UdpStreamHandle, UdpTransportStatus,
 };
 // Re-exported so callers reading `ProxyStatus::transports` (or holding the
 // stats handles in a `Udp*Handle`) need not depend on the transport crate.

@@ -8,14 +8,18 @@ use rapidware_filters::Filter;
 use rapidware_packet::Packet;
 use rapidware_streams::{DetachableReceiver, DetachableSender};
 
-use rapidware_transport::{UdpConfig, UdpEgress, UdpIngress};
+use rapidware_transport::{SharedUdpEgress, SharedUdpIngress, UdpConfig, UdpEgress, UdpIngress};
 
 use crate::error::ProxyError;
 use crate::registry::{FilterRegistry, FilterSpec};
-use crate::runtime::{PooledChain, PooledSession, Runtime, RuntimeConfig, RuntimeStatus};
+use crate::runtime::{
+    PooledChain, PooledSession, Runtime, RuntimeConfig, RuntimeStatus, SocketInterest,
+};
 use crate::session::{Session, SessionStatus};
 use crate::threaded::{ChainStats, ThreadedChain};
 use crate::udp::{
+    SharedEgressWork, SharedIngressWork, SharedUdpSessionConfig, SharedUdpSessionHandle,
+    SharedUdpStreamConfig, SharedUdpStreamHandle, UdpCarrier, UdpCarrierConfig, UdpCarrierHandle,
     UdpSessionConfig, UdpSessionHandle, UdpSessionTransport, UdpStreamConfig, UdpStreamHandle,
     UdpStreamTransport, UdpTransportStatus,
 };
@@ -130,6 +134,7 @@ pub struct Proxy {
     pooled_sessions: BTreeMap<String, PooledSession>,
     udp_streams: BTreeMap<String, UdpStreamTransport>,
     udp_sessions: BTreeMap<String, UdpSessionTransport>,
+    udp_carriers: BTreeMap<String, UdpCarrier>,
     runtime: Option<Arc<Runtime>>,
 }
 
@@ -160,6 +165,7 @@ impl Proxy {
             pooled_sessions: BTreeMap::new(),
             udp_streams: BTreeMap::new(),
             udp_sessions: BTreeMap::new(),
+            udp_carriers: BTreeMap::new(),
             runtime: None,
         }
     }
@@ -540,6 +546,243 @@ impl Proxy {
         Ok(handle)
     }
 
+    /// Binds a **shared-socket carrier**: one UDP socket that many pooled
+    /// streams and sessions ride at once, demultiplexed by the stream id in
+    /// every packet header.  Unlike [`add_stream_udp`](Self::add_stream_udp)
+    /// (two pump threads per socket), a carrier costs zero threads — the
+    /// runtime's readiness reactor wakes pool tasks that drain and flush
+    /// the socket in batches.
+    ///
+    /// Place work on the carrier with
+    /// [`add_stream_udp_shared`](Self::add_stream_udp_shared) and
+    /// [`add_session_udp_shared`](Self::add_session_udp_shared); the
+    /// carrier's socket-wide counters (and its unknown-stream drop count)
+    /// appear in [`ProxyStatus::transports`] with `shared` set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::RuntimeDisabled`] without a runtime,
+    /// [`ProxyError::Splice`] if the carrier name is taken, or
+    /// [`ProxyError::Transport`] if the socket cannot be bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.capacity` is zero.
+    pub fn add_udp_carrier(
+        &mut self,
+        name: impl Into<String>,
+        config: UdpCarrierConfig,
+    ) -> Result<UdpCarrierHandle, ProxyError> {
+        let name = name.into();
+        let runtime = self.runtime.as_ref().ok_or(ProxyError::RuntimeDisabled)?;
+        if self.udp_carriers.contains_key(&name) {
+            return Err(ProxyError::Splice(format!("carrier {name} already exists")));
+        }
+        let udp_config = UdpConfig::default()
+            .with_capacity(config.capacity)
+            .with_batch_size(config.batch_size.max(1));
+        let ingress = Arc::new(
+            SharedUdpIngress::bind(config.bind, &udp_config)
+                .map_err(|err| ProxyError::Transport(err.to_string()))?,
+        );
+        let egress = Arc::new(
+            SharedUdpEgress::over(ingress.socket(), &udp_config)
+                .map_err(|err| ProxyError::Transport(err.to_string()))?,
+        );
+        // Two reactor-driven tasks per *carrier* (not per stream): the
+        // receive side wakes on socket readability, the send side on pipe
+        // watchers installed per attached lane (readability would be
+        // noise for it).
+        let ingress_driver = runtime.drive_socket(
+            ingress.socket(),
+            SocketInterest::Readable,
+            Arc::new(SharedIngressWork {
+                ingress: Arc::clone(&ingress),
+            }),
+        );
+        let egress_driver = runtime.drive_socket(
+            egress.socket(),
+            SocketInterest::Writable,
+            Arc::new(SharedEgressWork {
+                egress: Arc::clone(&egress),
+            }),
+        );
+        let handle = UdpCarrierHandle {
+            ingress: Arc::clone(&ingress),
+            egress_stats: egress.stats(),
+        };
+        self.udp_carriers.insert(
+            name,
+            UdpCarrier {
+                ingress,
+                egress,
+                ingress_driver,
+                egress_driver,
+            },
+        );
+        Ok(handle)
+    }
+
+    /// Names of the shared-socket carriers on this proxy.
+    pub fn carrier_names(&self) -> Vec<String> {
+        self.udp_carriers.keys().cloned().collect()
+    }
+
+    /// Creates a pooled stream riding a shared-socket carrier: datagrams
+    /// arriving on the carrier whose stream id is in `config.streams` are
+    /// decoded straight into the chain input, and the chain output is
+    /// multiplexed back onto the carrier's socket towards
+    /// `config.egress_peer`, ending with a per-stream FIN.  The chain is an
+    /// ordinary pooled stream otherwise — it appears in
+    /// [`stream_names`](Self::stream_names) and accepts live filter
+    /// splices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownCarrier`] if `config.carrier` does not
+    /// exist, [`ProxyError::Splice`] if the stream name is taken, a stream
+    /// id is already routed on the carrier, or `config.streams` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.capacity` is zero.
+    pub fn add_stream_udp_shared(
+        &mut self,
+        name: impl Into<String>,
+        config: SharedUdpStreamConfig,
+    ) -> Result<SharedUdpStreamHandle, ProxyError> {
+        let name = name.into();
+        if config.streams.is_empty() {
+            return Err(ProxyError::Splice(format!(
+                "shared stream {name} needs at least one stream id"
+            )));
+        }
+        if !self.udp_carriers.contains_key(&config.carrier) {
+            return Err(ProxyError::UnknownCarrier(config.carrier.clone()));
+        }
+        let runtime = self.runtime.as_ref().ok_or(ProxyError::RuntimeDisabled)?;
+        let chain = StreamChain::Pooled(runtime.add_chain_with(
+            name.clone(),
+            config.capacity,
+            config.batch_size.max(1),
+        ));
+        let (input, output) = self.install_stream(name.clone(), chain)?;
+        let carrier = self
+            .udp_carriers
+            .get(&config.carrier)
+            .expect("carrier existence checked above");
+        let mut opened = Vec::with_capacity(config.streams.len());
+        for stream in &config.streams {
+            match carrier.ingress.open_stream_into(*stream, input.clone()) {
+                Ok(()) => opened.push(*stream),
+                Err(err) => {
+                    for stream in opened {
+                        carrier.ingress.close_stream(stream);
+                    }
+                    if let Some(chain) = self.streams.remove(&name) {
+                        let _ = chain.shutdown();
+                    }
+                    return Err(ProxyError::Splice(format!(
+                        "carrier {}: {err}",
+                        config.carrier
+                    )));
+                }
+            }
+        }
+        // Watch before attach: the egress task must wake for frames that
+        // land in the output pipe from here on.
+        carrier.egress_driver.watch_source(&output);
+        carrier
+            .egress
+            .attach(config.streams[0], config.egress_peer, output);
+        carrier.egress_driver.kick();
+        Ok(SharedUdpStreamHandle {
+            carrier: config.carrier,
+            ingress_addr: carrier.ingress.local_addr(),
+            streams: config.streams,
+            input,
+        })
+    }
+
+    /// Creates a pooled fanout session riding a shared-socket carrier:
+    /// datagrams for `config.streams` feed the shared head chain, and each
+    /// `config.lanes` entry multiplexes that lane's packets back onto the
+    /// carrier's socket towards its own peer (FIN per lane).  The session
+    /// is an ordinary pooled session otherwise — per-lane filters splice
+    /// through [`pooled_session`](Self::pooled_session).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::UnknownCarrier`] if `config.carrier` does not
+    /// exist, [`ProxyError::RuntimeDisabled`] without a runtime, or
+    /// [`ProxyError::Splice`] if the session name is taken, a stream id is
+    /// already routed, or `config.streams` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.capacity` is zero.
+    pub fn add_session_udp_shared(
+        &mut self,
+        name: impl Into<String>,
+        config: SharedUdpSessionConfig,
+    ) -> Result<SharedUdpSessionHandle, ProxyError> {
+        let name = name.into();
+        if config.streams.is_empty() {
+            return Err(ProxyError::Splice(format!(
+                "shared session {name} needs at least one stream id"
+            )));
+        }
+        if !self.udp_carriers.contains_key(&config.carrier) {
+            return Err(ProxyError::UnknownCarrier(config.carrier.clone()));
+        }
+        let input = self.add_session_pooled(name.clone(), config.capacity, config.batch_size.max(1))?;
+        let mut opened = Vec::with_capacity(config.streams.len());
+        let outcome = (|| -> Result<(), ProxyError> {
+            let carrier = self
+                .udp_carriers
+                .get(&config.carrier)
+                .expect("carrier existence checked above");
+            for stream in &config.streams {
+                carrier
+                    .ingress
+                    .open_stream_into(*stream, input.clone())
+                    .map_err(|err| {
+                        ProxyError::Splice(format!("carrier {}: {err}", config.carrier))
+                    })?;
+                opened.push(*stream);
+            }
+            for (lane_name, peer) in &config.lanes {
+                let lane_output = self.pooled_session(&name)?.add_lane(lane_name)?;
+                carrier.egress_driver.watch_source(&lane_output);
+                carrier.egress.attach(config.streams[0], *peer, lane_output);
+            }
+            carrier.egress_driver.kick();
+            Ok(())
+        })();
+        if let Err(err) = outcome {
+            // Tear the half-installed session down so the name and the
+            // routed stream ids are free again.  Already-attached egress
+            // lanes finish silently once the session's pipes close.
+            if let Some(carrier) = self.udp_carriers.get(&config.carrier) {
+                for stream in opened {
+                    carrier.ingress.close_stream(stream);
+                }
+            }
+            if let Some(session) = self.pooled_sessions.remove(&name) {
+                let _ = session.shutdown();
+            }
+            return Err(err);
+        }
+        let carrier = &self.udp_carriers[&config.carrier];
+        Ok(SharedUdpSessionHandle {
+            carrier: config.carrier.clone(),
+            ingress_addr: carrier.ingress.local_addr(),
+            streams: config.streams,
+            lanes: config.lanes.iter().map(|(lane, _)| lane.clone()).collect(),
+            input,
+        })
+    }
+
     /// Instantiates a filter from `spec` and splices it into `stream` at
     /// `position`.
     ///
@@ -643,6 +886,11 @@ impl Proxy {
                     .iter()
                     .map(|(name, transport)| transport.status(name)),
             )
+            .chain(
+                self.udp_carriers
+                    .iter()
+                    .map(|(name, carrier)| carrier.status(name)),
+            )
             .collect();
         transports.sort_by(|a, b| a.name.cmp(&b.name));
         ProxyStatus {
@@ -680,6 +928,7 @@ impl Proxy {
         // output, so nothing in flight is stranded.
         let mut udp_streams = std::mem::take(&mut self.udp_streams);
         let mut udp_sessions = std::mem::take(&mut self.udp_sessions);
+        let udp_carriers = std::mem::take(&mut self.udp_carriers);
         for transport in udp_streams.values_mut() {
             transport.ingress.shutdown();
             transport.input.close();
@@ -687,6 +936,15 @@ impl Proxy {
         for transport in udp_sessions.values_mut() {
             transport.ingress.shutdown();
             transport.input.close();
+        }
+        // Carriers follow the same bracket: the receive-side task stops
+        // first (one final drain, then no new arrivals), the routes close
+        // so every riding chain and session sees end-of-input and flushes.
+        for carrier in udp_carriers.values() {
+            if let Err(err) = carrier.ingress_driver.shutdown() {
+                first_error.get_or_insert(err);
+            }
+            carrier.ingress.close_all_streams();
         }
         for (_, chain) in std::mem::take(&mut self.streams) {
             if let Err(err) = chain.shutdown() {
@@ -709,6 +967,14 @@ impl Proxy {
         for transport in udp_sessions.values_mut() {
             for (_, egress) in &mut transport.lanes {
                 egress.shutdown();
+            }
+        }
+        // The carriers' send-side tasks stop after the chains have
+        // delivered their final output (one last flush pass each), so
+        // nothing in flight is stranded.
+        for carrier in udp_carriers.values() {
+            if let Err(err) = carrier.egress_driver.shutdown() {
+                first_error.get_or_insert(err);
             }
         }
         // Pooled chains and sessions are down; stopping the workers last
@@ -1067,6 +1333,231 @@ mod tests {
         ));
         // And the name stays usable for a working configuration.
         proxy.add_stream_udp("s", UdpStreamConfig::to_peer(peer)).unwrap();
+        proxy.shutdown().unwrap();
+    }
+
+    fn stream_packet(stream: u32, seq: u64) -> Packet {
+        Packet::new(
+            StreamId::new(stream),
+            SeqNo::new(seq),
+            PacketKind::AudioData,
+            vec![0u8; 32],
+        )
+    }
+
+    /// Drains an app-side shared ingress until `predicate` holds, with a
+    /// hard deadline bounding a genuine hang.
+    fn drain_app_until(app: &rapidware_transport::SharedUdpIngress, predicate: impl Fn() -> bool) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while !predicate() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "app-side shared drain made no progress"
+            );
+            if app.drain_batch() == rapidware_transport::SharedDrain::Empty {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    #[test]
+    fn shared_carriers_multiplex_streams_over_one_socket_with_zero_pump_threads() {
+        let config = rapidware_transport::UdpConfig::default();
+        let app = rapidware_transport::SharedUdpIngress::bind("127.0.0.1:0", &config).unwrap();
+        let route_a = app.open_stream(StreamId::new(1)).unwrap();
+        let route_b = app.open_stream(StreamId::new(2)).unwrap();
+
+        let mut proxy = Proxy::with_runtime("shared", RuntimeConfig::new(2, 8));
+        let carrier = proxy.add_udp_carrier("wire", UdpCarrierConfig::new()).unwrap();
+        let handle_a = proxy
+            .add_stream_udp_shared(
+                "a",
+                SharedUdpStreamConfig::on_carrier("wire", app.local_addr())
+                    .with_stream(StreamId::new(1)),
+            )
+            .unwrap();
+        let handle_b = proxy
+            .add_stream_udp_shared(
+                "b",
+                SharedUdpStreamConfig::on_carrier("wire", app.local_addr())
+                    .with_stream(StreamId::new(2)),
+            )
+            .unwrap();
+        assert_eq!(handle_a.ingress_addr(), carrier.ingress_addr());
+        assert_eq!(proxy.stream_names(), vec!["a", "b"]);
+        assert_eq!(proxy.carrier_names(), vec!["wire"]);
+        assert_eq!(carrier.route_count(), 2);
+        // Both streams are ordinary streams: filters splice in live.
+        proxy
+            .insert_filter("a", 0, &FilterSpec::new("tap").with_param("name", "shared"))
+            .unwrap();
+
+        // Interleave both streams onto the one carrier socket, plus one
+        // frame for a stream nobody claimed.
+        let app_tx = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+        for seq in 0..8u64 {
+            encode_to(&app_tx, carrier.ingress_addr(), &stream_packet(1, seq));
+            encode_to(&app_tx, carrier.ingress_addr(), &stream_packet(2, seq));
+        }
+        encode_to(&app_tx, carrier.ingress_addr(), &stream_packet(9, 0));
+        drain_app_until(&app, || app.stats().rx_packets() == 16);
+        for seq in 0..8u64 {
+            assert_eq!(route_a.try_recv().unwrap().seq().value(), seq);
+            assert_eq!(route_b.try_recv().unwrap().seq().value(), seq);
+        }
+
+        // Ending stream a FINs only stream a; its socket-mate keeps
+        // flowing.  (The app side has no pump thread either, so the FIN
+        // only becomes observable through a drain.)
+        handle_a.close_input();
+        drain_app_until(&app, || {
+            matches!(route_a.try_recv(), Err(rapidware_streams::TryRecvError::Eof))
+        });
+        encode_to(&app_tx, carrier.ingress_addr(), &stream_packet(2, 8));
+        drain_app_until(&app, || app.stats().rx_packets() == 17);
+        assert_eq!(route_b.try_recv().unwrap().seq().value(), 8);
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while carrier.unknown_streams() < 1 {
+            assert!(std::time::Instant::now() < deadline, "unknown frame never counted");
+            std::thread::yield_now();
+        }
+        let status = proxy.status();
+        let shared: Vec<_> = status.transports.iter().filter(|t| t.shared).collect();
+        assert_eq!(shared.len(), 1);
+        assert_eq!(shared[0].name, "wire");
+        assert!(!shared[0].session);
+        assert_eq!(shared[0].ingress.rx_packets, 17, "two live streams, one socket");
+        assert_eq!(shared[0].unknown_streams, 1);
+        let rendered = crate::Response::Status(status).to_string();
+        assert!(rendered.contains("udp=wire:shared"), "{rendered}");
+        assert!(rendered.contains("unknown-stream=1"), "{rendered}");
+
+        // Zero pump threads: the only live transport machinery is the
+        // reactor registration (one ingress + one egress driver).
+        assert_eq!(proxy.runtime().unwrap().reactor_sockets(), 2);
+        handle_b.close_input();
+        drain_app_until(&app, || {
+            matches!(route_b.try_recv(), Err(rapidware_streams::TryRecvError::Eof))
+        });
+        proxy.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shared_sessions_fan_out_lanes_onto_the_carrier_socket() {
+        let config = rapidware_transport::UdpConfig::default();
+        let app = rapidware_transport::SharedUdpIngress::bind("127.0.0.1:0", &config).unwrap();
+        let lane_a = app.open_stream(StreamId::new(1)).unwrap();
+        // A second app socket proves lanes go to distinct peers.
+        let app_b = rapidware_transport::SharedUdpIngress::bind("127.0.0.1:0", &config).unwrap();
+        let lane_b = app_b.open_stream(StreamId::new(1)).unwrap();
+
+        let mut proxy = Proxy::with_runtime("shared", RuntimeConfig::new(2, 8));
+        let carrier = proxy.add_udp_carrier("wire", UdpCarrierConfig::new()).unwrap();
+        let handle = proxy
+            .add_session_udp_shared(
+                "fanout",
+                SharedUdpSessionConfig::on_carrier("wire")
+                    .with_stream(StreamId::new(1))
+                    .with_lane("a", app.local_addr())
+                    .with_lane("b", app_b.local_addr()),
+            )
+            .unwrap();
+        assert_eq!(proxy.session_names(), vec!["fanout"]);
+        assert_eq!(handle.lanes(), ["a".to_string(), "b".to_string()]);
+
+        let app_tx = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+        for seq in 0..4u64 {
+            encode_to(&app_tx, handle.ingress_addr(), &stream_packet(1, seq));
+        }
+        drain_app_until(&app, || app.stats().rx_packets() == 4);
+        drain_app_until(&app_b, || app_b.stats().rx_packets() == 4);
+        for seq in 0..4u64 {
+            assert_eq!(lane_a.try_recv().unwrap().seq().value(), seq);
+            assert_eq!(lane_b.try_recv().unwrap().seq().value(), seq);
+        }
+        handle.close_input();
+        drain_app_until(&app, || {
+            matches!(lane_a.try_recv(), Err(rapidware_streams::TryRecvError::Eof))
+        });
+        drain_app_until(&app_b, || {
+            matches!(lane_b.try_recv(), Err(rapidware_streams::TryRecvError::Eof))
+        });
+        let status = proxy.status();
+        let shared: Vec<_> = status.transports.iter().filter(|t| t.shared).collect();
+        assert_eq!(shared[0].egress.tx_packets, 10, "two lanes x (4 + FIN)");
+        let _ = carrier;
+        proxy.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shared_placement_failures_leave_no_trace_behind() {
+        let mut proxy = Proxy::new("plain");
+        // Carriers require the pooled runtime.
+        assert!(matches!(
+            proxy.add_udp_carrier("wire", UdpCarrierConfig::new()),
+            Err(ProxyError::RuntimeDisabled)
+        ));
+        let mut proxy = Proxy::with_runtime("shared", RuntimeConfig::new(1, 4));
+        let peer = std::net::SocketAddr::from(([127, 0, 0, 1], 9));
+        // Placement on a carrier that does not exist.
+        assert!(matches!(
+            proxy.add_stream_udp_shared(
+                "s",
+                SharedUdpStreamConfig::on_carrier("nope", peer).with_stream(StreamId::new(1)),
+            ),
+            Err(ProxyError::UnknownCarrier(_))
+        ));
+        assert!(matches!(
+            proxy.add_session_udp_shared(
+                "s",
+                SharedUdpSessionConfig::on_carrier("nope").with_stream(StreamId::new(1)),
+            ),
+            Err(ProxyError::UnknownCarrier(_))
+        ));
+        let carrier = proxy.add_udp_carrier("wire", UdpCarrierConfig::new()).unwrap();
+        assert!(matches!(
+            proxy.add_udp_carrier("wire", UdpCarrierConfig::new()),
+            Err(ProxyError::Splice(_))
+        ));
+        // A placement with no stream ids is rejected up front.
+        assert!(matches!(
+            proxy.add_stream_udp_shared("s", SharedUdpStreamConfig::on_carrier("wire", peer)),
+            Err(ProxyError::Splice(_))
+        ));
+        proxy
+            .add_stream_udp_shared(
+                "s",
+                SharedUdpStreamConfig::on_carrier("wire", peer).with_stream(StreamId::new(1)),
+            )
+            .unwrap();
+        // Claiming an already-routed stream id rolls the whole placement
+        // back: the stream name and the fresh id are free again.
+        assert!(matches!(
+            proxy.add_stream_udp_shared(
+                "t",
+                SharedUdpStreamConfig::on_carrier("wire", peer)
+                    .with_stream(StreamId::new(2))
+                    .with_stream(StreamId::new(1)),
+            ),
+            Err(ProxyError::Splice(_))
+        ));
+        assert_eq!(proxy.stream_names(), vec!["s"]);
+        assert_eq!(carrier.route_count(), 1);
+        assert!(matches!(
+            proxy.add_session_udp_shared(
+                "u",
+                SharedUdpSessionConfig::on_carrier("wire").with_stream(StreamId::new(1)),
+            ),
+            Err(ProxyError::Splice(_))
+        ));
+        assert!(proxy.session_names().is_empty());
+        proxy
+            .add_stream_udp_shared(
+                "t",
+                SharedUdpStreamConfig::on_carrier("wire", peer).with_stream(StreamId::new(2)),
+            )
+            .unwrap();
         proxy.shutdown().unwrap();
     }
 

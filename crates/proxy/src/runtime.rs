@@ -57,6 +57,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::net::UdpSocket;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
@@ -452,6 +453,10 @@ pub struct Runtime {
     shared: Arc<PoolShared>,
     config: RuntimeConfig,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// The socket readiness loop, started lazily by the first
+    /// [`drive_socket`](Self::drive_socket) call so socket-free runtimes
+    /// spend no extra thread.
+    reactor: Mutex<Option<ReactorHandle>>,
 }
 
 impl fmt::Debug for Runtime {
@@ -497,6 +502,7 @@ impl Runtime {
             shared,
             config,
             workers: Mutex::new(workers),
+            reactor: Mutex::new(None),
         })
     }
 
@@ -691,6 +697,51 @@ impl Runtime {
         self.shared.chaos.stalls_served.load(Ordering::SeqCst)
     }
 
+    /// Registers socket-backed work as a pool task woken by the socket
+    /// reactor: the readiness analogue of a chain task's `PipeWatcher`
+    /// wiring, and the replacement for per-socket pump threads.
+    ///
+    /// The task is stepped whenever the reactor observes the registered
+    /// interest on `socket` (or [`SocketDriver::kick`] / a watcher
+    /// installed via [`SocketDriver::watch_source`] fires), and calls
+    /// `work.service()` each step; see [`SocketWork`] for the contract.
+    /// The reactor thread itself is started lazily by the first driver and
+    /// is shared by every socket on this runtime — session counts scale
+    /// with **zero** additional threads.
+    pub fn drive_socket(
+        self: &Arc<Self>,
+        socket: Arc<UdpSocket>,
+        interest: SocketInterest,
+        work: Arc<dyn SocketWork>,
+    ) -> SocketDriver {
+        let stop = Arc::new(AtomicBool::new(false));
+        let armed = Arc::new(AtomicBool::new(false));
+        let task = self.register(Box::new(SocketTaskWork {
+            work,
+            stop: Arc::clone(&stop),
+            armed: Arc::clone(&armed),
+        }));
+        let entry = ReactorEntry {
+            socket,
+            task: Arc::downgrade(&task),
+            armed,
+            readable: matches!(interest, SocketInterest::Readable),
+        };
+        let mut slot = self.reactor.lock();
+        slot.get_or_insert_with(ReactorHandle::start).register(entry);
+        SocketDriver { task, stop }
+    }
+
+    /// Sockets currently registered with the reactor — zero when no
+    /// [`drive_socket`](Self::drive_socket) driver is live (entries for
+    /// finished drivers are pruned on the next tick).
+    pub fn reactor_sockets(&self) -> usize {
+        self.reactor
+            .lock()
+            .as_ref()
+            .map_or(0, |handle| handle.shared.entries.lock().len())
+    }
+
     /// Stops the worker pool: workers finish their current step and exit.
     ///
     /// Chains and sessions must be shut down first — a task that still has
@@ -701,6 +752,11 @@ impl Runtime {
     ///
     /// Returns [`ProxyError::WorkerFailed`] if a worker thread panicked.
     pub fn shutdown(&self) -> Result<(), ProxyError> {
+        // The reactor goes first: with the wake source gone, no new socket
+        // work can be scheduled while the workers drain and exit.
+        if let Some(reactor) = self.reactor.lock().take() {
+            reactor.stop();
+        }
         self.shared.shutdown.store(true, Ordering::SeqCst);
         {
             let _sleepers = self.shared.sleepers.lock();
@@ -722,6 +778,238 @@ impl Runtime {
 impl Drop for Runtime {
     fn drop(&mut self) {
         let _ = self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Socket reactor.
+// ---------------------------------------------------------------------------
+
+/// The reactor's probe cadence: how long a registered socket can be
+/// readable before its task is scheduled, and the retry latency after a
+/// `Blocked` send.  Latency only — while a drain keeps reporting
+/// [`SocketStep::Progress`], the task requeues itself through the pool and
+/// the reactor is not involved at all.
+const REACTOR_TICK: Duration = Duration::from_micros(250);
+
+/// Which readiness events should wake a [`drive_socket`] task.
+///
+/// [`drive_socket`]: Runtime::drive_socket
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketInterest {
+    /// Wake whenever the socket holds readable datagrams (a receive-side
+    /// driver).
+    Readable,
+    /// Wake only when armed by a [`SocketStep::Blocked`] service pass (a
+    /// send-side driver: new frames arrive via pipe watchers installed
+    /// with [`SocketDriver::watch_source`], so readability is noise).
+    Writable,
+}
+
+/// How socket-backed work left its socket after one service pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketStep {
+    /// Work moved and more may be pending: step again immediately.
+    Progress,
+    /// Nothing to do until the socket or a watched pipe becomes ready.
+    Idle,
+    /// The OS refused a send (`WouldBlock`): retry after a reactor tick.
+    Blocked,
+}
+
+/// Non-blocking socket work driven as a pool task — the socket analogue of
+/// the (private) chain/fanout task work.  `service` must never block: it
+/// drains or flushes at most one batch against a non-blocking socket and
+/// reports how it left things.
+pub trait SocketWork: Send + Sync {
+    /// Runs one bounded drain/flush pass.
+    fn service(&self) -> SocketStep;
+}
+
+/// Adapts a [`SocketWork`] to the pool's task state machine.  `stop` is
+/// the driver's abort flag: the task runs one final service pass (a
+/// best-effort flush) and finishes.
+struct SocketTaskWork {
+    work: Arc<dyn SocketWork>,
+    stop: Arc<AtomicBool>,
+    /// Set on `Blocked` so the reactor schedules the task on its next tick
+    /// even without socket readability (write-retry arming).
+    armed: Arc<AtomicBool>,
+}
+
+impl TaskWork for SocketTaskWork {
+    fn step(&self) -> StepOutcome {
+        if self.stop.load(Ordering::SeqCst) {
+            let _ = self.work.service();
+            return StepOutcome::Done;
+        }
+        match self.work.service() {
+            SocketStep::Progress => StepOutcome::Progress,
+            SocketStep::Idle => StepOutcome::Idle,
+            SocketStep::Blocked => {
+                self.armed.store(true, Ordering::SeqCst);
+                StepOutcome::Idle
+            }
+        }
+    }
+}
+
+/// One registered socket: who to wake, and when.
+struct ReactorEntry {
+    socket: Arc<UdpSocket>,
+    task: Weak<Task>,
+    armed: Arc<AtomicBool>,
+    /// Probe for readable datagrams (ingress) or only honour arms
+    /// (egress).
+    readable: bool,
+}
+
+struct ReactorShared {
+    entries: Mutex<Vec<ReactorEntry>>,
+    shutdown: AtomicBool,
+}
+
+/// The running reactor: one thread for *all* registered sockets.
+struct ReactorHandle {
+    shared: Arc<ReactorShared>,
+    /// Unpark handle, so registration and shutdown cut the current tick
+    /// short instead of waiting it out.
+    thread: std::thread::Thread,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ReactorHandle {
+    fn start() -> Self {
+        let shared = Arc::new(ReactorShared {
+            entries: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let loop_shared = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name("rapidware-reactor".to_string())
+            .spawn(move || reactor_loop(&loop_shared))
+            .expect("spawning the reactor thread never fails");
+        let thread = join.thread().clone();
+        Self {
+            shared,
+            thread,
+            join: Some(join),
+        }
+    }
+
+    fn register(&self, entry: ReactorEntry) {
+        self.shared.entries.lock().push(entry);
+        self.thread.unpark();
+    }
+
+    fn stop(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.thread.unpark();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// The readiness loop: a level-triggered scan over the registration table.
+///
+/// Each tick, every live entry is probed with a non-blocking 1-byte
+/// `peek_from` (`MSG_PEEK`: nothing is consumed, truncation is harmless) —
+/// a readable socket schedules its task, exactly the wake a `PipeWatcher`
+/// would deliver for a pipe.  Level triggering means a wake can never be
+/// lost: if the task goes idle with data still queued, the next tick
+/// re-schedules it.  Spurious wakes are free — the task model already
+/// tolerates them.  Entries whose task finished (or was dropped) are
+/// pruned in place.
+fn reactor_loop(shared: &ReactorShared) {
+    let mut probe = [0u8; 1];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut entries = shared.entries.lock();
+            entries.retain(|entry| {
+                let Some(task) = entry.task.upgrade() else {
+                    return false;
+                };
+                if task.is_done() {
+                    return false;
+                }
+                if entry.armed.swap(false, Ordering::SeqCst) {
+                    task.schedule();
+                } else if entry.readable {
+                    match entry.socket.peek_from(&mut probe) {
+                        Ok(_) => task.schedule(),
+                        Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {}
+                        // Let the driver observe and classify the error.
+                        Err(_) => task.schedule(),
+                    }
+                }
+                true
+            });
+        }
+        std::thread::park_timeout(REACTOR_TICK);
+    }
+}
+
+/// Handle to a task registered with [`Runtime::drive_socket`]: the socket
+/// analogue of a [`PooledChain`]'s control surface.
+pub struct SocketDriver {
+    task: Arc<Task>,
+    stop: Arc<AtomicBool>,
+}
+
+impl fmt::Debug for SocketDriver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SocketDriver")
+            .field("task", &self.task)
+            .field("stopping", &self.stop.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl SocketDriver {
+    /// Schedules the task now (e.g. after attaching a new egress lane).
+    pub fn kick(&self) {
+        self.task.schedule();
+    }
+
+    /// Wakes the task whenever `source` has data, hits EOF, or closes —
+    /// the same `TaskWaker` wiring chain tasks get on their inboxes.  Use
+    /// this on every pipe a send-side [`SocketWork`] drains.
+    pub fn watch_source(&self, source: &DetachableReceiver<Packet>) {
+        source.set_data_watcher(Arc::new(TaskWaker {
+            task: Arc::downgrade(&self.task),
+        }));
+    }
+
+    /// `true` once the task has finished (after [`shutdown`](Self::shutdown),
+    /// or a service pass observed a terminal condition).
+    pub fn is_done(&self) -> bool {
+        self.task.is_done()
+    }
+
+    /// Stops the driver: the task runs one final service pass (best-effort
+    /// flush) and finishes; the reactor prunes the socket on its next
+    /// tick.  Call while the runtime's workers are still running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::WorkerFailed`] if the task cannot complete
+    /// because the pool stopped first.
+    pub fn shutdown(&self) -> Result<(), ProxyError> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.task.schedule();
+        if self.task.is_done()
+            || (self.task.pool_running() && self.task.wait_done(SHUTDOWN_GRACE))
+        {
+            Ok(())
+        } else {
+            Err(ProxyError::WorkerFailed(
+                "socket driver task never finished".to_string(),
+            ))
+        }
     }
 }
 

@@ -31,7 +31,7 @@ use rapidware_streams::{
 };
 
 use crate::stats::TransportStats;
-use crate::{fin_packet, fits_in_datagram, is_fin, MAX_DATAGRAM_LEN};
+use crate::{fin_packet, fits_in_datagram, is_fin, is_stream_fin, MAX_DATAGRAM_LEN};
 
 /// Tuning for a UDP endpoint.
 #[derive(Debug, Clone)]
@@ -266,20 +266,21 @@ impl UdpIngress {
 
     /// Stops the pump thread and waits for it to exit.
     ///
-    /// In bridged mode the downstream pipe must still be draining (or be
-    /// closed) for the pump to observe the flag; the proxy shuts ingress
-    /// endpoints down while their chains are still live for exactly this
-    /// reason.
+    /// Teardown ordering is identical to `Drop`: the owned pipe (if any) is
+    /// closed *before* the join, so a pump stalled on back-pressure — or a
+    /// consumer blocked on `recv` — is released and the join cannot hang.
+    /// In bridged mode the downstream pipe belongs to the caller and is
+    /// left untouched; it must still be draining (or be closed) for the
+    /// pump to observe the flag, which is why the proxy shuts ingress
+    /// endpoints down while their chains are still live.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(pump) = self.pump.take() {
-            let _ = pump.join();
-        }
+        self.teardown();
     }
-}
 
-impl Drop for UdpIngress {
-    fn drop(&mut self) {
+    /// The single teardown path shared by [`shutdown`](Self::shutdown) and
+    /// `Drop`: flag the pump, close the owned pipe (releasing anything
+    /// blocked on it), then join.
+    fn teardown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Closing the owned pipe unblocks a pump stalled on back-pressure;
         // a bridged pipe belongs to the caller and is left untouched.
@@ -289,6 +290,12 @@ impl Drop for UdpIngress {
         if let Some(pump) = self.pump.take() {
             let _ = pump.join();
         }
+    }
+}
+
+impl Drop for UdpIngress {
+    fn drop(&mut self) {
+        self.teardown();
     }
 }
 
@@ -312,8 +319,11 @@ fn pump_ingress(
         };
         stats.record_rx_datagram();
         match Packet::decode(&buf[..len]) {
-            Ok(packet) if is_fin(&packet) => {
+            Ok(packet) if is_fin(&packet) || is_stream_fin(&packet) => {
                 // The remote stream ended: propagate EOF through the pipe.
+                // A dedicated socket carries exactly one logical stream, so
+                // a per-stream FIN (from a shared egress) ends it just like
+                // the legacy transport-wide FIN does.
                 sink.close();
                 return;
             }
@@ -515,11 +525,31 @@ impl UdpEgress {
 
     /// Stops the pump thread and waits for it to exit.  This is an abort,
     /// not a flush: the pump finishes at most the batch it is currently
-    /// sending, anything else still queued in the pipe stays there, and no
-    /// FIN is sent — use [`close`](Self::close) (or close the bridged
-    /// upstream pipe) for a clean end of stream.
+    /// sending and anything else still queued in the pipe is discarded —
+    /// use [`close`](Self::close) (or close the bridged upstream pipe) for
+    /// a clean end of stream.
+    ///
+    /// Teardown ordering is identical to `Drop`: the owned pipe (if any)
+    /// is closed *before* the join, so a producer blocked on a full pipe
+    /// is released and a back-pressured egress can never hang teardown.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.teardown(true);
+    }
+
+    /// The single teardown path shared by [`shutdown`](Self::shutdown) and
+    /// `Drop`.  Both close the owned pipe before joining (releasing any
+    /// producer blocked on back-pressure); `abort` additionally flags the
+    /// pump to stop without draining, where a plain drop lets an owned
+    /// pump flush its queue and send the FIN.
+    fn teardown(&mut self, abort: bool) {
+        if let Some(sender) = &self.sender {
+            sender.close();
+        }
+        if abort || self.sender.is_none() {
+            // Bridged mode always flags the pump: the upstream pipe may
+            // outlive us, so the pump cannot wait for EOF.
+            self.stop.store(true, Ordering::SeqCst);
+        }
         if let Some(pump) = self.pump.take() {
             let _ = pump.join();
         }
@@ -529,18 +559,8 @@ impl UdpEgress {
 impl Drop for UdpEgress {
     fn drop(&mut self) {
         // A clean close first, so dropping an owned egress flushes and
-        // FINs; then stop the pump in case the upstream never ends.
-        if let Some(sender) = &self.sender {
-            sender.close();
-        }
-        if let Some(pump) = self.pump.take() {
-            if self.sender.is_none() {
-                // Bridged mode: the upstream pipe may outlive us, so ask
-                // the pump to stop instead of waiting for EOF.
-                self.stop.store(true, Ordering::SeqCst);
-            }
-            let _ = pump.join();
-        }
+        // FINs; bridged mode stops the pump instead of waiting for EOF.
+        self.teardown(false);
     }
 }
 
@@ -752,5 +772,64 @@ mod tests {
         let egress = UdpEgress::connect(ingress.local_addr(), &config).unwrap();
         assert!(format!("{ingress:?}").contains("UdpIngress"));
         assert!(format!("{egress:?}").contains("UdpEgress"));
+    }
+
+    /// Joins `handle` through a channel so a regression back to the old
+    /// teardown ordering fails the test instead of hanging it.
+    fn join_within(handle: std::thread::JoinHandle<()>, what: &str) {
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let waiter = std::thread::spawn(move || {
+            let _ = handle.join();
+            let _ = done_tx.send(());
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|_| panic!("{what} is still blocked after teardown"));
+        let _ = waiter.join();
+    }
+
+    #[test]
+    fn shutdown_releases_a_producer_blocked_on_a_back_pressured_egress() {
+        // Regression: `shutdown` used to stop the pump *without* closing
+        // the owned pipe (unlike `Drop`), so a producer blocked on a full
+        // pipe after the pump exited would block forever.
+        let sink = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let config = UdpConfig::default().with_capacity(2);
+        let mut egress = UdpEgress::connect(sink.local_addr().unwrap(), &config).unwrap();
+        let stats = egress.stats();
+        let sender = egress.sender();
+        let producer = std::thread::spawn(move || {
+            // Send until the closed pipe errors out.  Once shutdown stops
+            // the pump, the capacity-2 pipe fills and `send` blocks — only
+            // the shutdown-path close can release it.
+            let mut seq = 0;
+            while sender.send(packet(seq)).is_ok() {
+                seq += 1;
+            }
+        });
+        // Let the path move at least one frame so the pump is provably up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        while stats.tx_packets() == 0 {
+            assert!(std::time::Instant::now() < deadline, "egress never sent");
+            std::thread::yield_now();
+        }
+        egress.shutdown();
+        join_within(producer, "the back-pressured producer");
+    }
+
+    #[test]
+    fn shutdown_releases_a_consumer_blocked_on_an_owned_ingress() {
+        // The mirror regression on the receive side: stopping the pump
+        // without closing the owned pipe left a blocked `recv` waiting for
+        // a packet that could never arrive.
+        let config = UdpConfig::default();
+        let mut ingress = UdpIngress::bind("127.0.0.1:0", &config).unwrap();
+        let rx = ingress.receiver();
+        let consumer = std::thread::spawn(move || {
+            // Blocks until the shutdown-path close errors it out.
+            let _ = rx.recv();
+        });
+        ingress.shutdown();
+        join_within(consumer, "the blocked consumer");
     }
 }

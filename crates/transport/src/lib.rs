@@ -21,6 +21,15 @@
 //!   drop/delay schedule to the datagrams passing through it, mirroring
 //!   `netsim`'s `ScheduledLoss` so scenario runs over real sockets stay
 //!   reproducible.
+//! * [`SharedUdpIngress`] / [`SharedUdpEgress`] — **shared-socket**
+//!   endpoints: one bound socket carrying N logical streams, demultiplexed
+//!   by the stream id in every [`Packet`] header.
+//!   They have no pump threads at all; a readiness reactor (the pooled
+//!   runtime's) wakes pool tasks that call [`drain_batch`] /
+//!   [`flush_batch`] directly, so hundreds of sessions share a handful of
+//!   sockets with zero per-socket threads.  The pump-per-socket endpoints
+//!   above remain for single-stream edges (and as the app-side harness in
+//!   tests), but are deprecated in spirit for multi-session use.
 //!
 //! ## End of stream
 //!
@@ -31,6 +40,16 @@
 //! the consumer observes the same clean end-of-stream a local pipe would
 //! deliver.  [`FIN_STREAM`] is reserved for the transport; application
 //! traffic must not use it.
+//!
+//! Shared sockets need a finer-grained form: ending one stream must not
+//! end its socket-mates.  A **per-stream FIN** ([`stream_fin_packet`]) is a
+//! control frame on the ending stream's *own* id at the reserved sequence
+//! number [`STREAM_FIN_SEQ`]; a shared ingress closes only that stream's
+//! route, while a dedicated [`UdpIngress`] (which carries exactly one
+//! logical stream) treats it like the transport-wide FIN.
+//!
+//! [`drain_batch`]: SharedUdpIngress::drain_batch
+//! [`flush_batch`]: SharedUdpEgress::flush_batch
 //!
 //! ## Delivery accounting
 //!
@@ -74,12 +93,14 @@
 
 mod endpoint;
 mod impaired;
+mod shared;
 mod stats;
 
 pub use endpoint::{UdpConfig, UdpEgress, UdpIngress};
 pub use impaired::{
     ImpairedSnapshot, ImpairedStats, ImpairedUdp, ImpairmentPhase, ImpairmentPlan,
 };
+pub use shared::{SharedDrain, SharedFlush, SharedUdpEgress, SharedUdpError, SharedUdpIngress};
 pub use stats::{TransportSnapshot, TransportStats};
 
 use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
@@ -110,6 +131,32 @@ pub fn fin_packet() -> Packet {
 /// Returns `true` if `packet` is a transport FIN frame.
 pub fn is_fin(packet: &Packet) -> bool {
     packet.kind() == PacketKind::Control && packet.stream().value() == FIN_STREAM
+}
+
+/// Sequence number reserved for **per-stream** FIN frames.
+///
+/// A shared socket carries many logical streams, so the transport-wide
+/// [`FIN_STREAM`] frame cannot say *which* of them ended.  A per-stream FIN
+/// instead rides the ending stream's own id, marked by this reserved
+/// sequence number on a [`PacketKind::Control`] frame.  Application
+/// control traffic must not use `u64::MAX` as a sequence number.
+pub const STREAM_FIN_SEQ: u64 = u64::MAX;
+
+/// Builds the FIN frame a shared egress sends when one stream's upstream
+/// ends: a control frame on the stream's own id at [`STREAM_FIN_SEQ`].
+pub fn stream_fin_packet(stream: StreamId) -> Packet {
+    Packet::new(
+        stream,
+        SeqNo::new(STREAM_FIN_SEQ),
+        PacketKind::Control,
+        Vec::new(),
+    )
+}
+
+/// Returns `true` if `packet` is a per-stream FIN frame built by
+/// [`stream_fin_packet`].
+pub fn is_stream_fin(packet: &Packet) -> bool {
+    packet.kind() == PacketKind::Control && packet.seq().value() == STREAM_FIN_SEQ
 }
 
 /// Sanity guard used by the egress: `true` if the packet fits in one

@@ -133,6 +133,8 @@ fn impaired_relay_is_deterministic_per_seed() {
         )
         .unwrap();
         let egress = UdpEgress::connect(relay.local_addr(), &config).unwrap();
+        let relay_stats = relay.stats();
+        let ingress_stats = ingress.stats();
         // Drain concurrently so the survivors never pile up in a socket
         // buffer while the producer runs ahead (the relay's decisions
         // depend only on arrival order, not on consumer speed).
@@ -152,6 +154,23 @@ fn impaired_relay_is_deterministic_per_seed() {
             egress
                 .send_batch((window * 50..(window + 1) * 50).map(packet).collect())
                 .unwrap();
+            // Pace each window end to end: every frame accounted by the
+            // relay (forwarded or dropped), every survivor received by the
+            // ingress, before the next burst — so neither socket's kernel
+            // buffer can overflow and silently lose a frame (or, worse,
+            // the FIN).  UDP has no back-pressure; the accounting is the
+            // only flow control available, and it does not perturb the
+            // relay's seeded decisions, which depend on arrival order
+            // alone.
+            let deadline = Instant::now() + WATCHDOG;
+            while relay_stats.forwarded() + relay_stats.dropped() < (window + 1) * 50 {
+                assert!(Instant::now() < deadline, "the relay fell behind");
+                std::thread::yield_now();
+            }
+            while ingress_stats.rx_datagrams() < relay_stats.forwarded() {
+                assert!(Instant::now() < deadline, "the ingress fell behind");
+                std::thread::yield_now();
+            }
         }
         egress.close();
         let seqs = consumer.join().unwrap();

@@ -12,7 +12,10 @@
 //! * **socket drop-outs** — [`ImpairedUdp::set_plan`] swaps a total
 //!   blackout in (and back out) mid-stream; every datagram is either
 //!   forwarded and received, or counted dropped — never silently lost
-//!   (`received ⇒ counted`);
+//!   (`received ⇒ counted`).  The same blackout also runs against a
+//!   *shared* reactor-driven carrier socket multiplexing four streams:
+//!   per-stream conservation must close, and the outage must not poison a
+//!   single socket-mate's routing, ordering, or FIN;
 //! * **reordered and duplicated control markers** — non-FIN control frames
 //!   are duplicated and rode through a reordering relay; every data frame
 //!   still arrives exactly once, every marker copy is delivered (not
@@ -25,13 +28,15 @@
 mod common;
 
 use std::net::UdpSocket;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rapidware::packet::{Packet, PacketKind, SeqNo, StreamId};
-use rapidware::proxy::FilterSpec;
+use rapidware::proxy::{FilterSpec, Proxy, SharedUdpStreamConfig, UdpCarrierConfig};
 use rapidware::runtime::{Runtime, RuntimeConfig};
+use rapidware::streams::TryRecvError;
 use rapidware::transport::{
-    fin_packet, ImpairedStats, ImpairedUdp, ImpairmentPhase, ImpairmentPlan, UdpConfig, UdpIngress,
+    fin_packet, ImpairedStats, ImpairedUdp, ImpairmentPhase, ImpairmentPlan, SharedDrain,
+    SharedUdpIngress, UdpConfig, UdpIngress,
 };
 
 use common::{
@@ -252,6 +257,195 @@ fn a_mid_run_socket_blackout_is_counted_never_silent() {
             (0..BEFORE).chain(BEFORE + DURING..BEFORE + DURING + AFTER).collect();
         assert_eq!(seqs, expected, "survivors arrive in order with the blackout window cut out");
         assert_eq!(stats.control(), 1, "the FIN passed the relay untouched");
+    });
+}
+
+#[test]
+fn a_blackout_on_a_shared_carrier_is_counted_and_poisons_no_stream() {
+    // The shared-socket variant of the blackout: four streams multiplexed
+    // over ONE reactor-driven carrier socket, the blackout edited into an
+    // impairment relay in front of it mid-run.  Every datagram the relay
+    // forwarded must reach exactly its own stream's app-side route, in
+    // order; every datagram it dropped must be counted; and per-stream
+    // `sent == delivered + lost + undelivered` must close from independent
+    // tallies.  The carrier itself never drops, never mis-routes, and every
+    // stream survives its socket-mates' outage window identically.
+    watchdog("chaos-shared-blackout", WATCHDOG, || {
+        const STREAMS: u32 = 4;
+        const BEFORE: u64 = 40;
+        const DURING: u64 = 20;
+        const AFTER: u64 = 40;
+        const CAPACITY: usize = 256;
+        const CARRIER: &str = "carrier";
+
+        let mut proxy = Proxy::with_runtime(
+            "chaos-shared",
+            RuntimeConfig::new(2, BATCH_SIZE).with_pipe_capacity(CAPACITY),
+        );
+        let carrier = proxy
+            .add_udp_carrier(
+                CARRIER,
+                UdpCarrierConfig::new().with_capacity(CAPACITY).with_batch_size(BATCH_SIZE),
+            )
+            .expect("carrier binds");
+        // The impairment relay sits between the app sender and the shared
+        // carrier socket: everything inbound funnels through one faulty hop.
+        let relay = ImpairedUdp::spawn(carrier.ingress_addr(), ImpairmentPlan::clean(23)).unwrap();
+        let stats = relay.stats();
+
+        // App side: one shared socket of its own, one route per stream.
+        let app =
+            SharedUdpIngress::bind("127.0.0.1:0", &UdpConfig::default().with_capacity(CAPACITY))
+                .unwrap();
+        let routes: Vec<_> = (1..=STREAMS)
+            .map(|stream| app.open_stream(StreamId::new(stream)).unwrap())
+            .collect();
+        let handles: Vec<_> = (1..=STREAMS)
+            .map(|stream| {
+                proxy
+                    .add_stream_udp_shared(
+                        format!("stream-{stream}"),
+                        SharedUdpStreamConfig::on_carrier(CARRIER, app.local_addr())
+                            .with_stream(StreamId::new(stream))
+                            .with_capacity(CAPACITY)
+                            .with_batch_size(BATCH_SIZE),
+                    )
+                    .expect("shared stream placement")
+            })
+            .collect();
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+
+        // Interleave the streams round-robin so each carrier drain batch
+        // demuxes neighbouring frames, and collect deliveries per stream
+        // with a deadline-bounded non-blocking barrier after each phase.
+        let mut received: Vec<Vec<u64>> = vec![Vec::new(); STREAMS as usize];
+        let drain_until_each = |received: &mut Vec<Vec<u64>>, target: usize| {
+            let deadline = Instant::now() + WATCHDOG / 2;
+            loop {
+                while app.drain_batch() == SharedDrain::MoreReady {}
+                for (index, route) in routes.iter().enumerate() {
+                    while let Ok(packet) = route.try_recv() {
+                        assert_eq!(
+                            packet.stream().value() as usize,
+                            index + 1,
+                            "frame routed to the wrong stream"
+                        );
+                        received[index].push(packet.seq().value());
+                    }
+                }
+                if received.iter().all(|seqs| seqs.len() >= target) {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "shared blackout drain made no progress");
+                std::thread::yield_now();
+            }
+        };
+        let send_window = |range: std::ops::Range<u64>| {
+            for seq in range {
+                for stream in 1..=STREAMS {
+                    send_encoded(
+                        &tx,
+                        relay.local_addr(),
+                        &Packet::new(
+                            StreamId::new(stream),
+                            SeqNo::new(seq),
+                            PacketKind::AudioData,
+                            vec![stream as u8; 32],
+                        ),
+                    );
+                }
+            }
+        };
+
+        send_window(0..BEFORE);
+        await_relay_accounted(&stats, STREAMS as u64 * BEFORE);
+        drain_until_each(&mut received, BEFORE as usize);
+
+        // The blackout: a total outage swapped in while all four streams
+        // run, swapped back out after the window.
+        relay.set_plan(ImpairmentPlan::new(23, vec![(0, ImpairmentPhase::drop_rate(1.0))]));
+        send_window(BEFORE..BEFORE + DURING);
+        await_relay_accounted(&stats, STREAMS as u64 * (BEFORE + DURING));
+        assert_eq!(
+            stats.dropped(),
+            STREAMS as u64 * DURING,
+            "the blackout must count every loss"
+        );
+        relay.set_plan(ImpairmentPlan::clean(23));
+        send_window(BEFORE + DURING..BEFORE + DURING + AFTER);
+        await_relay_accounted(&stats, STREAMS as u64 * (BEFORE + DURING + AFTER));
+        drain_until_each(&mut received, (BEFORE + AFTER) as usize);
+
+        // FIN isolation under the same faulty hop: ending stream 1 must
+        // leave its three socket-mates open.
+        handles[0].close_input();
+        let deadline = Instant::now() + WATCHDOG / 2;
+        loop {
+            while app.drain_batch() == SharedDrain::MoreReady {}
+            match routes[0].try_recv() {
+                Err(TryRecvError::Eof | TryRecvError::Closed) => break,
+                Err(TryRecvError::Empty) => {
+                    assert!(Instant::now() < deadline, "stream 1 never reached EOF");
+                    std::thread::yield_now();
+                }
+                Ok(packet) => panic!("stream 1 delivered {packet:?} after its drain"),
+            }
+        }
+        for route in &routes[1..] {
+            assert_eq!(
+                route.try_recv().unwrap_err(),
+                TryRecvError::Empty,
+                "a socket-mate's FIN must not end a live stream"
+            );
+        }
+        for handle in &handles[1..] {
+            handle.close_input();
+        }
+        for route in &routes[1..] {
+            loop {
+                while app.drain_batch() == SharedDrain::MoreReady {}
+                match route.try_recv() {
+                    Err(TryRecvError::Eof | TryRecvError::Closed) => break,
+                    Err(TryRecvError::Empty) => {
+                        assert!(Instant::now() < deadline, "a stream never reached EOF");
+                        std::thread::yield_now();
+                    }
+                    Ok(packet) => panic!("late delivery after the drain: {packet:?}"),
+                }
+            }
+        }
+
+        // Per-stream conservation from independent tallies, and exact
+        // survivor order: the blackout window cut out, nothing reordered.
+        let expected: Vec<u64> =
+            (0..BEFORE).chain(BEFORE + DURING..BEFORE + DURING + AFTER).collect();
+        for (index, seqs) in received.iter().enumerate() {
+            let context = format!("shared blackout stream {}", index + 1);
+            assert_eq!(seqs, &expected, "{context}: survivor order");
+            assert_conservation(
+                &context,
+                BEFORE + DURING + AFTER,
+                seqs.len() as u64,
+                DURING,
+                0,
+            );
+        }
+
+        // The carrier was blameless: it demuxed every forwarded datagram to
+        // a registered stream and dropped nothing itself.
+        let status = proxy.status();
+        let shared: Vec<_> = status.transports.iter().filter(|t| t.shared).collect();
+        assert_eq!(shared.len(), 1, "one carrier serves all four streams");
+        assert_eq!(
+            shared[0].ingress.rx_packets,
+            STREAMS as u64 * (BEFORE + AFTER),
+            "every forwarded datagram was demuxed"
+        );
+        assert_eq!(shared[0].unknown_streams, 0);
+        assert_eq!(shared[0].ingress.dropped, 0);
+        assert_eq!(shared[0].egress.dropped, 0);
+        assert_eq!(app.unknown_streams(), 0, "no frame escaped its route app-side");
+        proxy.shutdown().expect("clean proxy shutdown");
     });
 }
 

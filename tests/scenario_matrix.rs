@@ -202,6 +202,49 @@ fn a_fixed_seed_scenario_over_loopback_udp_matches_the_sync_applier() {
 }
 
 #[test]
+fn a_fixed_seed_scenario_over_a_shared_socket_carrier_matches_the_sync_applier() {
+    // Same bar as the dedicated-socket wire test, for the reactor path:
+    // every packet crosses a *shared* carrier socket (one UDP socket
+    // demuxed by stream id onto the worker pool, zero pump threads, via
+    // `Proxy::add_stream_udp_shared`), and the multiplexing must be
+    // invisible — the sync applier's report and canonical trace, byte for
+    // byte, at both matrix seeds.
+    for seed in MATRIX_SEEDS {
+        let spec = ScenarioSpec::handoff_cliff().with_seed(seed);
+        let engine = ScenarioEngine::new(spec);
+        let sync = engine.run_sync();
+        let shared = engine.run_udp_shared();
+        assert_same_outcome(
+            &format!("handoff-cliff @ seed {seed}"),
+            "shared-udp",
+            &sync.trace.canonical_text(),
+            &sync.report,
+            &shared.trace.canonical_text(),
+            &shared.report,
+        );
+    }
+
+    // Same bar for a fanout spec: every lane multiplexed back out of the
+    // one carrier socket towards its own app-side peer.
+    let fanout = FanoutSpec::fanout_matrix()
+        .into_iter()
+        .next()
+        .expect("the fanout matrix is non-empty")
+        .with_seed(MATRIX_SEEDS[0]);
+    let engine = FanoutEngine::new(fanout);
+    let sync = engine.run_sync();
+    let shared = engine.run_udp_shared();
+    assert_same_outcome(
+        "fanout @ shared carrier",
+        "shared-udp fanout",
+        &sync.trace.canonical_text(),
+        &sync.report,
+        &shared.trace.canonical_text(),
+        &shared.report,
+    );
+}
+
+#[test]
 fn batch_size_does_not_change_the_closed_loop() {
     // PR 1's batched data plane must be invisible to the control plane:
     // per-packet and batch-32 threaded chains produce the same trace.

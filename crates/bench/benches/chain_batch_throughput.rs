@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use rapidware::filters::{FecDecoderFilter, FecEncoderFilter, FilterChain};
+use rapidware::filters::{DecryptFilter, EncryptFilter, FecDecoderFilter, FecEncoderFilter, FilterChain};
 use rapidware::packet::{Packet, PacketKind, SeqNo, StreamId};
 use rapidware::proxy::ThreadedChain;
 use rapidware_bench::report::{median, BenchReport};
@@ -51,6 +51,23 @@ fn fec_chain() -> FilterChain {
     chain
 }
 
+/// The same FEC round-trip with the AEAD secure-channel pair in the
+/// middle, the way the scenario engine places it: sources *and* parity are
+/// sealed by `encrypt` and verified-then-stripped by `decrypt` before the
+/// decoder sees them.
+fn encrypted_chain() -> FilterChain {
+    let mut chain = FilterChain::new();
+    chain
+        .push_back(Box::new(FecEncoderFilter::fec_6_4().expect("valid (n, k)")))
+        .expect("push encoder");
+    chain.push_back(Box::new(EncryptFilter::new(0x5EED))).expect("push encrypt");
+    chain.push_back(Box::new(DecryptFilter::new(0x5EED))).expect("push decrypt");
+    chain
+        .push_back(Box::new(FecDecoderFilter::fec_6_4().expect("valid (n, k)")))
+        .expect("push decoder");
+    chain
+}
+
 /// Runs `measure` `REPETITIONS` times and returns every packets/second
 /// sample (the JSON report keeps them all; the printed table uses the
 /// best, the report's headline statistic is the median).
@@ -74,7 +91,10 @@ fn sync_per_packet(packets: &[Packet]) -> f64 {
 }
 
 fn sync_batched(packets: &[Packet]) -> f64 {
-    let mut chain = fec_chain();
+    sync_batched_on(fec_chain(), packets)
+}
+
+fn sync_batched_on(mut chain: FilterChain, packets: &[Packet]) -> f64 {
     let start = Instant::now();
     let mut delivered = 0usize;
     for chunk in packets.chunks(BATCH) {
@@ -172,11 +192,34 @@ fn main() {
     println!("sync/batch-{BATCH}:        {sync_batch:>12.0} packets/s");
     println!("sync speedup:         {:.2}x", sync_batch / sync_serial);
 
+    // Encrypted vs plaintext: the same batched FEC round-trip with the
+    // AEAD pair sealing every frame (sources and parity).  The asserted
+    // floor keeps the in-crate ChaCha20-Poly1305 honest: sealing must not
+    // cost more than half the plaintext batch-32 throughput.
+    let encrypted_samples = pps_samples(|| sync_batched_on(encrypted_chain(), &packets));
+    let encrypted = best(&encrypted_samples);
+    let ratio = median(&encrypted_samples) / median(&sync_batch_samples);
+    println!("sync/batch-{BATCH} aead:   {encrypted:>12.0} packets/s");
+    println!(
+        "encrypted/plaintext:  {ratio:.2}x ({})",
+        if ratio >= 0.5 {
+            "meets the >= 0.5x floor"
+        } else {
+            "below the 0.5x floor"
+        }
+    );
+    assert!(
+        ratio >= 0.5,
+        "encrypted batch-{BATCH} throughput fell below half of plaintext ({ratio:.2}x)"
+    );
+
     let mut report = BenchReport::new("chain_batch");
     report.record("threaded/per-packet", "packets/s", &threaded_serial_samples);
     report.record(format!("threaded/batch-{BATCH}"), "packets/s", &threaded_batch_samples);
     report.record("sync/per-packet", "packets/s", &sync_serial_samples);
     report.record(format!("sync/batch-{BATCH}"), "packets/s", &sync_batch_samples);
+    report.record(format!("sync/batch-{BATCH}-encrypted"), "packets/s", &encrypted_samples);
+    report.record("sync/encrypted-ratio", "x", &[ratio]);
     report.record(
         "threaded/speedup",
         "x",

@@ -123,6 +123,14 @@ struct Shrink {
     /// a shrunk reproduction of a shared-socket divergence must still
     /// exercise the shared-socket path.
     shared_udp: bool,
+    /// Brackets the derived scenario with the AEAD secure-channel pair
+    /// (flat: `ScenarioSpec::secure`, with a midpoint key rotation; fanout:
+    /// encrypt/decrypt appended to the head filters) and widens conformance
+    /// with the UDP and shared-UDP appliers.  Unlike `shared_udp` this
+    /// token is *shrinkable*: dropping it is the first candidate tried, so
+    /// a failure that reproduces without crypto minimizes to a plaintext
+    /// line.
+    secure: bool,
 }
 
 /// A fully derived, serializable, shrinkable generated scenario.
@@ -199,6 +207,27 @@ impl GeneratedSpec {
         )
     }
 
+    /// `true` if this spec's corpus line carries the `secure` token: the
+    /// derived scenario runs under the AEAD secure-channel pair (sealed
+    /// payloads, a midpoint key rotation on flat shapes) and conformance
+    /// additionally runs the UDP and shared-UDP appliers.
+    pub fn secure(&self) -> bool {
+        self.shrink.secure
+    }
+
+    /// Returns a copy of this spec with the secure channel enabled (see
+    /// [`secure`](Self::secure)).
+    #[must_use]
+    pub fn with_secure(&self) -> Self {
+        Self::build(
+            self.seed,
+            Shrink {
+                secure: true,
+                ..self.shrink
+            },
+        )
+    }
+
     /// Rebuilds the spec from seed + overrides.  Every field below the
     /// shrink state is derived here and nowhere else, so `sample`,
     /// `from_line`, and `shrink_candidates` can never disagree about what a
@@ -252,6 +281,7 @@ impl GeneratedSpec {
                 // invariants instead of these expectation flags.
                 expect_adaptation: false,
                 expect_clean_finish: false,
+                secure: shrink.secure,
                 ..ScenarioSpec::steady_wlan()
             };
             (GeneratedShape::Flat(spec), Vec::new())
@@ -291,11 +321,19 @@ impl GeneratedSpec {
                 }
             }
             let head_filters = if shrink.drop_head { 0 } else { head_set };
+            let mut head_filters = head_filter_set(head_filters);
+            if shrink.secure {
+                // The secure pair is an identity-preserving head stage
+                // (seal then verify-and-strip), so every lane's accounting
+                // is untouched while all five fanout appliers exercise it.
+                head_filters.push(secure_filter_spec("encrypt"));
+                head_filters.push(secure_filter_spec("decrypt"));
+            }
             let spec = FanoutSpec {
                 name: format!("gen-fanout-{seed}"),
                 seed,
                 packets,
-                head_filters: head_filter_set(head_filters),
+                head_filters,
                 lanes,
                 batch_size,
                 expect_clean_finish: false,
@@ -364,6 +402,9 @@ impl GeneratedSpec {
         if self.shrink.shared_udp {
             line.push_str(" shared_udp");
         }
+        if self.shrink.secure {
+            line.push_str(" secure");
+        }
         line
     }
 
@@ -380,6 +421,10 @@ impl GeneratedSpec {
             }
             if token == "shared_udp" {
                 shrink.shared_udp = true;
+                continue;
+            }
+            if token == "secure" {
+                shrink.secure = true;
                 continue;
             }
             let (key, value) = token
@@ -467,7 +512,10 @@ impl GeneratedSpec {
             ("threaded", engine.run_threaded()),
             ("pooled", engine.run_pooled()),
         ];
-        if self.shrink.shared_udp {
+        if self.shrink.secure {
+            runs.push(("udp", engine.run_udp()));
+        }
+        if self.shrink.shared_udp || self.shrink.secure {
             runs.push(("shared-udp", engine.run_udp_shared()));
         }
         for (label, outcome) in runs {
@@ -538,7 +586,10 @@ impl GeneratedSpec {
             ("session", engine.run_session()),
             ("pooled", engine.run_pooled()),
         ];
-        if self.shrink.shared_udp {
+        if self.shrink.secure {
+            runs.push(("udp", engine.run_udp()));
+        }
+        if self.shrink.shared_udp || self.shrink.secure {
             runs.push(("shared-udp", engine.run_udp_shared()));
         }
         for (label, outcome) in runs {
@@ -584,6 +635,17 @@ impl GeneratedSpec {
     /// the derived scenario shrinks while seed and sampler stay fixed.
     pub fn shrink_candidates(&self) -> Vec<Self> {
         let mut candidates = Vec::new();
+        // Dropping the secure token comes first: if the failure reproduces
+        // on plaintext, the minimal repro should not drag crypto along.
+        if self.shrink.secure {
+            candidates.push(Self::build(
+                self.seed,
+                Shrink {
+                    secure: false,
+                    ..self.shrink
+                },
+            ));
+        }
         let (packets, phases, lanes, receivers, head) = match &self.shape {
             GeneratedShape::Flat(spec) => (
                 spec.packets,
@@ -742,6 +804,13 @@ fn head_filter_set(index: u32) -> Vec<FilterSpec> {
     }
 }
 
+/// One half of the secure-channel pair, keyed like the flat engine's
+/// bracket ([`super::SECURE_SCENARIO_KEY`]) so filter names agree across
+/// every generated shape.
+fn secure_filter_spec(kind: &str) -> FilterSpec {
+    FilterSpec::new(kind).with_param("key", super::SECURE_SCENARIO_KEY)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -831,11 +900,13 @@ mod tests {
                 max_receivers: Some(1),
                 drop_head: true,
                 shared_udp: true,
+                secure: true,
             },
         );
         let line = spec.to_line();
         assert!(line.contains("packets=100") && line.contains("drop_head"), "{line}");
         assert!(line.contains("shared_udp"), "{line}");
+        assert!(line.contains(" secure"), "{line}");
         let replayed = GeneratedSpec::from_line(&line).unwrap();
         assert_eq!(spec, replayed);
         assert_eq!(spec.shape(), replayed.shape());
@@ -945,6 +1016,49 @@ mod tests {
             })
             .expect("small flat samples exist");
         let spec = GeneratedSpec::sample(seed).with_shared_udp();
+        assert_eq!(spec.conformance_problems(), Vec::<String>::new(), "{}", spec.describe());
+    }
+
+    #[test]
+    fn the_secure_token_installs_the_channel_and_shrinks_away() {
+        let spec = GeneratedSpec::from_line("seed=4 secure").unwrap();
+        assert!(spec.secure());
+        match spec.shape() {
+            GeneratedShape::Flat(flat) => assert!(flat.secure),
+            GeneratedShape::Fanout(fanout) => assert!(fanout
+                .head_filters
+                .iter()
+                .any(|f| f.kind == "encrypt")),
+        }
+
+        // Unlike shared_udp, the token is itself a shrink dimension — and
+        // the first one tried, so a crypto-independent failure minimizes
+        // to a plaintext line.
+        let first = spec.shrink_candidates().into_iter().next().unwrap();
+        assert!(!first.secure());
+        let minimal = GeneratedSpec::shrink_to_minimal(spec, &|_| true);
+        assert!(!minimal.secure());
+        assert!(!minimal.to_line().contains("secure"), "{}", minimal.to_line());
+
+        // But a failure that needs the crypto keeps it: shrinking under a
+        // predicate that only fails while secure is set preserves the
+        // token.
+        let secure_only = GeneratedSpec::shrink_to_minimal(
+            GeneratedSpec::from_line("seed=4 secure").unwrap(),
+            &|candidate| candidate.secure(),
+        );
+        assert!(secure_only.secure());
+        assert!(secure_only.to_line().contains("secure"));
+
+        // One cheap end-to-end secure conformance run as a unit test; the
+        // corpus sweep lives in the generated_scenarios suite.
+        let seed = (0..50u64)
+            .find(|&seed| {
+                matches!(GeneratedSpec::sample(seed).shape(), GeneratedShape::Flat(f)
+                    if f.packets <= 300 && f.receivers.len() == 1)
+            })
+            .expect("small flat samples exist");
+        let spec = GeneratedSpec::sample(seed).with_secure();
         assert_eq!(spec.conformance_problems(), Vec::<String>::new(), "{}", spec.describe());
     }
 

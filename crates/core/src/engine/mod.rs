@@ -66,12 +66,13 @@ pub use trace::{describe_action, describe_event, ScenarioTrace, TraceEvent};
 
 use std::collections::HashSet;
 
-use rapidware_filters::{FecDecoderFilter, Filter};
+use rapidware_filters::{rekey_packet, FecDecoderFilter, Filter};
 use rapidware_media::AudioSource;
 use rapidware_netsim::{SimTime, WirelessLan};
 use rapidware_packet::{Packet, StreamId};
+use rapidware_proxy::FilterSpec;
 use rapidware_raplets::{
-    AdaptationEngine, FecResponder, LinkSample, LossRateObserver,
+    AdaptationAction, AdaptationEngine, FecResponder, LinkSample, LossRateObserver,
 };
 
 /// The fixed seeds the scenario-matrix harness runs at.  The integration
@@ -83,6 +84,14 @@ pub const MATRIX_SEEDS: [u64; 2] = [2001, 42];
 /// prove multiplexing (many chain tasks per worker), large enough to keep
 /// work stealing in play; traces must not depend on it.
 pub const POOLED_APPLIER_SHARDS: usize = 4;
+
+/// The channel key secure scenario runs seal with (decimal `0x5EED`, the
+/// registry's default).  Fixed so filter names — which appear in canonical
+/// traces — are identical on every applier.
+pub const SECURE_SCENARIO_KEY: &str = "24301";
+
+/// The epoch a secure scenario's midpoint rotation installs.
+const SECURE_REKEY_EPOCH: u32 = 1;
 
 /// Everything a closed-loop run produces: the final accounting and the
 /// step-by-step trace it was derived from.
@@ -309,11 +318,53 @@ impl ScenarioEngine {
         let mut window_start = SimTime::ZERO;
         let mut sent = 0u64;
 
+        // Secure channel: the seal/verify pair brackets the chain for the
+        // whole run.  Installed through the applier's own action path so
+        // every runtime (sync, threaded, pooled, UDP, shared-UDP) places it
+        // identically; FEC adaptation inserts at the head, upstream of the
+        // pair, so parity gets sealed too.
+        let rekey_at = if spec.secure {
+            let key = FilterSpec::new("encrypt").with_param("key", SECURE_SCENARIO_KEY);
+            let decrypt = FilterSpec::new("decrypt").with_param("key", SECURE_SCENARIO_KEY);
+            let installed = chain.apply(&[
+                AdaptationAction::Insert { position: 0, spec: key },
+                AdaptationAction::Insert {
+                    position: 1,
+                    spec: decrypt,
+                },
+            ]);
+            debug_assert!(installed.is_empty(), "inserting flushes nothing");
+            // Rotate the channel key at the midpoint of the run (skipped
+            // for single-packet runs, where no seq strictly follows 0).
+            (spec.packets >= 2).then_some(spec.packets / 2)
+        } else {
+            None
+        };
+
         while sent < spec.packets {
             // One sample window of source packets through the chain.
             let count = (spec.packets - sent).min(spec.sample_interval.max(1));
-            let window: Vec<Packet> = (0..count).map(|_| source.next_packet()).collect();
+            let mut window: Vec<Packet> = (0..count).map(|_| source.next_packet()).collect();
             sent += count;
+            if let Some(boundary) = rekey_at {
+                // Splice the rotation control frame in immediately before
+                // the first packet of the new epoch.  Both crypto stages
+                // see it at the same point in stream order, so they agree
+                // on which epoch seals each seq; the decrypt stage then
+                // consumes it, so rotation plumbing never goes on the air.
+                if let Some(position) =
+                    window.iter().position(|p| p.seq().value() == boundary)
+                {
+                    let at = &window[position];
+                    let rekey = rekey_packet(
+                        at.stream(),
+                        SECURE_REKEY_EPOCH,
+                        boundary,
+                        at.timestamp_us(),
+                    );
+                    window.insert(position, rekey);
+                }
+            }
             let now = SimTime::from_micros(
                 window.last().expect("windows are non-empty").timestamp_us(),
             );

@@ -299,6 +299,14 @@ pub struct ScenarioSpec {
     /// Whether the link is clean again at the end of the run, so the chain
     /// must have converged back to empty (no FEC installed).
     pub expect_clean_finish: bool,
+    /// Whether the run brackets the chain with the AEAD secure-channel
+    /// pair: an `encrypt` stage seals every payload and a `decrypt` stage
+    /// verifies-then-strips it, with one key rotation spliced in at the
+    /// run's midpoint.  The stages are installed before the first window,
+    /// so FEC adaptation (which inserts at the head) ends up upstream of
+    /// them and parity is sealed too.  Specs with this flag cannot expect
+    /// a clean finish (the crypto stages stay installed).
+    pub secure: bool,
 }
 
 impl ScenarioSpec {
@@ -314,6 +322,7 @@ impl ScenarioSpec {
             batch_size: 8,
             expect_adaptation: true,
             expect_clean_finish: true,
+            secure: false,
         }
     }
 
@@ -470,6 +479,16 @@ impl ScenarioSpec {
     #[must_use]
     pub fn with_packets(mut self, packets: u64) -> Self {
         self.packets = packets;
+        self
+    }
+
+    /// Enables the AEAD secure-channel bracket (see
+    /// [`secure`](Self::secure)).  Clears `expect_clean_finish`: the crypto
+    /// stages are meant to outlive the run.
+    #[must_use]
+    pub fn with_secure(mut self) -> Self {
+        self.secure = true;
+        self.expect_clean_finish = false;
         self
     }
 }

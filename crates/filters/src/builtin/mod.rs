@@ -12,5 +12,6 @@ pub(crate) mod fec_encode;
 pub(crate) mod null;
 pub(crate) mod ratelimit;
 pub(crate) mod scramble;
+pub(crate) mod secure;
 pub(crate) mod tap;
 pub(crate) mod transcode;

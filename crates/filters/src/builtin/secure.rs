@@ -1,0 +1,1063 @@
+//! The secure channel filter pair: AEAD sealing as just another filter.
+//!
+//! The paper's vision puts proxies on *untrusted* last-hop links, so the
+//! bytes a proxy ships must be protectable by the same composition
+//! machinery as FEC or transcoding: "crypto is just another filter in the
+//! chain".  [`EncryptFilter`] seals every non-control packet payload with
+//! ChaCha20-Poly1305 (RFC 8439, implemented in-crate — the workspace builds
+//! offline), appending the 16-byte tag through the packet's
+//! length-changing copy-on-write path; [`DecryptFilter`] verifies then
+//! strips, turning any tag, nonce, or key mismatch into a *counted drop* —
+//! never a panic, never a forwarded corrupt frame.
+//!
+//! ## Nonce schedule
+//!
+//! The 12-byte nonce is derived deterministically from the packet identity:
+//! `stream_id (4 bytes BE) || seq (8 bytes BE)`.  Sequence numbers are
+//! unique per stream — FEC parity packets live in a disjoint high band —
+//! so no `(key, nonce)` pair ever repeats within an epoch, and batch and
+//! serial processing orders agree byte-for-byte.  The first 32 bytes of
+//! the wire header ride along as associated data, so a forged header with
+//! a dutifully recomputed CRC still fails authentication.
+//!
+//! ## Key rotation
+//!
+//! Key rotation rides the control-frame path that already carries FIN and
+//! quiescence markers: a [`rekey_packet`] control frame announces `(epoch,
+//! seq boundary)`.  Both filters derive the epoch key locally from their
+//! shared base key — no key material crosses the wire.  [`EncryptFilter`]
+//! installs the epoch and forwards the frame; [`DecryptFilter`] installs
+//! the epoch and consumes it, so downstream consumers never see rotation
+//! plumbing.  Each packet is sealed/opened under the *highest installed
+//! epoch whose boundary does not exceed the packet's seq*, which makes
+//! duplicated or re-ordered rekey frames idempotent, and makes a frame
+//! replayed under a superseded key fail its tag (a counted reject).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rapidware_packet::{Packet, PacketKind};
+
+use crate::error::FilterError;
+use crate::filter::{Filter, FilterDescriptor, FilterOutput};
+
+/// AEAD tag length appended to every sealed payload.
+pub const TAG_LEN: usize = 16;
+
+/// Magic prefix of a rekey control frame payload.
+const REKEY_MAGIC: &[u8; 4] = b"RKEY";
+
+// ---------------------------------------------------------------------------
+// ChaCha20 (RFC 8439 §2.3).
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The initial ChaCha20 state for `(key, counter, nonce)`.
+fn chacha20_state(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for (i, chunk) in key.chunks_exact(4).enumerate() {
+        state[4 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    state[12] = counter;
+    for (i, chunk) in nonce.chunks_exact(4).enumerate() {
+        state[13 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    state
+}
+
+/// The 20-round keystream words for one state (state + rounds, per RFC).
+fn chacha20_words(state: &[u32; 16]) -> [u32; 16] {
+    let mut working = *state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    for (word, initial) in working.iter_mut().zip(state.iter()) {
+        *word = word.wrapping_add(*initial);
+    }
+    working
+}
+
+/// One 64-byte ChaCha20 block.
+fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12], out: &mut [u8; 64]) {
+    let words = chacha20_words(&chacha20_state(key, counter, nonce));
+    for (i, word) in words.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+}
+
+/// XORs the ChaCha20 keystream (starting at `counter`) into `data`.  The
+/// state is built once and only the block counter advances; full 64-byte
+/// chunks are XORed word-wise.
+fn chacha20_xor(key: &[u8; 32], nonce: &[u8; 12], counter: u32, data: &mut [u8]) {
+    let mut state = chacha20_state(key, counter, nonce);
+    let mut chunks = data.chunks_exact_mut(64);
+    for chunk in &mut chunks {
+        let words = chacha20_words(&state);
+        state[12] = state[12].wrapping_add(1);
+        for (i, word) in words.iter().enumerate() {
+            let lane = &mut chunk[i * 4..i * 4 + 4];
+            let mixed =
+                u32::from_le_bytes([lane[0], lane[1], lane[2], lane[3]]) ^ word;
+            lane.copy_from_slice(&mixed.to_le_bytes());
+        }
+    }
+    let tail = chunks.into_remainder();
+    if !tail.is_empty() {
+        let words = chacha20_words(&state);
+        let mut block = [0u8; 64];
+        for (i, word) in words.iter().enumerate() {
+            block[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        for (byte, pad) in tail.iter_mut().zip(block.iter()) {
+            *byte ^= pad;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poly1305 (RFC 8439 §2.5), 44-bit limbs with u128 products, safe integer
+// arithmetic only.
+// ---------------------------------------------------------------------------
+
+/// Low 44 bits of a limb.
+const M44: u64 = 0x0fff_ffff_ffff;
+/// Low 42 bits of the top limb (44 + 44 + 42 = 130).
+const M42: u64 = 0x03ff_ffff_ffff;
+
+struct Poly1305 {
+    r: [u64; 3],
+    s: [u64; 2],
+    h: [u64; 3],
+    /// Bytes of an incomplete block carried between `update` calls.
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    fn new(key: &[u8; 32]) -> Self {
+        let word = |i: usize| {
+            u64::from_le_bytes([
+                key[i],
+                key[i + 1],
+                key[i + 2],
+                key[i + 3],
+                key[i + 4],
+                key[i + 5],
+                key[i + 6],
+                key[i + 7],
+            ])
+        };
+        // Clamp r per the RFC, then split into 44/44/42-bit limbs.
+        let t0 = word(0) & 0x0fff_fffc_0fff_ffff;
+        let t1 = word(8) & 0x0fff_fffc_0fff_fffc;
+        let r = [
+            t0 & M44,
+            ((t0 >> 44) | (t1 << 20)) & M44,
+            (t1 >> 24) & M42,
+        ];
+        let s = [word(16), word(24)];
+        Self {
+            r,
+            s,
+            h: [0; 3],
+            buf: [0; 16],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs one 16-byte block (`hibit` set for full blocks; partial
+    /// final blocks arrive pre-padded with their `0x01` terminator).
+    fn block(&mut self, chunk: &[u8], hibit: u64) {
+        debug_assert_eq!(chunk.len(), 16, "poly1305 blocks are exactly 16 bytes");
+        let word = |i: usize| {
+            u64::from_le_bytes([
+                chunk[i],
+                chunk[i + 1],
+                chunk[i + 2],
+                chunk[i + 3],
+                chunk[i + 4],
+                chunk[i + 5],
+                chunk[i + 6],
+                chunk[i + 7],
+            ])
+        };
+        let t0 = word(0);
+        let t1 = word(8);
+        let h0 = u128::from(self.h[0] + (t0 & M44));
+        let h1 = u128::from(self.h[1] + (((t0 >> 44) | (t1 << 20)) & M44));
+        let h2 = u128::from(self.h[2] + ((t1 >> 24) | hibit));
+
+        // 2^132 ≡ 20 (mod 2^130 - 5), so limbs that overflow the top wrap
+        // back scaled by 20.
+        let r0 = u128::from(self.r[0]);
+        let r1 = u128::from(self.r[1]);
+        let r2 = u128::from(self.r[2]);
+        let s1 = u128::from(self.r[1] * 20);
+        let s2 = u128::from(self.r[2] * 20);
+        let d0 = h0 * r0 + h1 * s2 + h2 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0;
+
+        // Carry propagation back into 44/44/42-bit limbs.
+        let mut carry = (d0 >> 44) as u64;
+        let h0 = (d0 as u64) & M44;
+        let d1 = d1 + u128::from(carry);
+        carry = (d1 >> 44) as u64;
+        let h1 = (d1 as u64) & M44;
+        let d2 = d2 + u128::from(carry);
+        carry = (d2 >> 42) as u64;
+        let h2 = (d2 as u64) & M42;
+        let h0 = h0 + carry * 5;
+        self.h = [h0 & M44, h1 + (h0 >> 44), h2];
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(16 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len < 16 {
+                return;
+            }
+            let full = self.buf;
+            self.block(&full, 1 << 40);
+            self.buf_len = 0;
+        }
+        let mut chunks = rest.chunks_exact(16);
+        for chunk in &mut chunks {
+            self.block(chunk, 1 << 40);
+        }
+        let tail = chunks.remainder();
+        self.buf[..tail.len()].copy_from_slice(tail);
+        self.buf_len = tail.len();
+    }
+
+    fn finish(mut self) -> [u8; 16] {
+        if self.buf_len > 0 {
+            let mut padded = [0u8; 16];
+            padded[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            padded[self.buf_len] = 1;
+            self.block(&padded, 0);
+        }
+        // Full carry and reduction mod 2^130 - 5.
+        let [mut h0, mut h1, mut h2] = self.h;
+        let mut c = h1 >> 44;
+        h1 &= M44;
+        h2 += c;
+        c = h2 >> 42;
+        h2 &= M42;
+        h0 += c * 5;
+        c = h0 >> 44;
+        h0 &= M44;
+        h1 += c;
+        c = h1 >> 44;
+        h1 &= M44;
+        h2 += c;
+        c = h2 >> 42;
+        h2 &= M42;
+        h0 += c * 5;
+        c = h0 >> 44;
+        h0 &= M44;
+        h1 += c;
+
+        // Compute h + -p and select it if h >= p.
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 44;
+        g0 &= M44;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 44;
+        g1 &= M44;
+        let g2 = h2.wrapping_add(c).wrapping_sub(1 << 42);
+        if (g2 >> 63) == 0 {
+            h0 = g0;
+            h1 = g1;
+            h2 = g2 & M42;
+        }
+
+        // Serialise to 128 bits and add s (mod 2^128).
+        let lo = h0 | (h1 << 44);
+        let hi = (h1 >> 20) | (h2 << 24);
+        let mac = (u128::from(hi) << 64) | u128::from(lo);
+        let s = (u128::from(self.s[1]) << 64) | u128::from(self.s[0]);
+        mac.wrapping_add(s).to_le_bytes()
+    }
+}
+
+/// The AEAD tag over `aad` and `ciphertext` (RFC 8439 §2.8 construction).
+fn aead_tag(key: &[u8; 32], nonce: &[u8; 12], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+    // The one-time Poly1305 key is the first 32 bytes of block 0.
+    let mut block = [0u8; 64];
+    chacha20_block(key, 0, nonce, &mut block);
+    let mut otk = [0u8; 32];
+    otk.copy_from_slice(&block[..32]);
+    // The `pad16` filler between MAC sections, sliced from a fixed block.
+    const PAD: [u8; 16] = [0u8; 16];
+    let pad_to_16 = |len: usize| &PAD[..(16 - len % 16) % 16];
+    let mut mac = Poly1305::new(&otk);
+    mac.update(aad);
+    mac.update(pad_to_16(aad.len()));
+    mac.update(ciphertext);
+    mac.update(pad_to_16(ciphertext.len()));
+    let mut lengths = [0u8; 16];
+    lengths[..8].copy_from_slice(&(aad.len() as u64).to_le_bytes());
+    lengths[8..].copy_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+    mac.update(&lengths);
+    mac.finish()
+}
+
+/// Seals `payload` in place: encrypts and appends the 16-byte tag.
+fn aead_seal(key: &[u8; 32], nonce: &[u8; 12], aad: &[u8], payload: &mut Vec<u8>) {
+    chacha20_xor(key, nonce, 1, payload);
+    let tag = aead_tag(key, nonce, aad, payload);
+    payload.extend_from_slice(&tag);
+}
+
+/// Opens a sealed `payload` in place: verifies the trailing tag, strips it,
+/// and decrypts.  Returns `false` (leaving the payload untouched) on any
+/// mismatch.
+fn aead_open(key: &[u8; 32], nonce: &[u8; 12], aad: &[u8], payload: &mut Vec<u8>) -> bool {
+    if payload.len() < TAG_LEN {
+        return false;
+    }
+    let split = payload.len() - TAG_LEN;
+    let expected = aead_tag(key, nonce, aad, &payload[..split]);
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(&payload[split..]) {
+        diff |= a ^ b;
+    }
+    if diff != 0 {
+        return false;
+    }
+    payload.truncate(split);
+    chacha20_xor(key, nonce, 1, payload);
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Key schedule.
+// ---------------------------------------------------------------------------
+
+/// Expands the configured `u64` key into the 32-byte base key.
+fn base_key(key: u64) -> [u8; 32] {
+    // A splitmix-style expansion: deterministic, byte-diffuse, and
+    // reproducible on both ends from the shared integer key.
+    let mut state = key;
+    let mut out = [0u8; 32];
+    for chunk in out.chunks_exact_mut(8) {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        chunk.copy_from_slice(&z.to_le_bytes());
+    }
+    out
+}
+
+/// Derives the per-epoch traffic key from the base key.
+///
+/// Every epoch key — including epoch 0 — is one ChaCha20 block of the base
+/// key under a reserved derivation nonce, so the base key itself never
+/// encrypts traffic and no epoch key ever crosses the wire.
+fn epoch_key(base: &[u8; 32], epoch: u32) -> [u8; 32] {
+    let mut block = [0u8; 64];
+    chacha20_block(base, epoch, b"rekey-derive", &mut block);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&block[..32]);
+    out
+}
+
+/// The 12-byte AEAD nonce for a packet: `stream (4 BE) || seq (8 BE)`.
+fn packet_nonce(packet: &Packet) -> [u8; 12] {
+    let mut nonce = [0u8; 12];
+    nonce[..4].copy_from_slice(&packet.stream().value().to_be_bytes());
+    nonce[4..].copy_from_slice(&packet.seq().value().to_be_bytes());
+    nonce
+}
+
+// ---------------------------------------------------------------------------
+// Rekey control frames.
+// ---------------------------------------------------------------------------
+
+/// Builds the control frame announcing a key rotation on `packet`'s stream:
+/// from `boundary` onwards, seal under `epoch`.
+///
+/// The frame rides the same path as FIN and quiescence markers (it is a
+/// [`PacketKind::Control`] packet on the *data stream's own id*), its seq is
+/// the boundary itself, and its payload is `b"RKEY" || epoch (4 BE) ||
+/// boundary (8 BE)`.  Inject it into the stream immediately before the
+/// first packet of the new epoch.
+pub fn rekey_packet(
+    stream: rapidware_packet::StreamId,
+    epoch: u32,
+    boundary: u64,
+    timestamp_us: u64,
+) -> Packet {
+    let mut payload = Vec::with_capacity(16);
+    payload.extend_from_slice(REKEY_MAGIC);
+    payload.extend_from_slice(&epoch.to_be_bytes());
+    payload.extend_from_slice(&boundary.to_be_bytes());
+    Packet::with_timestamp(
+        stream,
+        rapidware_packet::SeqNo::new(boundary),
+        PacketKind::Control,
+        timestamp_us,
+        payload,
+    )
+}
+
+/// Parses a rekey control frame; returns `(epoch, boundary)` if `packet` is
+/// one.
+pub fn parse_rekey(packet: &Packet) -> Option<(u32, u64)> {
+    if packet.kind() != PacketKind::Control || packet.payload_len() != 16 {
+        return None;
+    }
+    let payload = packet.payload();
+    if &payload[..4] != REKEY_MAGIC {
+        return None;
+    }
+    let epoch = u32::from_be_bytes([payload[4], payload[5], payload[6], payload[7]]);
+    let boundary = u64::from_be_bytes([
+        payload[8], payload[9], payload[10], payload[11], payload[12], payload[13],
+        payload[14], payload[15],
+    ]);
+    Some((epoch, boundary))
+}
+
+// ---------------------------------------------------------------------------
+// Shared counters.
+// ---------------------------------------------------------------------------
+
+/// Shared counters describing what a secure channel filter has done.
+///
+/// Both [`EncryptFilter`] and [`DecryptFilter`] expose one of these through
+/// [`Filter::secure_stats`], so chains, sessions, and the proxy status
+/// surface can aggregate seal/reject totals without reaching into worker
+/// threads.
+#[derive(Debug, Default)]
+pub struct SecureChannelStats {
+    sealed: AtomicU64,
+    opened: AtomicU64,
+    rejected: AtomicU64,
+    rekeys: AtomicU64,
+}
+
+impl SecureChannelStats {
+    /// Payloads sealed (encrypted and tagged).
+    pub fn sealed(&self) -> u64 {
+        self.sealed.load(Ordering::Relaxed)
+    }
+
+    /// Payloads verified and opened.
+    pub fn opened(&self) -> u64 {
+        self.opened.load(Ordering::Relaxed)
+    }
+
+    /// Frames rejected: tag mismatch, truncation, or a stale key.  Rejected
+    /// frames are dropped, never forwarded.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Rekey control frames observed and installed.
+    pub fn rekeys(&self) -> u64 {
+        self.rekeys.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> SecureChannelSnapshot {
+        SecureChannelSnapshot {
+            sealed: self.sealed(),
+            opened: self.opened(),
+            rejected: self.rejected(),
+            rekeys: self.rekeys(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`SecureChannelStats`], summable across the
+/// filters of a chain or the chains of a proxy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SecureChannelSnapshot {
+    /// Payloads sealed.
+    pub sealed: u64,
+    /// Payloads verified and opened.
+    pub opened: u64,
+    /// Frames rejected and dropped.
+    pub rejected: u64,
+    /// Rekey frames installed.
+    pub rekeys: u64,
+}
+
+impl SecureChannelSnapshot {
+    /// Accumulates another snapshot into this one.
+    pub fn merge(&mut self, other: SecureChannelSnapshot) {
+        self.sealed += other.sealed;
+        self.opened += other.opened;
+        self.rejected += other.rejected;
+        self.rekeys += other.rekeys;
+    }
+
+    /// `true` if every counter is zero (no secure filter did any work).
+    pub fn is_empty(&self) -> bool {
+        *self == SecureChannelSnapshot::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The epoch table shared by both filters.
+// ---------------------------------------------------------------------------
+
+/// Installed epochs, newest last; every entry is `(epoch, boundary, key)`.
+struct EpochTable {
+    base: [u8; 32],
+    epochs: Vec<(u32, u64, [u8; 32])>,
+}
+
+impl EpochTable {
+    fn new(key: u64) -> Self {
+        let base = base_key(key);
+        let initial = epoch_key(&base, 0);
+        Self {
+            base,
+            epochs: vec![(0, 0, initial)],
+        }
+    }
+
+    /// Installs `(epoch, boundary)`; duplicated or re-ordered rekey frames
+    /// are idempotent.
+    fn install(&mut self, epoch: u32, boundary: u64) -> bool {
+        if self.epochs.iter().any(|(e, _, _)| *e == epoch) {
+            return false;
+        }
+        let key = epoch_key(&self.base, epoch);
+        self.epochs.push((epoch, boundary, key));
+        self.epochs.sort_by_key(|(e, _, _)| *e);
+        true
+    }
+
+    /// The key for `seq`: the highest installed epoch whose boundary does
+    /// not exceed `seq`.  Old keys stay installed so re-ordered
+    /// pre-boundary frames still open.
+    fn key_for(&self, seq: u64) -> &[u8; 32] {
+        self.epochs
+            .iter()
+            .rev()
+            .find(|(_, boundary, _)| *boundary <= seq)
+            .map(|(_, _, key)| key)
+            .unwrap_or(&self.epochs[0].2)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The filters.
+// ---------------------------------------------------------------------------
+
+/// AEAD-seals every non-control packet payload in place.
+///
+/// Control frames (quiescence markers, FINs) pass through untouched; a
+/// [`rekey_packet`] control frame additionally installs its epoch and is
+/// *forwarded*, so the paired [`DecryptFilter`] downstream — or across the
+/// untrusted hop — observes the same rotation.
+pub struct EncryptFilter {
+    name: String,
+    table: EpochTable,
+    stats: Arc<SecureChannelStats>,
+}
+
+/// Verifies and strips the AEAD seal applied by [`EncryptFilter`].
+///
+/// Any tag mismatch — a flipped bit anywhere in header or payload, a
+/// truncated frame, a replay under a superseded key — is a counted drop:
+/// the frame is discarded, `rejected` is incremented, and neighbouring
+/// frames in the same batch are unaffected.  Rekey control frames are
+/// installed and *consumed*, so downstream consumers never see rotation
+/// plumbing.
+pub struct DecryptFilter {
+    name: String,
+    table: EpochTable,
+    stats: Arc<SecureChannelStats>,
+}
+
+impl std::fmt::Debug for EncryptFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EncryptFilter")
+            .field("name", &self.name)
+            .field("sealed", &self.stats.sealed())
+            .field("epochs", &self.table.epochs.len())
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for DecryptFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecryptFilter")
+            .field("name", &self.name)
+            .field("opened", &self.stats.opened())
+            .field("rejected", &self.stats.rejected())
+            .field("epochs", &self.table.epochs.len())
+            .finish()
+    }
+}
+
+impl EncryptFilter {
+    /// Creates an encrypting filter keyed by `key`.
+    pub fn new(key: u64) -> Self {
+        Self {
+            name: format!("encrypt(key={key:#x})"),
+            table: EpochTable::new(key),
+            stats: Arc::new(SecureChannelStats::default()),
+        }
+    }
+
+    /// A handle to the filter's counters.
+    pub fn stats(&self) -> Arc<SecureChannelStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+impl DecryptFilter {
+    /// Creates a verifying filter keyed by `key`.
+    pub fn new(key: u64) -> Self {
+        Self {
+            name: format!("decrypt(key={key:#x})"),
+            table: EpochTable::new(key),
+            stats: Arc::new(SecureChannelStats::default()),
+        }
+    }
+
+    /// A handle to the filter's counters.
+    pub fn stats(&self) -> Arc<SecureChannelStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+impl Filter for EncryptFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, mut packet: Packet, out: &mut dyn FilterOutput) -> Result<(), FilterError> {
+        if packet.kind() == PacketKind::Control {
+            if let Some((epoch, boundary)) = parse_rekey(&packet) {
+                if self.table.install(epoch, boundary) {
+                    self.stats.rekeys.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            out.emit(packet);
+            return Ok(());
+        }
+        let nonce = packet_nonce(&packet);
+        let aad = packet.aad_bytes();
+        let key = *self.table.key_for(packet.seq().value());
+        packet.payload_edit(|payload| aead_seal(&key, &nonce, &aad, payload));
+        self.stats.sealed.fetch_add(1, Ordering::Relaxed);
+        out.emit(packet);
+        Ok(())
+    }
+
+    fn descriptor(&self) -> FilterDescriptor {
+        FilterDescriptor {
+            name: self.name.clone(),
+            kind: "encrypt".to_string(),
+            parameters: "aead=chacha20-poly1305".to_string(),
+        }
+    }
+
+    fn secure_stats(&self) -> Option<Arc<SecureChannelStats>> {
+        Some(Arc::clone(&self.stats))
+    }
+}
+
+impl Filter for DecryptFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, mut packet: Packet, out: &mut dyn FilterOutput) -> Result<(), FilterError> {
+        if packet.kind() == PacketKind::Control {
+            if let Some((epoch, boundary)) = parse_rekey(&packet) {
+                if self.table.install(epoch, boundary) {
+                    self.stats.rekeys.fetch_add(1, Ordering::Relaxed);
+                }
+                // Consumed: rotation plumbing never reaches a sink.
+                return Ok(());
+            }
+            out.emit(packet);
+            return Ok(());
+        }
+        let nonce = packet_nonce(&packet);
+        let aad = packet.aad_bytes();
+        let key = *self.table.key_for(packet.seq().value());
+        let mut verified = false;
+        packet.payload_edit(|payload| {
+            verified = aead_open(&key, &nonce, &aad, payload);
+        });
+        if verified {
+            self.stats.opened.fetch_add(1, Ordering::Relaxed);
+            out.emit(packet);
+        } else {
+            // A counted drop: never a panic, never a forwarded corrupt
+            // frame, and the rest of the batch is untouched.
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn descriptor(&self) -> FilterDescriptor {
+        FilterDescriptor {
+            name: self.name.clone(),
+            kind: "decrypt".to_string(),
+            parameters: "aead=chacha20-poly1305".to_string(),
+        }
+    }
+
+    fn secure_stats(&self) -> Option<Arc<SecureChannelStats>> {
+        Some(Arc::clone(&self.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidware_packet::{SeqNo, StreamId};
+
+    // -- RFC 8439 test vectors ---------------------------------------------
+
+    #[test]
+    fn chacha20_block_matches_rfc8439_vector() {
+        // RFC 8439 §2.3.2.
+        let mut key = [0u8; 32];
+        for (i, byte) in key.iter_mut().enumerate() {
+            *byte = i as u8;
+        }
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut out = [0u8; 64];
+        chacha20_block(&key, 1, &nonce, &mut out);
+        let expected: [u8; 64] = [
+            0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+            0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0, 0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a,
+            0xc3, 0xd4, 0x6c, 0x4e, 0xd2, 0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2,
+            0xd7, 0x05, 0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9,
+            0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e,
+        ];
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn poly1305_matches_rfc8439_vector() {
+        // RFC 8439 §2.5.2.
+        let key: [u8; 32] = [
+            0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5,
+            0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf,
+            0x41, 0x49, 0xf5, 0x1b,
+        ];
+        let mut mac = Poly1305::new(&key);
+        mac.update(b"Cryptographic Forum Research Group");
+        let expected: [u8; 16] = [
+            0xa8, 0x06, 0x1d, 0xc1, 0x30, 0x51, 0x36, 0xc6, 0xc2, 0x2b, 0x8b, 0xaf, 0x0c, 0x01,
+            0x27, 0xa9,
+        ];
+        assert_eq!(mac.finish(), expected);
+    }
+
+    #[test]
+    fn aead_matches_rfc8439_vector() {
+        // RFC 8439 §2.8.2.
+        let mut key = [0u8; 32];
+        for (i, byte) in key.iter_mut().enumerate() {
+            *byte = 0x80 + i as u8;
+        }
+        let nonce: [u8; 12] = [
+            0x07, 0x00, 0x00, 0x00, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+        ];
+        let aad: [u8; 12] = [
+            0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
+        ];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let mut payload = plaintext.to_vec();
+        aead_seal(&key, &nonce, &aad, &mut payload);
+        assert_eq!(
+            &payload[..16],
+            &[
+                0xd3, 0x1a, 0x8d, 0x34, 0x64, 0x8e, 0x60, 0xdb, 0x7b, 0x86, 0xaf, 0xbc, 0x53,
+                0xef, 0x7e, 0xc2
+            ],
+            "ciphertext prefix"
+        );
+        assert_eq!(
+            &payload[payload.len() - TAG_LEN..],
+            &[
+                0x1a, 0xe1, 0x0b, 0x59, 0x4f, 0x09, 0xe2, 0x6a, 0x7e, 0x90, 0x2e, 0xcb, 0xd0,
+                0x60, 0x06, 0x91
+            ],
+            "tag"
+        );
+        assert!(aead_open(&key, &nonce, &aad, &mut payload));
+        assert_eq!(payload, plaintext);
+    }
+
+    // -- Filter behaviour --------------------------------------------------
+
+    fn packet(seq: u64, payload: Vec<u8>) -> Packet {
+        Packet::new(StreamId::new(1), SeqNo::new(seq), PacketKind::AudioData, payload)
+    }
+
+    fn seal_one(encrypt: &mut EncryptFilter, p: Packet) -> Packet {
+        let mut out: Vec<Packet> = Vec::new();
+        encrypt.process(p, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        out.pop().unwrap()
+    }
+
+    #[test]
+    fn encrypt_then_decrypt_round_trips() {
+        let mut encrypt = EncryptFilter::new(0x5EED);
+        let mut decrypt = DecryptFilter::new(0x5EED);
+        let original = packet(7, (0..100u8).collect());
+        let sealed = seal_one(&mut encrypt, original.clone());
+        assert_eq!(sealed.payload_len(), original.payload_len() + TAG_LEN);
+        assert_ne!(&sealed.payload()[..100], original.payload());
+        let mut out: Vec<Packet> = Vec::new();
+        decrypt.process(sealed, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], original);
+        assert_eq!(encrypt.stats().sealed(), 1);
+        assert_eq!(decrypt.stats().opened(), 1);
+        assert_eq!(decrypt.stats().rejected(), 0);
+    }
+
+    #[test]
+    fn sealing_does_not_leak_into_fanout_siblings() {
+        let original = packet(3, vec![9u8; 64]);
+        let sibling = original.clone();
+        let mut encrypt = EncryptFilter::new(1);
+        let sealed = seal_one(&mut encrypt, original);
+        assert_eq!(sibling.payload(), &[9u8; 64], "sibling keeps the plaintext");
+        assert!(!sealed.shares_payload_with(&sibling));
+    }
+
+    #[test]
+    fn tampered_payload_is_rejected_not_forwarded() {
+        let mut encrypt = EncryptFilter::new(2);
+        let mut decrypt = DecryptFilter::new(2);
+        let mut sealed = seal_one(&mut encrypt, packet(1, vec![5u8; 40]));
+        sealed.payload_mut()[10] ^= 0x01;
+        let mut out: Vec<Packet> = Vec::new();
+        decrypt.process(sealed, &mut out).unwrap();
+        assert!(out.is_empty(), "corrupt frame must not be forwarded");
+        assert_eq!(decrypt.stats().rejected(), 1);
+    }
+
+    #[test]
+    fn tampered_header_is_rejected_via_aad() {
+        let mut encrypt = EncryptFilter::new(2);
+        let mut decrypt = DecryptFilter::new(2);
+        let sealed = seal_one(&mut encrypt, packet(1, vec![5u8; 40]));
+        // Forge the timestamp; the CRC would be recomputed by an attacker,
+        // but the AAD binding still catches it.
+        let mut header = *sealed.header();
+        header.timestamp_us ^= 1;
+        let forged = Packet::from_parts(header, sealed.payload_bytes());
+        let mut out: Vec<Packet> = Vec::new();
+        decrypt.process(forged, &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(decrypt.stats().rejected(), 1);
+    }
+
+    #[test]
+    fn truncated_and_undersized_frames_are_rejected() {
+        let mut encrypt = EncryptFilter::new(2);
+        let mut decrypt = DecryptFilter::new(2);
+        let sealed = seal_one(&mut encrypt, packet(1, vec![5u8; 40]));
+        let mut truncated = sealed.clone();
+        truncated.payload_edit(|p| p.truncate(p.len() - 1));
+        let tiny = sealed.with_payload(vec![1u8; TAG_LEN - 1]);
+        let mut out: Vec<Packet> = Vec::new();
+        decrypt.process(truncated, &mut out).unwrap();
+        decrypt.process(tiny, &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(decrypt.stats().rejected(), 2);
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let mut encrypt = EncryptFilter::new(10);
+        let mut decrypt = DecryptFilter::new(11);
+        let sealed = seal_one(&mut encrypt, packet(1, vec![5u8; 40]));
+        let mut out: Vec<Packet> = Vec::new();
+        decrypt.process(sealed, &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(decrypt.stats().rejected(), 1);
+    }
+
+    #[test]
+    fn control_frames_pass_untouched() {
+        let mut encrypt = EncryptFilter::new(3);
+        let control =
+            Packet::new(StreamId::new(1), SeqNo::new(0), PacketKind::Control, vec![1, 2, 3]);
+        let mut out: Vec<Packet> = Vec::new();
+        encrypt.process(control.clone(), &mut out).unwrap();
+        assert_eq!(out[0], control);
+        assert_eq!(encrypt.stats().sealed(), 0);
+    }
+
+    #[test]
+    fn rekey_rotates_the_epoch_at_the_boundary() {
+        let mut encrypt = EncryptFilter::new(4);
+        let mut decrypt = DecryptFilter::new(4);
+        let before = packet(5, vec![1u8; 32]);
+        let after = packet(10, vec![2u8; 32]);
+
+        let sealed_before = seal_one(&mut encrypt, before.clone());
+        let rekey = rekey_packet(StreamId::new(1), 1, 8, 0);
+        let mut mid: Vec<Packet> = Vec::new();
+        encrypt.process(rekey, &mut mid).unwrap();
+        assert_eq!(mid.len(), 1, "encrypt forwards the rekey frame");
+        let sealed_after = seal_one(&mut encrypt, after.clone());
+
+        let mut out: Vec<Packet> = Vec::new();
+        decrypt.process(sealed_before, &mut out).unwrap();
+        decrypt.process(mid.pop().unwrap(), &mut out).unwrap();
+        decrypt.process(sealed_after, &mut out).unwrap();
+        assert_eq!(out, vec![before, after], "rekey frame consumed, data intact");
+        assert_eq!(encrypt.stats().rekeys(), 1);
+        assert_eq!(decrypt.stats().rekeys(), 1);
+    }
+
+    #[test]
+    fn duplicated_and_reordered_rekeys_are_idempotent() {
+        let mut decrypt = DecryptFilter::new(4);
+        let mut out: Vec<Packet> = Vec::new();
+        decrypt.process(rekey_packet(StreamId::new(1), 2, 20, 0), &mut out).unwrap();
+        decrypt.process(rekey_packet(StreamId::new(1), 1, 10, 0), &mut out).unwrap();
+        decrypt.process(rekey_packet(StreamId::new(1), 2, 20, 0), &mut out).unwrap();
+        assert!(out.is_empty(), "all rekey copies consumed");
+        assert_eq!(decrypt.stats().rekeys(), 2, "one install per distinct epoch");
+    }
+
+    #[test]
+    fn replay_under_a_stale_key_is_rejected() {
+        let mut encrypt = EncryptFilter::new(4);
+        let mut decrypt = DecryptFilter::new(4);
+        // Seal seq 10 under epoch 0, then rotate at boundary 8.  Replaying
+        // the stale seal after the rotation must fail: the receiver now
+        // opens seq >= 8 under epoch 1.
+        let stale = seal_one(&mut encrypt, packet(10, vec![3u8; 32]));
+        let mut out: Vec<Packet> = Vec::new();
+        decrypt.process(rekey_packet(StreamId::new(1), 1, 8, 0), &mut out).unwrap();
+        decrypt.process(stale, &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(decrypt.stats().rejected(), 1);
+
+        // But a pre-boundary frame sealed under epoch 0 still opens: old
+        // keys stay installed for re-ordered stragglers.
+        let straggler = packet(5, vec![4u8; 32]);
+        let sealed = seal_one(&mut encrypt, straggler.clone());
+        decrypt.process(sealed, &mut out).unwrap();
+        assert_eq!(out, vec![straggler]);
+    }
+
+    #[test]
+    fn parity_band_seqs_use_distinct_nonces() {
+        // FEC parity seqs live at u64::MAX/2 + …, so their nonces never
+        // collide with source-packet nonces.
+        let source = packet(0, vec![1]);
+        let parity_seq = u64::MAX / 2;
+        let parity = packet(parity_seq, vec![1]);
+        assert_ne!(packet_nonce(&source), packet_nonce(&parity));
+    }
+
+    #[test]
+    fn rekey_frames_parse_and_reject_lookalikes() {
+        let frame = rekey_packet(StreamId::new(9), 3, 1_000, 42);
+        assert_eq!(parse_rekey(&frame), Some((3, 1_000)));
+        assert_eq!(frame.seq().value(), 1_000);
+        assert_eq!(frame.timestamp_us(), 42);
+        let not_control = packet(0, frame.payload().to_vec());
+        assert_eq!(parse_rekey(&not_control), None);
+        let wrong_magic = Packet::new(
+            StreamId::new(9),
+            SeqNo::new(0),
+            PacketKind::Control,
+            vec![0u8; 16],
+        );
+        assert_eq!(parse_rekey(&wrong_magic), None);
+        let empty =
+            Packet::new(StreamId::new(9), SeqNo::new(0), PacketKind::Control, Vec::new());
+        assert_eq!(parse_rekey(&empty), None);
+    }
+
+    #[test]
+    fn batch_and_serial_orders_agree() {
+        let packets: Vec<Packet> = (0..20).map(|s| packet(s, vec![s as u8; 48])).collect();
+        let mut serial_out: Vec<Packet> = Vec::new();
+        let mut encrypt = EncryptFilter::new(7);
+        for p in packets.clone() {
+            encrypt.process(p, &mut serial_out).unwrap();
+        }
+        let mut batch_out: Vec<Packet> = Vec::new();
+        let mut encrypt = EncryptFilter::new(7);
+        encrypt.process_batch(packets, &mut batch_out).unwrap();
+        assert_eq!(serial_out, batch_out);
+    }
+
+    #[test]
+    fn snapshots_merge() {
+        let stats = SecureChannelStats::default();
+        stats.sealed.fetch_add(3, Ordering::Relaxed);
+        stats.rejected.fetch_add(1, Ordering::Relaxed);
+        let mut total = SecureChannelSnapshot::default();
+        assert!(total.is_empty());
+        total.merge(stats.snapshot());
+        total.merge(SecureChannelSnapshot {
+            sealed: 0,
+            opened: 2,
+            rejected: 0,
+            rekeys: 1,
+        });
+        assert_eq!(
+            total,
+            SecureChannelSnapshot {
+                sealed: 3,
+                opened: 2,
+                rejected: 1,
+                rekeys: 1
+            }
+        );
+        assert!(!total.is_empty());
+    }
+
+    #[test]
+    fn descriptors_mention_kind() {
+        assert_eq!(EncryptFilter::new(1).descriptor().kind, "encrypt");
+        assert_eq!(DecryptFilter::new(1).descriptor().kind, "decrypt");
+        assert!(!format!("{:?}", EncryptFilter::new(1)).is_empty());
+        assert!(!format!("{:?}", DecryptFilter::new(1)).is_empty());
+    }
+}

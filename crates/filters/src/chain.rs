@@ -136,6 +136,19 @@ impl FilterChain {
         std::mem::take(&mut self.events)
     }
 
+    /// Aggregated seal/reject counters across every secure-channel filter
+    /// in the chain (active and pending); all-zero when the chain carries
+    /// no crypto stage.
+    pub fn secure_snapshot(&self) -> crate::SecureChannelSnapshot {
+        let mut total = crate::SecureChannelSnapshot::default();
+        for filter in self.filters.iter().chain(self.pending.iter().map(|p| &p.filter)) {
+            if let Some(stats) = filter.secure_stats() {
+                total.merge(stats.snapshot());
+            }
+        }
+        total
+    }
+
     /// Appends a filter at the end of the chain.
     ///
     /// # Errors
@@ -712,6 +725,21 @@ mod tests {
         assert_eq!(out.len(), 5);
         assert_eq!(chain.packets_in(), 5);
         assert_eq!(chain.packets_out(), 5);
+    }
+
+    #[test]
+    fn secure_snapshot_sums_the_crypto_stages() {
+        use crate::{DecryptFilter, EncryptFilter};
+        let mut chain = FilterChain::new();
+        chain.push_back(Box::new(EncryptFilter::new(0xFEED))).unwrap();
+        chain.push_back(Box::new(DecryptFilter::new(0xFEED))).unwrap();
+        assert!(chain.secure_snapshot().is_empty());
+        let out = chain.process(audio_packet(0)).unwrap();
+        assert_eq!(out.len(), 1);
+        let snapshot = chain.secure_snapshot();
+        assert_eq!(snapshot.sealed, 1);
+        assert_eq!(snapshot.opened, 1);
+        assert_eq!(snapshot.rejected, 0);
     }
 
     #[test]

@@ -156,6 +156,17 @@ pub trait Filter: Send {
             parameters: String::new(),
         }
     }
+
+    /// Shared seal/reject counters, for filters that are part of a secure
+    /// channel (see [`SecureChannelStats`](crate::SecureChannelStats)).
+    ///
+    /// The proxy runtimes move filters onto worker threads at insertion
+    /// time, so status surfaces capture this handle *before* the move and
+    /// aggregate from it afterwards.  Filters with no crypto role return
+    /// `None` (the default).
+    fn secure_stats(&self) -> Option<std::sync::Arc<crate::SecureChannelStats>> {
+        None
+    }
 }
 
 impl fmt::Debug for dyn Filter {

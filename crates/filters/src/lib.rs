@@ -20,7 +20,9 @@
 //!   a run-length compressor pair ([`CompressorFilter`],
 //!   [`DecompressorFilter`]), a priority-based rate limiter
 //!   ([`RateLimiterFilter`]), a payload scrambler pair ([`ScramblerFilter`],
-//!   [`DescramblerFilter`]), a counting tap ([`TapFilter`]), the identity
+//!   [`DescramblerFilter`]), an AEAD secure-channel pair ([`EncryptFilter`],
+//!   [`DecryptFilter`] — ChaCha20-Poly1305 with control-frame key
+//!   rotation), a counting tap ([`TapFilter`]), the identity
 //!   [`NullFilter`], and fault-injection filters ([`DropEveryNth`],
 //!   [`DuplicateFilter`], [`ReorderFilter`]).
 //!
@@ -66,6 +68,10 @@ pub use builtin::fec_encode::FecEncoderFilter;
 pub use builtin::null::NullFilter;
 pub use builtin::ratelimit::RateLimiterFilter;
 pub use builtin::scramble::{DescramblerFilter, ScramblerFilter};
+pub use builtin::secure::{
+    parse_rekey, rekey_packet, DecryptFilter, EncryptFilter, SecureChannelSnapshot,
+    SecureChannelStats, TAG_LEN,
+};
 pub use builtin::tap::{TapCounters, TapFilter};
 pub use builtin::transcode::{AudioTranscoderFilter, TranscodeMode};
 pub use chain::{ChainEvent, FilterChain};

@@ -196,6 +196,73 @@ impl Packet {
         self.payload.len()
     }
 
+    /// Replaces the payload via an arbitrary (possibly length-changing)
+    /// edit, with copy-on-write semantics.
+    ///
+    /// [`payload_mut`](Self::payload_mut) hands out a fixed-length slice, so
+    /// filters that grow or shrink the payload — an AEAD seal appending its
+    /// 16-byte tag, a verifier stripping it — cannot use it.  This method
+    /// copies the payload into a scratch `Vec`, applies `edit`, and installs
+    /// the result as a fresh private buffer.  Sibling packets sharing the old
+    /// buffer (a multicast fan-out) are never affected: the old allocation is
+    /// released, not written through.
+    ///
+    /// ```
+    /// use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+    ///
+    /// let original = Packet::new(StreamId::new(1), SeqNo::new(0), PacketKind::Data, vec![1, 2, 3]);
+    /// let mut sealed = original.clone(); // shares the payload buffer
+    /// sealed.payload_edit(|buf| buf.extend_from_slice(&[0xAA; 16]));
+    /// assert_eq!(original.payload(), &[1, 2, 3], "sibling unaffected");
+    /// assert_eq!(sealed.payload_len(), 19);
+    /// ```
+    pub fn payload_edit(&mut self, edit: impl FnOnce(&mut Vec<u8>)) {
+        // One AEAD tag of slack, so the common grow-by-tag edit appends
+        // without a second allocation-and-copy of the whole payload.
+        let mut buf = Vec::with_capacity(self.payload.len() + 16);
+        buf.extend_from_slice(&self.payload);
+        edit(&mut buf);
+        self.payload = Bytes::from(buf);
+    }
+
+    /// The header bytes covered as associated data by an AEAD seal: the
+    /// first 32 bytes of the wire header (stream id, sequence number,
+    /// timestamp, kind tag, aux bytes, parity block id), excluding the
+    /// payload-length and CRC fields, which legitimately change when a
+    /// filter rewrites the payload.
+    ///
+    /// Binding these bytes into the tag means a forged header — even one
+    /// with a dutifully recomputed CRC — fails authentication.
+    pub fn aad_bytes(&self) -> [u8; 32] {
+        let mut aad = [0u8; 32];
+        aad[0..4].copy_from_slice(&self.header.stream.value().to_be_bytes());
+        aad[4..12].copy_from_slice(&self.header.seq.value().to_be_bytes());
+        aad[12..20].copy_from_slice(&self.header.timestamp_us.to_be_bytes());
+        aad[20] = self.header.kind.tag();
+        let (aux0, aux1, aux2, block) = self.aux_fields();
+        aad[21] = aux0;
+        aad[22] = aux1;
+        aad[23] = aux2;
+        aad[24..32].copy_from_slice(&block.to_be_bytes());
+        aad
+    }
+
+    /// The kind-dependent aux bytes and block id as they appear on the wire.
+    fn aux_fields(&self) -> (u8, u8, u8, u64) {
+        match self.header.kind {
+            PacketKind::VideoFrame { frame, boundary } => {
+                let frame_byte = match frame {
+                    FrameType::I => 0u8,
+                    FrameType::P => 1,
+                    FrameType::B => 2,
+                };
+                (frame_byte, u8::from(boundary), 0u8, 0u64)
+            }
+            PacketKind::Parity { block, index, k, n } => (index, k, n, block.value()),
+            _ => (0, 0, 0, 0),
+        }
+    }
+
     /// Mutable access to the payload with copy-on-write semantics.
     ///
     /// Packets cloned for a multicast fan-out share one `Arc`-backed payload
@@ -293,18 +360,7 @@ impl Packet {
         buf.put_u64(self.header.seq.value());
         buf.put_u64(self.header.timestamp_us);
         buf.put_u8(self.header.kind.tag());
-        let (aux0, aux1, aux2, block) = match self.header.kind {
-            PacketKind::VideoFrame { frame, boundary } => {
-                let frame_byte = match frame {
-                    FrameType::I => 0u8,
-                    FrameType::P => 1,
-                    FrameType::B => 2,
-                };
-                (frame_byte, u8::from(boundary), 0u8, 0u64)
-            }
-            PacketKind::Parity { block, index, k, n } => (index, k, n, block.value()),
-            _ => (0, 0, 0, 0),
-        };
+        let (aux0, aux1, aux2, block) = self.aux_fields();
         buf.put_u8(aux0);
         buf.put_u8(aux1);
         buf.put_u8(aux2);
@@ -539,6 +595,49 @@ mod tests {
         let before = fanned.payload().as_ptr();
         fanned.payload_mut()[0] = 7;
         assert_eq!(fanned.payload().as_ptr(), before);
+    }
+
+    #[test]
+    fn payload_edit_is_copy_on_write_for_length_changes() {
+        let original =
+            Packet::new(StreamId::new(1), SeqNo::new(0), PacketKind::Data, vec![1u8, 2, 3]);
+        let mut sealed = original.clone();
+        assert!(sealed.shares_payload_with(&original));
+        sealed.payload_edit(|buf| buf.extend_from_slice(&[7u8; 16]));
+        assert_eq!(original.payload(), &[1, 2, 3], "sibling unaffected by the grow");
+        assert_eq!(sealed.payload_len(), 19);
+        assert!(!sealed.shares_payload_with(&original));
+        // Shrinking works the same way.
+        sealed.payload_edit(|buf| buf.truncate(3));
+        assert_eq!(sealed.payload(), &[1, 2, 3]);
+        // An edited packet still round-trips on the wire.
+        assert_eq!(Packet::decode(&sealed.encode()).unwrap(), sealed);
+    }
+
+    #[test]
+    fn aad_bytes_match_the_wire_header_prefix() {
+        for kind in sample_kinds() {
+            let packet = Packet::with_timestamp(
+                StreamId::new(9),
+                SeqNo::new(123_456),
+                kind,
+                987_654_321,
+                vec![1, 2, 3],
+            );
+            let wire = packet.encode();
+            assert_eq!(&packet.aad_bytes()[..], &wire[..32], "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn aad_bytes_distinguish_header_fields() {
+        let base = Packet::new(StreamId::new(1), SeqNo::new(7), PacketKind::Data, vec![1]);
+        let other_stream = Packet::new(StreamId::new(2), SeqNo::new(7), PacketKind::Data, vec![1]);
+        let other_seq = Packet::new(StreamId::new(1), SeqNo::new(8), PacketKind::Data, vec![1]);
+        let other_kind = Packet::new(StreamId::new(1), SeqNo::new(7), PacketKind::AudioData, vec![1]);
+        assert_ne!(base.aad_bytes(), other_stream.aad_bytes());
+        assert_ne!(base.aad_bytes(), other_seq.aad_bytes());
+        assert_ne!(base.aad_bytes(), other_kind.aad_bytes());
     }
 
     #[test]

@@ -224,6 +224,16 @@ impl fmt::Display for Response {
                         write!(f, " unknown-stream={}", transport.unknown_streams)?;
                     }
                 }
+                if !status.secure.is_empty() {
+                    write!(
+                        f,
+                        " secure=sealed:{} opened:{} rejected:{} rekeys:{}",
+                        status.secure.sealed,
+                        status.secure.opened,
+                        status.secure.rejected,
+                        status.secure.rekeys,
+                    )?;
+                }
                 if let Some(runtime) = &status.runtime {
                     write!(
                         f,

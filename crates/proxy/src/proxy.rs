@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use rapidware_filters::Filter;
+use rapidware_filters::{Filter, SecureChannelSnapshot};
 use rapidware_packet::Packet;
 use rapidware_streams::{DetachableReceiver, DetachableSender};
 
@@ -36,6 +36,9 @@ pub struct StreamStatus {
     /// `true` if this stream runs on the sharded worker pool instead of
     /// thread-per-filter.
     pub pooled: bool,
+    /// Secure-channel counters summed over this chain's crypto stages
+    /// (all-zero when the chain carries plaintext).
+    pub secure: SecureChannelSnapshot,
 }
 
 /// One stream's chain, on whichever runtime the caller placed it:
@@ -84,6 +87,13 @@ impl StreamChain {
         }
     }
 
+    fn secure_snapshot(&self) -> SecureChannelSnapshot {
+        match self {
+            StreamChain::Threaded(chain) => chain.secure_snapshot(),
+            StreamChain::Pooled(chain) => chain.secure_snapshot(),
+        }
+    }
+
     fn shutdown(&self) -> Result<(), ProxyError> {
         match self {
             StreamChain::Threaded(chain) => chain.shutdown(),
@@ -122,6 +132,11 @@ pub struct ProxyStatus {
     /// (rx/tx datagrams and packets, decode errors, drops), sorted by
     /// name.
     pub transports: Vec<UdpTransportStatus>,
+    /// Secure-channel counters summed over every stream and session: how
+    /// many payloads were sealed, how many verified open, how many were
+    /// rejected as tampered (and dropped), and how many key rotations were
+    /// installed.  All-zero when the proxy carries only plaintext.
+    pub secure: SecureChannelSnapshot,
 }
 
 /// One RAPIDware proxy: a set of named streams and fanout sessions, a
@@ -893,22 +908,32 @@ impl Proxy {
             )
             .collect();
         transports.sort_by(|a, b| a.name.cmp(&b.name));
+        let streams: Vec<StreamStatus> = self
+            .streams
+            .iter()
+            .map(|(name, chain)| StreamStatus {
+                name: name.clone(),
+                filters: chain.names(),
+                stats: chain.stats(),
+                pooled: chain.is_pooled(),
+                secure: chain.secure_snapshot(),
+            })
+            .collect();
+        let mut secure = SecureChannelSnapshot::default();
+        for stream in &streams {
+            secure.merge(stream.secure);
+        }
+        for session in &sessions {
+            secure.merge(session.secure);
+        }
         ProxyStatus {
             name: self.name.clone(),
-            streams: self
-                .streams
-                .iter()
-                .map(|(name, chain)| StreamStatus {
-                    name: name.clone(),
-                    filters: chain.names(),
-                    stats: chain.stats(),
-                    pooled: chain.is_pooled(),
-                })
-                .collect(),
+            streams,
             sessions,
             available_kinds: self.registry.kinds(),
             runtime: self.runtime.as_ref().map(|runtime| runtime.status()),
             transports,
+            secure,
         }
     }
 

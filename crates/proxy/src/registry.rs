@@ -16,9 +16,9 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use rapidware_filters::{
-    AudioTranscoderFilter, CompressorFilter, DecompressorFilter, DescramblerFilter, DropEveryNth,
-    FecDecoderFilter, FecEncoderFilter, Filter, NullFilter, RateLimiterFilter, ScramblerFilter,
-    TapFilter, TranscodeMode,
+    AudioTranscoderFilter, CompressorFilter, DecompressorFilter, DecryptFilter, DescramblerFilter,
+    DropEveryNth, EncryptFilter, FecDecoderFilter, FecEncoderFilter, Filter, NullFilter,
+    RateLimiterFilter, ScramblerFilter, TapFilter, TranscodeMode,
 };
 
 use crate::error::ProxyError;
@@ -130,7 +130,8 @@ impl FilterRegistry {
     /// Creates a registry pre-populated with every built-in filter kind:
     /// `null`, `tap`, `fec-encoder`, `fec-decoder`, `transcoder`,
     /// `compressor`, `decompressor`, `rate-limiter`, `scrambler`,
-    /// `descrambler`, and `drop-every` (fault injection).
+    /// `descrambler`, `encrypt`, `decrypt` (the AEAD secure-channel pair),
+    /// and `drop-every` (fault injection).
     pub fn with_builtins() -> Self {
         let mut registry = Self::empty();
         registry.register("null", |_spec| Ok(Box::new(NullFilter::new())));
@@ -185,6 +186,14 @@ impl FilterRegistry {
         registry.register("descrambler", |spec| {
             let key = spec.usize_param_or("key", 0x5EED)? as u64;
             Ok(Box::new(DescramblerFilter::new(key)))
+        });
+        registry.register("encrypt", |spec| {
+            let key = spec.usize_param_or("key", 0x5EED)? as u64;
+            Ok(Box::new(EncryptFilter::new(key)))
+        });
+        registry.register("decrypt", |spec| {
+            let key = spec.usize_param_or("key", 0x5EED)? as u64;
+            Ok(Box::new(DecryptFilter::new(key)))
         });
         registry.register("drop-every", |spec| {
             let n = spec.usize_param_or("n", 10)?;
@@ -250,11 +259,35 @@ mod tests {
             "rate-limiter",
             "scrambler",
             "descrambler",
+            "encrypt",
+            "decrypt",
             "drop-every",
         ] {
             assert!(registry.contains(kind), "missing builtin {kind}");
         }
-        assert_eq!(registry.kinds().len(), 11);
+        assert_eq!(registry.kinds().len(), 13);
+    }
+
+    #[test]
+    fn secure_channel_pair_round_trips_through_the_registry() {
+        use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
+        let registry = FilterRegistry::default();
+        let mut encrypt = registry
+            .instantiate(&FilterSpec::new("encrypt").with_param("key", "4242"))
+            .unwrap();
+        let mut decrypt = registry
+            .instantiate(&FilterSpec::new("decrypt").with_param("key", "4242"))
+            .unwrap();
+        assert_eq!(encrypt.name(), "encrypt(key=0x1092)");
+        assert_eq!(decrypt.name(), "decrypt(key=0x1092)");
+        assert!(encrypt.secure_stats().is_some());
+        let original =
+            Packet::new(StreamId::new(1), SeqNo::new(0), PacketKind::AudioData, vec![1u8; 32]);
+        let mut sealed: Vec<Packet> = Vec::new();
+        encrypt.process(original.clone(), &mut sealed).unwrap();
+        let mut opened: Vec<Packet> = Vec::new();
+        decrypt.process(sealed.pop().unwrap(), &mut opened).unwrap();
+        assert_eq!(opened, vec![original]);
     }
 
     #[test]

@@ -1188,6 +1188,12 @@ impl PooledChain {
         self.work.batch_size
     }
 
+    /// Secure-channel counters summed over the installed crypto stages
+    /// (all-zero when no encrypt/decrypt filter is installed).
+    pub fn secure_snapshot(&self) -> rapidware_filters::SecureChannelSnapshot {
+        self.work.inner.lock().chain.secure_snapshot()
+    }
+
     /// Current chain statistics (same counters as a threaded chain).
     pub fn stats(&self) -> ChainStats {
         ChainStats {
@@ -1663,6 +1669,10 @@ impl PooledSession {
     /// A full status snapshot, in the same shape as a threaded session's.
     pub fn status(&self) -> SessionStatus {
         let lanes = self.lanes.lock();
+        let mut secure = self.head.secure_snapshot();
+        for lane in lanes.live.iter().chain(lanes.retired.iter()) {
+            secure.merge(lane.chain.secure_snapshot());
+        }
         SessionStatus {
             name: self.name.clone(),
             head_filters: self.head.names(),
@@ -1682,6 +1692,7 @@ impl PooledSession {
                     }
                 })
                 .collect(),
+            secure,
         }
     }
 

@@ -54,7 +54,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
-use rapidware_filters::{FecDecoderFilter, FecDecoderStats, Filter};
+use rapidware_filters::{FecDecoderFilter, FecDecoderStats, Filter, SecureChannelSnapshot};
 use rapidware_packet::Packet;
 use rapidware_streams::{DetachableReceiver, DetachableSender};
 
@@ -97,6 +97,9 @@ pub struct SessionStatus {
     pub head_stats: ChainStats,
     /// Per-lane snapshots, in lane-creation order.
     pub lanes: Vec<LaneStatus>,
+    /// Secure-channel counters summed over the head chain and every lane
+    /// (zero everywhere when no encrypt/decrypt filter is installed).
+    pub secure: SecureChannelSnapshot,
 }
 
 /// One receiver lane: a tail chain plus its endpoints and bookkeeping.
@@ -349,6 +352,10 @@ impl Session {
     /// recovery, and queue-depth counters.
     pub fn status(&self) -> SessionStatus {
         let inner = self.inner.lock();
+        let mut secure = self.head.secure_snapshot();
+        for lane in &inner.lanes {
+            secure.merge(lane.chain.secure_snapshot());
+        }
         SessionStatus {
             name: self.name.clone(),
             head_filters: self.head.names(),
@@ -368,6 +375,7 @@ impl Session {
                     }
                 })
                 .collect(),
+            secure,
         }
     }
 

@@ -15,7 +15,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
-use rapidware_filters::{Filter, FilterOutput};
+use rapidware_filters::{Filter, FilterOutput, SecureChannelSnapshot, SecureChannelStats};
 use rapidware_packet::Packet;
 use rapidware_streams::{
     detached_pair, pipe, DetachableReceiver, DetachableSender, RecvError,
@@ -64,6 +64,9 @@ struct Stage {
     in_rx: DetachableReceiver<Packet>,
     out_tx: DetachableSender<Packet>,
     worker: Option<JoinHandle<Box<dyn Filter>>>,
+    /// Seal/reject counters captured before the filter moved onto its
+    /// worker thread; `None` for filters with no crypto role.
+    secure: Option<Arc<SecureChannelStats>>,
 }
 
 impl fmt::Debug for Stage {
@@ -249,6 +252,19 @@ impl ThreadedChain {
         }
     }
 
+    /// Aggregated seal/reject counters across the chain's secure-channel
+    /// stages; all-zero when no crypto filter is installed.
+    pub fn secure_snapshot(&self) -> SecureChannelSnapshot {
+        let inner = self.inner.lock();
+        let mut total = SecureChannelSnapshot::default();
+        for stage in &inner.stages {
+            if let Some(stats) = &stage.secure {
+                total.merge(stats.snapshot());
+            }
+        }
+        total
+    }
+
     /// Inserts `filter` at `position` (0 = closest to the input endpoint)
     /// while the stream is running.
     ///
@@ -277,6 +293,7 @@ impl ThreadedChain {
             });
         }
         let name = filter.name().to_string();
+        let secure = filter.secure_stats();
         let (out_tx, in_rx) = {
             let (tx, rx) = detached_pair::<Packet>(self.capacity);
             (tx, rx)
@@ -323,6 +340,7 @@ impl ThreadedChain {
                 in_rx,
                 out_tx,
                 worker: Some(worker),
+                secure,
             },
         );
         inner.splices += 1;
@@ -864,6 +882,31 @@ mod tests {
         let received = collect_all(&output);
         assert_eq!(received.len(), 5);
         assert_eq!(chain.stats().filter_errors, 5);
+        chain.shutdown().unwrap();
+    }
+
+    #[test]
+    fn secure_snapshot_aggregates_across_worker_threads() {
+        use rapidware_filters::{DecryptFilter, EncryptFilter};
+        let chain = ThreadedChain::new().unwrap();
+        chain.push_back(Box::new(EncryptFilter::new(0xFEED))).unwrap();
+        chain.push_back(Box::new(DecryptFilter::new(0xFEED))).unwrap();
+        let input = chain.input();
+        let output = chain.output();
+        for seq in 0..20 {
+            input.send(packet(seq)).unwrap();
+        }
+        chain.close_input();
+        let received = collect_all(&output);
+        assert_eq!(received.len(), 20);
+        for (i, p) in received.iter().enumerate() {
+            assert_eq!(p.seq().value(), i as u64);
+            assert_eq!(p.payload(), packet(i as u64).payload(), "round-trip restores bytes");
+        }
+        let snapshot = chain.secure_snapshot();
+        assert_eq!(snapshot.sealed, 20);
+        assert_eq!(snapshot.opened, 20);
+        assert_eq!(snapshot.rejected, 0);
         chain.shutdown().unwrap();
     }
 

@@ -30,6 +30,7 @@ mod common;
 use std::net::UdpSocket;
 use std::time::{Duration, Instant};
 
+use rapidware::filters::{rekey_packet, EncryptFilter, Filter};
 use rapidware::packet::{Packet, PacketKind, SeqNo, StreamId};
 use rapidware::proxy::{FilterSpec, Proxy, SharedUdpStreamConfig, UdpCarrierConfig};
 use rapidware::runtime::{Runtime, RuntimeConfig};
@@ -40,7 +41,8 @@ use rapidware::transport::{
 };
 
 use common::{
-    assert_conservation, audio_packet, drain_count_to_eof, send_encoded, watchdog, WATCHDOG,
+    assert_conservation, audio_packet, drain_count_to_eof, drain_to_eof, send_encoded, watchdog,
+    WATCHDOG,
 };
 
 const BATCH_SIZE: usize = 16;
@@ -517,5 +519,342 @@ fn reordered_and_duplicated_markers_conserve_every_data_frame() {
         assert_eq!(stats.dropped(), 0);
         // The duplicate FIN arrived after the pipe closed; nothing to do,
         // nothing wedged — the drain loop above already returned on EOF.
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Key rotation under chaos.
+// ---------------------------------------------------------------------------
+
+const SECURE_KEY: u64 = 0x5EED;
+
+/// Seals `packet` through the sender's half of the channel, returning the
+/// emitted frames (a sealed data frame, or a forwarded rekey control frame).
+fn seal_through(encrypt: &mut EncryptFilter, packet: Packet) -> Vec<Packet> {
+    let mut out: Vec<Packet> = Vec::new();
+    encrypt.process(packet, &mut out).expect("the seal never fails");
+    out
+}
+
+#[test]
+fn a_duplicated_reordered_rekey_on_a_pooled_session_conserves() {
+    // Key rotation rides the same control-frame path the marker storm
+    // abuses, so it gets the same chaos: the rekey arrives REORDERED
+    // (three frames before its boundary) and DUPLICATED (a second copy
+    // five frames after).  Mixed in: two sealed frames tampered in flight
+    // and one frame replayed under the superseded epoch.  Per-stream
+    // conservation must close from independent tallies —
+    // `sent == delivered + lost + rejected` — with the tampered and
+    // replayed frames counted as rejects, never delivered, and every
+    // delivered payload bit-exact plaintext.
+    watchdog("chaos-rekey-pooled", WATCHDOG, || {
+        const TOTAL: u64 = 160;
+        const BOUNDARY: u64 = 80;
+        const TAMPERED: [u64; 2] = [20, 100];
+        let runtime = Runtime::start(RuntimeConfig::new(2, BATCH_SIZE).with_pipe_capacity(512));
+        let session = runtime.add_session("secure");
+        let rx = session.add_lane("plaintext").expect("fresh session");
+        session
+            .insert_lane_filter(
+                "plaintext",
+                0,
+                &FilterSpec::new("decrypt").with_param("key", SECURE_KEY.to_string()),
+            )
+            .expect("decrypt is registered");
+
+        // The sender's half of the channel, plus a stale sender that never
+        // hears about the rotation (the replay source).
+        let mut encrypt = EncryptFilter::new(SECURE_KEY);
+        let mut stale = EncryptFilter::new(SECURE_KEY);
+
+        let mut wire: Vec<Packet> = Vec::new();
+        let mut sent_data = 0u64;
+        for seq in 0..TOTAL {
+            if seq == BOUNDARY - 3 || seq == BOUNDARY + 5 {
+                wire.extend(seal_through(
+                    &mut encrypt,
+                    rekey_packet(StreamId::new(1), 1, BOUNDARY, seq * 20_000),
+                ));
+            }
+            let mut frames = seal_through(&mut encrypt, audio_packet(seq, 64));
+            if TAMPERED.contains(&seq) {
+                for frame in &mut frames {
+                    frame.payload_edit(|buf| buf[0] ^= 0x01);
+                }
+            }
+            sent_data += frames.len() as u64;
+            wire.append(&mut frames);
+        }
+        let replay = seal_through(&mut stale, audio_packet(BOUNDARY + 2, 64));
+        sent_data += replay.len() as u64;
+        wire.extend(replay);
+        assert_eq!(sent_data, TOTAL + 1);
+        assert_eq!(encrypt.stats().sealed(), TOTAL);
+        assert_eq!(encrypt.stats().rekeys(), 1, "the duplicate install is idempotent");
+
+        let mut backlog = wire;
+        while !backlog.is_empty() {
+            backlog = session.input().try_send_batch(backlog).expect("input stays open");
+            std::thread::yield_now();
+        }
+        session.close_input();
+        let delivered = drain_to_eof(&rx, Instant::now() + WATCHDOG / 2);
+
+        // Exactly the untampered frames arrive, in order, as plaintext;
+        // the rekey copies were consumed, never forwarded.
+        let expected: Vec<u64> = (0..TOTAL).filter(|seq| !TAMPERED.contains(seq)).collect();
+        let seqs: Vec<u64> = delivered.iter().map(|p| p.seq().value()).collect();
+        assert_eq!(seqs, expected, "survivors in order with the rejects cut out");
+        for packet in &delivered {
+            assert_eq!(packet.kind(), PacketKind::AudioData, "no control frame leaked");
+            assert_eq!(
+                packet.payload(),
+                &vec![(packet.seq().value() % 251) as u8; 64][..],
+                "a corrupt payload reached the sink"
+            );
+        }
+
+        // Conservation from independent tallies: the sender's count, the
+        // sink's count, and the decryptor's reject counter.
+        let secure = session.status().secure;
+        assert_conservation(
+            "pooled rekey",
+            sent_data,
+            delivered.len() as u64,
+            0,
+            secure.rejected,
+        );
+        assert_eq!(secure.rejected, 3, "two tampered frames and one stale replay");
+        assert_eq!(secure.opened, delivered.len() as u64);
+        assert_eq!(secure.rekeys, 1, "the duplicate rekey installs nothing new");
+
+        session.shutdown().expect("clean session shutdown");
+        assert_eq!(runtime.live_tasks(), 0, "rekey chaos leaked shard tasks");
+        runtime.shutdown().expect("worker pool joins cleanly");
+    });
+}
+
+#[test]
+fn a_blackout_straddling_a_rekey_on_a_shared_carrier_conserves_per_stream() {
+    // The rotation under real loss: two streams share one carrier socket,
+    // their decrypt stages sit proxy-side, and a total blackout window
+    // straddles the rekey boundary — every data frame of the rotation
+    // window is lost while the rekey control frames (which always pass the
+    // relay, like FINs) ride through, once during the outage and once
+    // duplicated after it.  Per-stream conservation must close from
+    // independent tallies (`sent == delivered + lost + rejected`), the
+    // carrier must demux every sealed survivor to its own stream, and only
+    // bit-exact plaintext may reach the app-side routes.
+    watchdog("chaos-rekey-shared-blackout", WATCHDOG, || {
+        const STREAMS: u32 = 2;
+        const BEFORE: u64 = 40;
+        const DURING: u64 = 20;
+        const AFTER: u64 = 40;
+        const TOTAL: u64 = BEFORE + DURING + AFTER;
+        const TAMPER_AT: u64 = BEFORE + DURING + 10;
+        const CAPACITY: usize = 256;
+        const CARRIER: &str = "carrier";
+
+        let mut proxy = Proxy::with_runtime(
+            "chaos-rekey-shared",
+            RuntimeConfig::new(2, BATCH_SIZE).with_pipe_capacity(CAPACITY),
+        );
+        let carrier = proxy
+            .add_udp_carrier(
+                CARRIER,
+                UdpCarrierConfig::new().with_capacity(CAPACITY).with_batch_size(BATCH_SIZE),
+            )
+            .expect("carrier binds");
+        let relay = ImpairedUdp::spawn(carrier.ingress_addr(), ImpairmentPlan::clean(31)).unwrap();
+        let stats = relay.stats();
+
+        let app =
+            SharedUdpIngress::bind("127.0.0.1:0", &UdpConfig::default().with_capacity(CAPACITY))
+                .unwrap();
+        let routes: Vec<_> = (1..=STREAMS)
+            .map(|stream| app.open_stream(StreamId::new(stream)).unwrap())
+            .collect();
+        let handles: Vec<_> = (1..=STREAMS)
+            .map(|stream| {
+                proxy
+                    .add_stream_udp_shared(
+                        format!("stream-{stream}"),
+                        SharedUdpStreamConfig::on_carrier(CARRIER, app.local_addr())
+                            .with_stream(StreamId::new(stream))
+                            .with_capacity(CAPACITY)
+                            .with_batch_size(BATCH_SIZE),
+                    )
+                    .expect("shared stream placement")
+            })
+            .collect();
+        for stream in 1..=STREAMS {
+            proxy
+                .insert_filter(
+                    &format!("stream-{stream}"),
+                    0,
+                    &FilterSpec::new("decrypt").with_param("key", SECURE_KEY.to_string()),
+                )
+                .expect("decrypt splices into a shared placement");
+        }
+
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let mut encrypts: Vec<EncryptFilter> =
+            (0..STREAMS).map(|_| EncryptFilter::new(SECURE_KEY)).collect();
+        let plaintext =
+            |stream: u32, seq: u64| vec![((u64::from(stream) * 7 + seq) % 251) as u8; 32];
+
+        let send_window = |range: std::ops::Range<u64>, encrypts: &mut Vec<EncryptFilter>| {
+            for seq in range {
+                for stream in 1..=STREAMS {
+                    let packet = Packet::new(
+                        StreamId::new(stream),
+                        SeqNo::new(seq),
+                        PacketKind::AudioData,
+                        plaintext(stream, seq),
+                    );
+                    for mut frame in seal_through(&mut encrypts[(stream - 1) as usize], packet) {
+                        if seq == TAMPER_AT {
+                            frame.payload_edit(|buf| buf[0] ^= 0x80);
+                        }
+                        send_encoded(&tx, relay.local_addr(), &frame);
+                    }
+                }
+            }
+        };
+        let send_rekeys = |encrypts: &mut Vec<EncryptFilter>, tx: &UdpSocket| {
+            for stream in 1..=STREAMS {
+                for frame in seal_through(
+                    &mut encrypts[(stream - 1) as usize],
+                    rekey_packet(StreamId::new(stream), 1, BEFORE, BEFORE * 20_000),
+                ) {
+                    send_encoded(tx, relay.local_addr(), &frame);
+                }
+            }
+        };
+
+        let mut received: Vec<Vec<Packet>> = vec![Vec::new(); STREAMS as usize];
+        let drain_until_each = |received: &mut Vec<Vec<Packet>>, target: usize| {
+            let deadline = Instant::now() + WATCHDOG / 2;
+            loop {
+                while app.drain_batch() == SharedDrain::MoreReady {}
+                for (index, route) in routes.iter().enumerate() {
+                    while let Ok(packet) = route.try_recv() {
+                        assert_eq!(
+                            packet.stream().value() as usize,
+                            index + 1,
+                            "frame routed to the wrong stream"
+                        );
+                        received[index].push(packet);
+                    }
+                }
+                if received.iter().all(|packets| packets.len() >= target) {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "rekey blackout drain made no progress");
+                std::thread::yield_now();
+            }
+        };
+
+        // Clean run-up under the initial epoch.
+        send_window(0..BEFORE, &mut encrypts);
+        await_relay_accounted(&stats, u64::from(STREAMS) * BEFORE);
+        drain_until_each(&mut received, BEFORE as usize);
+
+        // The blackout straddles the rotation: the rekey and every data
+        // frame of the rotation window ride through the outage — the
+        // control frames pass, the data is counted dropped.
+        relay.set_plan(ImpairmentPlan::new(31, vec![(0, ImpairmentPhase::drop_rate(1.0))]));
+        send_rekeys(&mut encrypts, &tx);
+        send_window(BEFORE..BEFORE + DURING, &mut encrypts);
+        await_relay_accounted(&stats, u64::from(STREAMS) * (BEFORE + DURING));
+        assert_eq!(
+            stats.dropped(),
+            u64::from(STREAMS) * DURING,
+            "the blackout must count every sealed loss"
+        );
+        relay.set_plan(ImpairmentPlan::clean(31));
+
+        // The duplicated rekey after the outage is consumed idempotently;
+        // traffic resumes under the new epoch, with one tampered frame per
+        // stream on the way.
+        send_rekeys(&mut encrypts, &tx);
+        send_window(BEFORE + DURING..TOTAL, &mut encrypts);
+        await_relay_accounted(&stats, u64::from(STREAMS) * TOTAL);
+        drain_until_each(&mut received, (BEFORE + AFTER - 1) as usize);
+        assert_eq!(stats.control(), u64::from(STREAMS) * 2, "both rekey copies passed per stream");
+
+        // Clean FINs for every stream.
+        let deadline = Instant::now() + WATCHDOG / 2;
+        for handle in &handles {
+            handle.close_input();
+        }
+        for route in &routes {
+            loop {
+                while app.drain_batch() == SharedDrain::MoreReady {}
+                match route.try_recv() {
+                    Err(TryRecvError::Eof | TryRecvError::Closed) => break,
+                    Err(TryRecvError::Empty) => {
+                        assert!(Instant::now() < deadline, "a stream never reached EOF");
+                        std::thread::yield_now();
+                    }
+                    Ok(packet) => panic!("late delivery after the drain: {packet:?}"),
+                }
+            }
+        }
+
+        // Per-stream conservation from independent tallies: the send loop's
+        // count, the relay's drop counter, the decryptor's reject counter,
+        // and the app-side delivery tally.
+        let status = proxy.status();
+        let expected: Vec<u64> = (0..BEFORE)
+            .chain(BEFORE + DURING..TOTAL)
+            .filter(|&seq| seq != TAMPER_AT)
+            .collect();
+        for (index, packets) in received.iter().enumerate() {
+            let stream = index as u32 + 1;
+            let context = format!("rekey blackout stream {stream}");
+            let seqs: Vec<u64> = packets.iter().map(|p| p.seq().value()).collect();
+            assert_eq!(seqs, expected, "{context}: survivor order");
+            for packet in packets {
+                assert_eq!(
+                    packet.payload(),
+                    &plaintext(stream, packet.seq().value())[..],
+                    "{context}: a corrupt payload reached the sink"
+                );
+            }
+            let stream_status = status
+                .streams
+                .iter()
+                .find(|s| s.name == format!("stream-{stream}"))
+                .expect("stream status present");
+            assert_eq!(stream_status.secure.rejected, 1, "{context}: the tampered frame");
+            assert_eq!(stream_status.secure.rekeys, 1, "{context}: one rotation installed");
+            assert_eq!(stream_status.secure.opened, packets.len() as u64);
+            assert_conservation(
+                &context,
+                TOTAL,
+                packets.len() as u64,
+                DURING,
+                stream_status.secure.rejected,
+            );
+        }
+
+        // The proxy-wide rollup agrees, and the carrier was blameless:
+        // every forwarded datagram (sealed data and rekeys) was demuxed to
+        // a registered stream, nothing dropped carrier-side.
+        assert_eq!(status.secure.rejected, u64::from(STREAMS));
+        assert_eq!(status.secure.rekeys, u64::from(STREAMS));
+        let shared: Vec<_> = status.transports.iter().filter(|t| t.shared).collect();
+        assert_eq!(shared.len(), 1, "one carrier serves both streams");
+        assert_eq!(
+            shared[0].ingress.rx_packets,
+            u64::from(STREAMS) * (BEFORE + AFTER + 2),
+            "every forwarded datagram was demuxed"
+        );
+        assert_eq!(shared[0].unknown_streams, 0);
+        assert_eq!(shared[0].ingress.dropped, 0);
+        assert_eq!(shared[0].egress.dropped, 0);
+        assert_eq!(app.unknown_streams(), 0, "no frame escaped its route app-side");
+        proxy.shutdown().expect("clean proxy shutdown");
     });
 }

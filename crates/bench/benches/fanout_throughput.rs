@@ -9,7 +9,9 @@
 //! Both paths run the FEC(6,4) encoder as the head-stage work over the
 //! paper's 320-byte audio packets, fan out to `LANES` receivers, and report
 //! source packets/second.  The bench asserts the fanout path is at least
-//! 2× the per-receiver strawman at N = 8 (in practice it approaches N×).
+//! 2× the per-receiver strawman at N = 8 (in practice it approaches N×),
+//! and writes the criterion-style summary to `BENCH_fanout.json` via
+//! [`rapidware_bench::report`].
 //!
 //! Run with `cargo bench -p rapidware-bench --bench fanout_throughput`.
 
@@ -19,6 +21,7 @@ use rapidware::engine::{FanoutApplier, FanoutSpec, LaneSpec, SyncFanoutApplier};
 use rapidware::filters::{FecEncoderFilter, FilterChain};
 use rapidware::packet::{Packet, PacketKind, SeqNo, StreamId};
 use rapidware::proxy::{FilterSpec, Session};
+use rapidware_bench::report::BenchReport;
 
 const PACKETS: usize = 8_192;
 const LANES: usize = 8;
@@ -46,9 +49,14 @@ fn fanout_spec() -> FanoutSpec {
     spec
 }
 
-/// Runs `measure` `REPETITIONS` times and returns the best packets/second.
-fn best_pps(measure: impl Fn() -> f64) -> f64 {
-    (0..REPETITIONS).map(|_| measure()).fold(0.0, f64::max)
+/// Runs `measure` `REPETITIONS` times; all samples go into the JSON
+/// report, the printed table uses the best.
+fn pps_samples(measure: impl Fn() -> f64) -> Vec<f64> {
+    (0..REPETITIONS).map(|_| measure()).collect()
+}
+
+fn best(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(0.0, f64::max)
 }
 
 /// Shared head chain, one encode per packet, zero-copy fanout to N lanes.
@@ -128,15 +136,33 @@ fn main() {
     );
     println!("{}", "-".repeat(72));
 
-    let independent = best_pps(|| independent_chains_pps(&packets));
-    let fanout = best_pps(|| fanout_pps(&packets));
-    let session = best_pps(|| live_session_pps(&packets));
+    let independent_samples = pps_samples(|| independent_chains_pps(&packets));
+    let fanout_samples = pps_samples(|| fanout_pps(&packets));
+    let session_samples = pps_samples(|| live_session_pps(&packets));
+    let independent = best(&independent_samples);
+    let fanout = best(&fanout_samples);
+    let session = best(&session_samples);
 
     println!("independent chains (head x{LANES}):   {independent:>12.0} source pkts/s");
     println!("fanout session (head x1, sync):   {fanout:>12.0} source pkts/s");
     println!("fanout session (live threaded):   {session:>12.0} source pkts/s");
     let speedup = fanout / independent;
     println!("amortization speedup (sync):      {speedup:>11.2}x");
+
+    // Write the report before the speedup assert so a machine that misses
+    // the bar still leaves its numbers behind for inspection.
+    let mut report = BenchReport::new("fanout");
+    report.record(
+        format!("independent-chains/lanes-{LANES}"),
+        "packets/s",
+        &independent_samples,
+    );
+    report.record(format!("fanout-sync/lanes-{LANES}"), "packets/s", &fanout_samples);
+    report.record(format!("fanout-live/lanes-{LANES}"), "packets/s", &session_samples);
+    report.record("fanout-sync/amortization-speedup", "x", &[speedup]);
+    let path = report.write().expect("writing the bench report");
+    println!("report: {}", path.display());
+
     assert!(
         speedup >= 2.0,
         "head-stage work must be amortized: expected >= 2x at N = {LANES}, got {speedup:.2}x"

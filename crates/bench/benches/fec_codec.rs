@@ -6,9 +6,16 @@
 //!
 //! * `fec_encode/<n>,<k>` — producing the n − k parity shards of one block;
 //! * `fec_decode/<n>,<k>` — recovering the maximum tolerable number of lost
-//!   shards (n − k) from a received block.
+//!   shards (n − k) from a received block;
+//! * `gf256_kernel` — the dispatched bulk `addmul_slice` kernel against the
+//!   always-compiled scalar reference on 1 KiB slices.  When a SIMD kernel
+//!   is active this bench **asserts** it is at least 2× the scalar path —
+//!   the regression tripwire for the PSHUFB-style nibble-split kernels.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rapidware::fec::gf256;
 use rapidware::fec::FecCodec;
 
 const SHARD_LEN: usize = 360; // one 320-byte audio packet + header, roughly
@@ -63,5 +70,48 @@ fn bench_decode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_decode);
+/// Times `addmul(target, source, c)` over `iters` passes on 1 KiB slices
+/// and returns bytes/second.
+fn addmul_throughput(addmul: impl Fn(&mut [u8], &[u8], u8), iters: usize) -> f64 {
+    const LEN: usize = 1024;
+    let source: Vec<u8> = (0..LEN).map(|i| (i * 37 + 5) as u8).collect();
+    let mut target = vec![0u8; LEN];
+    // Warm the tables and the branch predictor.
+    addmul(&mut target, &source, 29);
+    let start = Instant::now();
+    for i in 0..iters {
+        addmul(&mut target, &source, (i % 255 + 1) as u8);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(&target);
+    (LEN * iters) as f64 / elapsed
+}
+
+fn bench_kernels(_c: &mut Criterion) {
+    const ITERS: usize = 200_000;
+    const REPS: usize = 5;
+    let dispatched = (0..REPS)
+        .map(|_| addmul_throughput(gf256::addmul_slice, ITERS))
+        .fold(0.0, f64::max);
+    let scalar = (0..REPS)
+        .map(|_| addmul_throughput(gf256::addmul_slice_scalar, ITERS))
+        .fold(0.0, f64::max);
+    let kernel = gf256::active_kernel();
+    let speedup = dispatched / scalar;
+    println!(
+        "gf256_kernel: addmul 1KiB  dispatched({}) {:>8.1} MB/s  scalar {:>8.1} MB/s  ({speedup:.2}x)",
+        kernel.name(),
+        dispatched / 1e6,
+        scalar / 1e6,
+    );
+    if kernel != gf256::Kernel::Scalar {
+        assert!(
+            speedup >= 2.0,
+            "SIMD addmul must be >= 2x scalar on 1 KiB slices, got {speedup:.2}x ({})",
+            kernel.name()
+        );
+    }
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_kernels);
 criterion_main!(benches);

@@ -16,15 +16,72 @@
 //! }
 //! ```
 //!
+//! Every report also carries a `meta` object ([`RunMeta`]) — commit, date,
+//! host, and kernel/feature flags — so the checked-in files form a
+//! *comparable series*: two `BENCH_*.json` files can be diffed knowing
+//! which build produced each.  Commit and date come from the
+//! `RAPIDWARE_BENCH_COMMIT` / `RAPIDWARE_BENCH_DATE` environment variables
+//! (the regeneration command in the README passes them from `git` — the
+//! harness never reads ambient clocks itself, keeping runs reproducible).
+//!
 //! Files land in the workspace root by default (so a single
 //! `cargo bench -p rapidware-bench --bench …` invocation leaves
-//! `BENCH_chain_batch.json`, `BENCH_runtime_scaling.json`, and
-//! `BENCH_udp_throughput.json` next to `Cargo.toml`); set
-//! `RAPIDWARE_BENCH_DIR` to redirect them.  JSON is hand-rolled — the
-//! schema is flat and the bench crate stays dependency-free.
+//! `BENCH_chain_batch.json`, `BENCH_runtime_scaling.json`,
+//! `BENCH_udp_throughput.json`, and `BENCH_fanout.json` next to
+//! `Cargo.toml`); set `RAPIDWARE_BENCH_DIR` to redirect them.  JSON is
+//! hand-rolled — the schema is flat and the bench crate stays
+//! dependency-free.
 
 use std::io;
 use std::path::PathBuf;
+
+/// Provenance for one bench run, embedded as the report's `meta` object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Git commit the run was built from (`RAPIDWARE_BENCH_COMMIT`, or
+    /// `"unknown"` when not passed in).
+    pub commit: String,
+    /// ISO date of the run (`RAPIDWARE_BENCH_DATE`, or `"unknown"`); passed
+    /// in by the regeneration command rather than read from a clock.
+    pub date: String,
+    /// Host description: architecture, OS, and logical CPU count.
+    pub host: String,
+    /// Feature flags that affect the numbers — currently the dispatched
+    /// GF(2⁸) kernel and whether `RAPIDWARE_FORCE_SCALAR` was set.
+    pub flags: String,
+}
+
+impl RunMeta {
+    /// Captures run metadata from the environment.
+    pub fn capture() -> Self {
+        let env_or_unknown = |key: &str| {
+            std::env::var(key)
+                .ok()
+                .filter(|v| !v.is_empty())
+                .unwrap_or_else(|| "unknown".to_string())
+        };
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get().to_string())
+            .unwrap_or_else(|_| "?".to_string());
+        let force_scalar = std::env::var("RAPIDWARE_FORCE_SCALAR")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        Self {
+            commit: env_or_unknown("RAPIDWARE_BENCH_COMMIT"),
+            date: env_or_unknown("RAPIDWARE_BENCH_DATE"),
+            host: format!(
+                "{}-{} ({threads} cpus)",
+                std::env::consts::ARCH,
+                std::env::consts::OS
+            ),
+            flags: format!(
+                "gf256-kernel={} force-scalar={}",
+                rapidware::fec::gf256::active_kernel().name(),
+                force_scalar
+            ),
+        }
+    }
+}
 
 /// One named measurement: repeated samples of the same quantity.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,17 +135,25 @@ pub fn median(samples: &[f64]) -> f64 {
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
     bench: String,
+    meta: RunMeta,
     measurements: Vec<Measurement>,
 }
 
 impl BenchReport {
     /// An empty report for the bench called `name` (the file stem:
-    /// `BENCH_<name>.json`).
+    /// `BENCH_<name>.json`), with run metadata captured from the
+    /// environment (see [`RunMeta::capture`]).
     pub fn new(name: impl Into<String>) -> Self {
         Self {
             bench: name.into(),
+            meta: RunMeta::capture(),
             measurements: Vec::new(),
         }
+    }
+
+    /// The run metadata this report will serialise.
+    pub fn meta(&self) -> &RunMeta {
+        &self.meta
     }
 
     /// Records one measurement's samples.
@@ -104,6 +169,12 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"bench\": {},\n", json_string(&self.bench)));
+        out.push_str("  \"meta\": {\n");
+        out.push_str(&format!("    \"commit\": {},\n", json_string(&self.meta.commit)));
+        out.push_str(&format!("    \"date\": {},\n", json_string(&self.meta.date)));
+        out.push_str(&format!("    \"host\": {},\n", json_string(&self.meta.host)));
+        out.push_str(&format!("    \"flags\": {}\n", json_string(&self.meta.flags)));
+        out.push_str("  },\n");
         out.push_str("  \"measurements\": [\n");
         for (index, m) in self.measurements.iter().enumerate() {
             out.push_str("    {\n");
@@ -200,6 +271,35 @@ mod tests {
         assert!(json.contains("\"max\": 3.0"));
         assert!(json.contains("\"samples\": [2.0, 1.0, 3.0]"));
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn reports_embed_run_metadata() {
+        let report = BenchReport::new("demo");
+        let json = report.to_json();
+        assert!(json.contains("\"meta\": {"));
+        assert!(json.contains("\"commit\": "));
+        assert!(json.contains("\"date\": "));
+        assert!(json.contains(&format!(
+            "\"host\": {}",
+            json_string(&report.meta().host)
+        )));
+        assert!(json.contains("gf256-kernel="));
+    }
+
+    #[test]
+    fn captured_flags_name_a_known_kernel() {
+        let meta = RunMeta::capture();
+        let kernel = meta
+            .flags
+            .split_once("gf256-kernel=")
+            .map(|(_, rest)| rest.split(' ').next().unwrap_or(""))
+            .unwrap_or("");
+        assert!(
+            matches!(kernel, "avx2" | "ssse3" | "scalar"),
+            "unexpected kernel flag in {:?}",
+            meta.flags
+        );
     }
 
     #[test]

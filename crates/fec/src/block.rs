@@ -44,11 +44,39 @@ pub struct RecoveredPayload {
     pub data: Vec<u8>,
 }
 
+/// Reusable decode-side shard buffers for
+/// [`BlockReconstructor::recover_with`].
+///
+/// One scratch serves any number of reconstructors sequentially; in
+/// steady state (block after block of similar shard lengths) recovery
+/// performs no shard-buffer allocations at all.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    /// Received source payloads re-framed to the block's shard length.
+    framed: Vec<Vec<u8>>,
+    /// Output buffers handed to [`FecCodec::decode_into`].
+    decoded: Vec<Vec<u8>>,
+}
+
+impl DecodeScratch {
+    /// Creates an empty scratch; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Groups source payloads into blocks of `k` and emits parity shards.
 #[derive(Debug)]
 pub struct BlockAssembler {
     codec: FecCodec,
+    /// Payload slots for the block being filled.  Only the first
+    /// `pending_len` entries are live; the rest are retained allocations
+    /// that later blocks overwrite in place.
     pending: Vec<Vec<u8>>,
+    pending_len: usize,
+    /// Framed-shard scratch, reused across blocks.
+    framed: Vec<Vec<u8>>,
     blocks_emitted: u64,
 }
 
@@ -58,6 +86,8 @@ impl BlockAssembler {
         Self {
             codec,
             pending: Vec::new(),
+            pending_len: 0,
+            framed: Vec::new(),
             blocks_emitted: 0,
         }
     }
@@ -69,7 +99,7 @@ impl BlockAssembler {
 
     /// Number of payloads waiting for the current block to fill.
     pub fn pending(&self) -> usize {
-        self.pending.len()
+        self.pending_len
     }
 
     /// Number of complete blocks emitted so far.
@@ -88,8 +118,14 @@ impl BlockAssembler {
         if payload.len() > MAX_PAYLOAD_LEN {
             return Err(FecError::CorruptPayload);
         }
-        self.pending.push(payload.to_vec());
-        if self.pending.len() == self.codec.k() {
+        if let Some(slot) = self.pending.get_mut(self.pending_len) {
+            slot.clear();
+            slot.extend_from_slice(payload);
+        } else {
+            self.pending.push(payload.to_vec());
+        }
+        self.pending_len += 1;
+        if self.pending_len == self.codec.k() {
             Ok(Some(self.emit(self.codec.k())?))
         } else {
             Ok(None)
@@ -104,26 +140,33 @@ impl BlockAssembler {
     ///
     /// Propagates codec errors (which cannot occur for well-formed state).
     pub fn flush(&mut self) -> Result<Option<EncodedBlock>, FecError> {
-        if self.pending.is_empty() {
+        if self.pending_len == 0 {
             return Ok(None);
         }
-        let occupied = self.pending.len();
-        while self.pending.len() < self.codec.k() {
-            self.pending.push(Vec::new());
+        let occupied = self.pending_len;
+        while self.pending_len < self.codec.k() {
+            if let Some(slot) = self.pending.get_mut(self.pending_len) {
+                slot.clear();
+            } else {
+                self.pending.push(Vec::new());
+            }
+            self.pending_len += 1;
         }
         Ok(Some(self.emit(occupied)?))
     }
 
     fn emit(&mut self, occupied: usize) -> Result<EncodedBlock, FecError> {
-        let shard_len = shard_len_for(&self.pending);
-        let framed: Vec<Vec<u8>> = self
-            .pending
-            .iter()
-            .map(|payload| frame_payload(payload, shard_len))
-            .collect();
-        let shard_refs: Vec<&[u8]> = framed.iter().map(|s| s.as_slice()).collect();
+        let live = &self.pending[..self.pending_len];
+        let shard_len = shard_len_for(live);
+        self.framed.resize_with(live.len(), Vec::new);
+        for (payload, shard) in live.iter().zip(self.framed.iter_mut()) {
+            frame_payload_into(payload, shard_len, shard);
+        }
+        let shard_refs: Vec<&[u8]> = self.framed.iter().map(|s| s.as_slice()).collect();
         let parities = self.codec.encode(&shard_refs)?;
-        self.pending.clear();
+        // Keep the payload and framing buffers for the next block; only the
+        // logical length resets.
+        self.pending_len = 0;
         self.blocks_emitted += 1;
         Ok(EncodedBlock {
             k: self.codec.k(),
@@ -227,6 +270,21 @@ impl BlockReconstructor {
     /// * [`FecError::CorruptPayload`] if a recovered shard's framing is
     ///   inconsistent (e.g. its length prefix exceeds the shard size).
     pub fn recover(&self) -> Result<Vec<RecoveredPayload>, FecError> {
+        let mut scratch = DecodeScratch::new();
+        self.recover_with(&mut scratch)
+    }
+
+    /// Like [`recover`](Self::recover), but reuses the shard buffers in
+    /// `scratch` instead of allocating fresh ones per block — the form the
+    /// FEC decoder filter uses so steady-state recovery is allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`recover`](Self::recover).
+    pub fn recover_with(
+        &self,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Vec<RecoveredPayload>, FecError> {
         let missing = self.missing_slots();
         if missing.is_empty() {
             return Ok(Vec::new());
@@ -236,16 +294,19 @@ impl BlockReconstructor {
             available: self.shards_available(),
         })?;
 
-        // Frame the received sources to the block's shard length and collect
-        // everything we have, indexed the way the codec expects.
-        let framed_sources: Vec<Option<Vec<u8>>> = self
-            .sources
-            .iter()
-            .map(|s| s.as_ref().map(|payload| frame_payload(payload, shard_len)))
-            .collect();
+        // Frame the received sources to the block's shard length (into the
+        // reused scratch slots) and collect everything we have, indexed the
+        // way the codec expects.
+        scratch.framed.resize_with(self.codec.k(), Vec::new);
+        for (slot, source) in self.sources.iter().enumerate() {
+            if let Some(payload) = source {
+                frame_payload_into(payload, shard_len, &mut scratch.framed[slot]);
+            }
+        }
         let mut available: Vec<(usize, &[u8])> = Vec::new();
-        for (slot, framed) in framed_sources.iter().enumerate() {
-            if let Some(framed) = framed {
+        for (slot, source) in self.sources.iter().enumerate() {
+            if source.is_some() {
+                let framed = &scratch.framed[slot];
                 if framed.len() != shard_len {
                     return Err(FecError::CorruptPayload);
                 }
@@ -258,10 +319,10 @@ impl BlockReconstructor {
             }
         }
 
-        let decoded = self.codec.decode(&available, shard_len)?;
+        self.codec.decode_into(&available, shard_len, &mut scratch.decoded)?;
         let mut recovered = Vec::with_capacity(missing.len());
         for slot in missing {
-            let data = unframe_payload(&decoded[slot])?;
+            let data = unframe_payload(&scratch.decoded[slot])?;
             recovered.push(RecoveredPayload { slot, data });
         }
         Ok(recovered)
@@ -272,12 +333,19 @@ fn shard_len_for(payloads: &[Vec<u8>]) -> usize {
     2 + payloads.iter().map(Vec::len).max().unwrap_or(0)
 }
 
+#[cfg(test)]
 fn frame_payload(payload: &[u8], shard_len: usize) -> Vec<u8> {
-    let mut shard = vec![0u8; shard_len.max(payload.len() + 2)];
+    let mut shard = Vec::new();
+    frame_payload_into(payload, shard_len, &mut shard);
+    shard
+}
+
+fn frame_payload_into(payload: &[u8], shard_len: usize, shard: &mut Vec<u8>) {
+    shard.clear();
+    shard.resize(shard_len.max(payload.len() + 2), 0);
     shard[..2].copy_from_slice(&(payload.len() as u16).to_be_bytes());
     shard[2..2 + payload.len()].copy_from_slice(payload);
     shard.truncate(shard_len);
-    shard
 }
 
 fn unframe_payload(shard: &[u8]) -> Result<Vec<u8>, FecError> {
@@ -486,6 +554,72 @@ mod tests {
         recovered.sort_by_key(|r| r.slot);
         assert_eq!(recovered[0].data, data[0]);
         assert_eq!(recovered[1].data, data[2]);
+    }
+
+    #[test]
+    fn recover_with_reused_dirty_scratch_matches_recover() {
+        // Byte-parity regression for the scratch-arena path: a scratch left
+        // dirty by a previous block (different shard length, stale bytes)
+        // must produce exactly the same recovery as the allocating path.
+        let mut scratch = DecodeScratch::new();
+        for (block_index, lens) in [[300usize, 7, 41, 128], [9, 9, 9, 9], [1, 500, 0, 33]]
+            .iter()
+            .enumerate()
+        {
+            let data = payloads(lens);
+            let mut assembler = BlockAssembler::new(codec_6_4());
+            let mut block = None;
+            for payload in &data {
+                if let Some(b) = assembler.push(payload).unwrap() {
+                    block = Some(b);
+                }
+            }
+            let block = block.unwrap();
+
+            let mut reconstructor = BlockReconstructor::new(codec_6_4());
+            reconstructor.add_source(0, &data[0]).unwrap();
+            reconstructor.add_source(2, &data[2]).unwrap();
+            reconstructor.add_parity(0, &block.parities[0]).unwrap();
+            reconstructor.add_parity(1, &block.parities[1]).unwrap();
+
+            let fresh = reconstructor.recover().unwrap();
+            let reused = reconstructor.recover_with(&mut scratch).unwrap();
+            assert_eq!(fresh, reused, "block {block_index}");
+            assert_eq!(reused.len(), 2);
+            assert_eq!(reused[0].data, data[1]);
+            assert_eq!(reused[1].data, data[3]);
+        }
+    }
+
+    #[test]
+    fn assembler_reuses_slots_across_blocks_without_cross_talk() {
+        // Two consecutive blocks through one assembler: the second block's
+        // payloads are shorter than the first's, so reused slots must not
+        // leak stale bytes from the longer previous payloads.
+        let mut assembler = BlockAssembler::new(codec_6_4());
+        let first = payloads(&[90, 100, 80, 70]);
+        let second = payloads(&[5, 3, 8, 2]);
+        for payload in &first {
+            assembler.push(payload).unwrap();
+        }
+        let mut block = None;
+        for payload in &second {
+            if let Some(b) = assembler.push(payload).unwrap() {
+                block = Some(b);
+            }
+        }
+        let block = block.unwrap();
+        assert_eq!(block.shard_len, 10); // max payload 8 + 2-byte prefix
+
+        // Compare against a fresh assembler fed only the second batch.
+        let mut reference = BlockAssembler::new(codec_6_4());
+        let mut expected = None;
+        for payload in &second {
+            if let Some(b) = reference.push(payload).unwrap() {
+                expected = Some(b);
+            }
+        }
+        assert_eq!(block.parities, expected.unwrap().parities);
     }
 
     #[test]

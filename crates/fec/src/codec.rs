@@ -146,9 +146,33 @@ impl FecCodec {
         available: &[(usize, &[u8])],
         shard_len: usize,
     ) -> Result<Vec<Vec<u8>>, FecError> {
+        let mut sources = Vec::new();
+        self.decode_into(available, shard_len, &mut sources)?;
+        Ok(sources)
+    }
+
+    /// Reconstructs all `k` source shards into caller-owned buffers.
+    ///
+    /// `sources` is resized to `k` shards of `shard_len` bytes each, and
+    /// existing buffer allocations are **reused** — a steady-state decoder
+    /// (one block after another of the same shard length) allocates
+    /// nothing, where [`decode`](Self::decode) used to clone every shard
+    /// into a fresh `Vec<Vec<u8>>` per call.  On error the contents of
+    /// `sources` are unspecified (but always safe to reuse for the next
+    /// call).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`decode`](Self::decode).
+    pub fn decode_into(
+        &self,
+        available: &[(usize, &[u8])],
+        shard_len: usize,
+        sources: &mut Vec<Vec<u8>>,
+    ) -> Result<(), FecError> {
         // Collect up to k distinct shards, preferring source shards (cheaper:
         // they need no matrix work), then parities.
-        let mut seen = vec![false; self.n];
+        let mut seen = [false; 256];
         let mut chosen: Vec<(usize, &[u8])> = Vec::with_capacity(self.k);
         for &(index, data) in available {
             if index >= self.n {
@@ -172,18 +196,17 @@ impl FecCodec {
             });
         }
 
-        // Fast path: all k source shards are present.
+        sources.resize_with(self.k, Vec::new);
+
+        // Fast path: all k source shards are present — copy each into its
+        // reused buffer, no matrix work.
         if chosen.iter().all(|(i, _)| *i < self.k) {
-            let mut sources: Vec<Option<&[u8]>> = vec![None; self.k];
             for &(i, data) in &chosen {
-                sources[i] = Some(data);
+                let buf = &mut sources[i];
+                buf.clear();
+                buf.extend_from_slice(data);
             }
-            if sources.iter().all(Option::is_some) {
-                return Ok(sources
-                    .into_iter()
-                    .map(|s| s.expect("checked above").to_vec())
-                    .collect());
-            }
+            return Ok(());
         }
 
         // General path: invert the k × k submatrix of the generator formed by
@@ -192,17 +215,19 @@ impl FecCodec {
         let submatrix = self.generator.select_rows(&rows);
         let inverse = submatrix.inverted()?;
 
-        let mut sources = vec![vec![0u8; shard_len]; self.k];
         for (source_index, source) in sources.iter_mut().enumerate() {
             // First shard is written (not accumulated), the rest are XORed
-            // in — whole-row bulk operations, no per-byte zero tests.
+            // in — whole-row bulk operations, no per-byte zero tests, and
+            // `mul_slice_into` overwrites every byte so stale buffer
+            // contents never leak through.
+            source.resize(shard_len, 0);
             gf256::mul_slice_into(source, chosen[0].1, inverse.get(source_index, 0));
             for (chosen_pos, &(_, data)) in chosen.iter().enumerate().skip(1) {
                 let coeff = inverse.get(source_index, chosen_pos);
                 gf256::addmul_slice(source, data, coeff);
             }
         }
-        Ok(sources)
+        Ok(())
     }
 }
 
@@ -218,6 +243,41 @@ mod tests {
 
     fn refs(sources: &[Vec<u8>]) -> Vec<&[u8]> {
         sources.iter().map(|s| s.as_slice()).collect()
+    }
+
+    #[test]
+    fn decode_into_dirty_buffers_match_decode() {
+        // Byte-parity regression: reusing a scratch left dirty by a previous
+        // decode (longer shards, stale bytes, wrong shard count) must yield
+        // exactly what the allocating `decode` produces — on both the
+        // all-sources fast path and the matrix-inversion general path.
+        let codec = FecCodec::new(6, 4).unwrap();
+        let mut scratch: Vec<Vec<u8>> = vec![vec![0xAB; 512]; 7];
+        for len in [1usize, 31, 32, 64, 100] {
+            let sources = sample_sources(4, len);
+            let parities = codec.encode(&refs(&sources)).unwrap();
+
+            // General path: two sources lost.
+            let available = vec![
+                (0usize, sources[0].as_slice()),
+                (2, sources[2].as_slice()),
+                (4, parities[0].as_slice()),
+                (5, parities[1].as_slice()),
+            ];
+            let fresh = codec.decode(&available, len).unwrap();
+            codec.decode_into(&available, len, &mut scratch).unwrap();
+            assert_eq!(fresh, scratch, "general path, len {len}");
+
+            // Fast path: all sources present.
+            let all: Vec<(usize, &[u8])> = sources
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.as_slice()))
+                .collect();
+            let fresh = codec.decode(&all, len).unwrap();
+            codec.decode_into(&all, len, &mut scratch).unwrap();
+            assert_eq!(fresh, scratch, "fast path, len {len}");
+        }
     }
 
     #[test]

@@ -6,6 +6,25 @@
 //! code implementation.  Multiplication and division are table-driven
 //! (exp/log tables built at compile time), so the per-byte cost of encoding
 //! is one table lookup and one addition.
+//!
+//! # Bulk kernels
+//!
+//! The slice routines ([`addmul_slice`], [`mul_slice_into`], [`xor_slice`])
+//! are the encoder's and decoder's inner loops, and they dispatch once per
+//! call to the fastest kernel the CPU supports:
+//!
+//! * **AVX2** / **SSSE3** (x86-64) — splat-table nibble-split kernels
+//!   (`vpshufb`/`pshufb`): each coefficient's multiplication map is two
+//!   16-entry tables (low and high nibble), so 32 (or 16) products cost two
+//!   shuffles and one XOR.  Selected at runtime via
+//!   `is_x86_feature_detected!`, never assumed at compile time.
+//! * **Scalar** — the portable table loop, always compiled, always the
+//!   reference: the `*_scalar` variants are public so equivalence can be
+//!   property-tested against the SIMD paths on any machine.
+//!
+//! Setting `RAPIDWARE_FORCE_SCALAR=1` in the environment pins the process
+//! to the scalar kernels (read once, at first use).  [`active_kernel`]
+//! reports which kernel won.
 
 /// The primitive polynomial used to construct the field (without the x⁸ term).
 const PRIMITIVE_POLY: u16 = 0x11D;
@@ -77,6 +96,91 @@ pub fn mul_row(c: u8) -> &'static [u8; 256] {
     &MUL_TABLE[c as usize]
 }
 
+/// The two 16-entry shuffle tables describing multiplication by one
+/// coefficient, in the layout `pshufb` consumes.
+///
+/// `mul(c, b) == lo[b & 0xF] ^ hi[b >> 4]` because multiplication is linear
+/// over the field's XOR addition: `b = (b & 0xF) ⊕ (b & 0xF0)`.
+#[derive(Debug)]
+pub(crate) struct NibblePair {
+    /// `lo[x] = mul(c, x)` for `x` in `0..16`.
+    pub(crate) lo: [u8; 16],
+    /// `hi[x] = mul(c, x << 4)` for `x` in `0..16`.
+    pub(crate) hi: [u8; 16],
+}
+
+/// Per-coefficient nibble shuffle tables (8 KiB), built at compile time.
+static NIBBLE_TABLES: [NibblePair; 256] = build_nibble_tables();
+
+const fn build_nibble_tables() -> [NibblePair; 256] {
+    let mul = build_mul_table();
+    let mut tables = [const { NibblePair { lo: [0; 16], hi: [0; 16] } }; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut x = 0usize;
+        while x < 16 {
+            tables[c].lo[x] = mul[c][x];
+            tables[c].hi[x] = mul[c][x << 4];
+            x += 1;
+        }
+        c += 1;
+    }
+    tables
+}
+
+/// Which bulk-slice kernel the process dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// 32-byte `vpshufb` nibble-split kernel (x86-64 with AVX2).
+    Avx2,
+    /// 16-byte `pshufb` nibble-split kernel (x86-64 with SSSE3).
+    Ssse3,
+    /// The portable table-driven loop (always available).
+    Scalar,
+}
+
+impl Kernel {
+    /// A short stable name, suitable for bench-report metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Avx2 => "avx2",
+            Kernel::Ssse3 => "ssse3",
+            Kernel::Scalar => "scalar",
+        }
+    }
+}
+
+static ACTIVE_KERNEL: std::sync::OnceLock<Kernel> = std::sync::OnceLock::new();
+
+/// The kernel the bulk slice routines dispatch to, detected once per
+/// process.
+///
+/// Honors `RAPIDWARE_FORCE_SCALAR` (any value other than empty or `0`
+/// pins the scalar path); otherwise picks the widest instruction set
+/// `is_x86_feature_detected!` confirms.  Non-x86-64 targets always run
+/// scalar.
+pub fn active_kernel() -> Kernel {
+    *ACTIVE_KERNEL.get_or_init(detect_kernel)
+}
+
+fn detect_kernel() -> Kernel {
+    let forced = std::env::var_os("RAPIDWARE_FORCE_SCALAR")
+        .is_some_and(|v| !v.is_empty() && v != "0");
+    if forced {
+        return Kernel::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Kernel::Avx2;
+        }
+        if std::arch::is_x86_feature_detected!("ssse3") {
+            return Kernel::Ssse3;
+        }
+    }
+    Kernel::Scalar
+}
+
 /// Adds two field elements (XOR).
 #[inline]
 pub fn add(a: u8, b: u8) -> u8 {
@@ -143,14 +247,36 @@ pub fn pow(a: u8, e: u32) -> u8 {
 
 /// Computes `dst[i] ^= src[i]` for every byte (bulk field addition).
 ///
-/// The hot loop works on eight bytes at a time through `u64` words, which
-/// the compiler further vectorises; this is the `c == 1` fast path of the
-/// encoder and the whole story for XOR-based parity.
+/// Dispatches to the AVX2 kernel when available (32 bytes per step);
+/// otherwise the portable loop works on eight bytes at a time through
+/// `u64` words, which the compiler further vectorises.  This is the
+/// `c == 1` fast path of the encoder and the whole story for XOR-based
+/// parity.
 ///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
 pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_slice length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if dst.len() >= 32 && active_kernel() == Kernel::Avx2 {
+        // SAFETY: AVX2 confirmed by `active_kernel`, lengths equal (asserted).
+        #[allow(unsafe_code)]
+        unsafe {
+            crate::gf256_simd::xor_avx2(dst, src);
+        }
+        return;
+    }
+    xor_slice_scalar(dst, src);
+}
+
+/// The portable word-at-a-time body of [`xor_slice`]; public so the SIMD
+/// path can be property-tested against it.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn xor_slice_scalar(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "xor_slice length mismatch");
     let mut dst_words = dst.chunks_exact_mut(8);
     let mut src_words = src.chunks_exact(8);
@@ -171,8 +297,9 @@ pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
 /// Computes `dst[i] ^= c * src[i]` for every byte — the inner loop of the
 /// encoder and of Gaussian elimination on data rows.
 ///
-/// Table-driven: one lookup in the precomputed `c` row per byte (no
-/// per-byte zero test, no log/exp pair), with wide XOR for `c == 1`.
+/// Dispatches to the nibble-split SIMD kernel when the CPU has one (two
+/// shuffles and one XOR per 16/32 bytes); otherwise one lookup in the
+/// precomputed `c` row per byte, with wide XOR for `c == 1`.
 ///
 /// # Panics
 ///
@@ -186,6 +313,45 @@ pub fn addmul_slice(dst: &mut [u8], src: &[u8], c: u8) {
         xor_slice(dst, src);
         return;
     }
+    #[cfg(target_arch = "x86_64")]
+    {
+        let nibbles = &NIBBLE_TABLES[c as usize];
+        match active_kernel() {
+            // SAFETY: the kernel's feature was confirmed by
+            // `is_x86_feature_detected!` inside `active_kernel`, and the
+            // slices have equal length (asserted above).
+            #[allow(unsafe_code)]
+            Kernel::Avx2 if dst.len() >= 32 => {
+                return unsafe { crate::gf256_simd::addmul_avx2(dst, src, nibbles, mul_row(c)) };
+            }
+            #[allow(unsafe_code)]
+            Kernel::Ssse3 if dst.len() >= 16 => {
+                return unsafe { crate::gf256_simd::addmul_ssse3(dst, src, nibbles, mul_row(c)) };
+            }
+            _ => {}
+        }
+    }
+    let row = mul_row(c);
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= row[*s as usize];
+    }
+}
+
+/// The portable table-driven body of [`addmul_slice`]; public so the SIMD
+/// path can be property-tested (and benchmarked) against it.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn addmul_slice_scalar(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "addmul_slice length mismatch");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        xor_slice_scalar(dst, src);
+        return;
+    }
     let row = mul_row(c);
     for (d, s) in dst.iter_mut().zip(src) {
         *d ^= row[*s as usize];
@@ -196,12 +362,50 @@ pub fn addmul_slice(dst: &mut [u8], src: &[u8], c: u8) {
 ///
 /// This is the "first column" of a parity row: writing the scaled source
 /// directly saves the zero-fill plus XOR that `addmul` into a fresh buffer
-/// would cost.
+/// would cost.  Dispatches like [`addmul_slice`].
 ///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
 pub fn mul_slice_into(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "mul_slice_into length mismatch");
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    if c == 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        let nibbles = &NIBBLE_TABLES[c as usize];
+        match active_kernel() {
+            // SAFETY: feature confirmed by `active_kernel`, lengths equal.
+            #[allow(unsafe_code)]
+            Kernel::Avx2 if dst.len() >= 32 => {
+                return unsafe { crate::gf256_simd::mul_into_avx2(dst, src, nibbles, mul_row(c)) };
+            }
+            #[allow(unsafe_code)]
+            Kernel::Ssse3 if dst.len() >= 16 => {
+                return unsafe { crate::gf256_simd::mul_into_ssse3(dst, src, nibbles, mul_row(c)) };
+            }
+            _ => {}
+        }
+    }
+    let row = mul_row(c);
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = row[*s as usize];
+    }
+}
+
+/// The portable table-driven body of [`mul_slice_into`]; public so the
+/// SIMD path can be property-tested against it.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul_slice_into_scalar(dst: &mut [u8], src: &[u8], c: u8) {
     assert_eq!(dst.len(), src.len(), "mul_slice_into length mismatch");
     if c == 0 {
         dst.fill(0);
@@ -362,6 +566,53 @@ mod tests {
             let expected: Vec<u8> = src.iter().map(|s| mul(c, *s)).collect();
             assert_eq!(dst, expected, "c = {c}");
         }
+    }
+
+    #[test]
+    fn nibble_tables_recompose_the_full_product() {
+        for c in 0..=255u8 {
+            let pair = &NIBBLE_TABLES[c as usize];
+            for b in 0..=255u8 {
+                let product = pair.lo[(b & 0x0F) as usize] ^ pair.hi[(b >> 4) as usize];
+                assert_eq!(product, mul(c, b), "c={c} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_kernels_match_scalar_across_lengths_and_coefficients() {
+        // Exercises whatever kernel this machine dispatches to (the proptest
+        // suite covers the same ground with random data and offsets).
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 1024] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 7 + 3) as u8).collect();
+            let base: Vec<u8> = (0..len).map(|i| (i * 13 + 1) as u8).collect();
+            for c in [0u8, 1, 2, 29, 128, 255] {
+                let mut simd = base.clone();
+                let mut scalar = base.clone();
+                addmul_slice(&mut simd, &src, c);
+                addmul_slice_scalar(&mut scalar, &src, c);
+                assert_eq!(simd, scalar, "addmul len={len} c={c}");
+
+                let mut simd = base.clone();
+                let mut scalar = base.clone();
+                mul_slice_into(&mut simd, &src, c);
+                mul_slice_into_scalar(&mut scalar, &src, c);
+                assert_eq!(simd, scalar, "mul_into len={len} c={c}");
+            }
+            let mut simd = base.clone();
+            let mut scalar = base;
+            xor_slice(&mut simd, &src);
+            xor_slice_scalar(&mut scalar, &src);
+            assert_eq!(simd, scalar, "xor len={len}");
+        }
+    }
+
+    #[test]
+    fn kernel_name_is_stable() {
+        let kernel = active_kernel();
+        assert!(matches!(kernel.name(), "avx2" | "ssse3" | "scalar"));
+        // Detection is cached: repeated calls agree.
+        assert_eq!(active_kernel(), kernel);
     }
 
     #[test]

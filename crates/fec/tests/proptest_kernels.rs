@@ -1,0 +1,151 @@
+//! Property-based byte-identity tests for the dispatched GF(2⁸) bulk
+//! kernels against the always-compiled scalar references.
+//!
+//! The dispatched functions (`addmul_slice`, `mul_slice_into`, `xor_slice`)
+//! pick AVX2/SSSE3 kernels at runtime; these tests pin them to the scalar
+//! path byte for byte over arbitrary lengths, unaligned subslices, tail
+//! remainders shorter than one SIMD lane, and **all 256 coefficients**.
+//! CI runs this suite twice — once as-is and once under
+//! `RAPIDWARE_FORCE_SCALAR=1` — so both sides of the dispatch stay covered.
+
+use proptest::prelude::*;
+use rapidware_fec::{gf256, FecCodec};
+
+/// Deterministic pseudo-random bytes from a seed (same LCG the other FEC
+/// property suites use).
+fn fill(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `addmul_slice` (dispatched) == scalar reference on arbitrary-length
+    /// unaligned subslices: `target[i] ^= c * source[i]`.
+    #[test]
+    fn addmul_dispatch_matches_scalar(
+        len in 0usize..300,
+        offset in 0usize..32,
+        c in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        // Carve the working slices out of larger buffers at a proptest-chosen
+        // offset so the kernels see every alignment of the 16/32-byte lanes.
+        let source = fill(seed, offset + len);
+        let backing = fill(seed ^ 0xABCD, offset + len);
+        let mut simd = backing.clone();
+        let mut scalar = backing.clone();
+        gf256::addmul_slice(&mut simd[offset..], &source[offset..], c);
+        gf256::addmul_slice_scalar(&mut scalar[offset..], &source[offset..], c);
+        prop_assert_eq!(simd, scalar);
+    }
+
+    /// `mul_slice_into` (dispatched) == scalar reference, including that
+    /// every stale byte of the target is overwritten.
+    #[test]
+    fn mul_into_dispatch_matches_scalar(
+        len in 0usize..300,
+        offset in 0usize..32,
+        c in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let source = fill(seed, offset + len);
+        let mut simd = vec![0x5A; offset + len];
+        let mut scalar = vec![0xA5; offset + len];
+        gf256::mul_slice_into(&mut simd[offset..], &source[offset..], c);
+        gf256::mul_slice_into_scalar(&mut scalar[offset..], &source[offset..], c);
+        prop_assert_eq!(&simd[offset..], &scalar[offset..]);
+    }
+
+    /// `xor_slice` (dispatched) == scalar reference.
+    #[test]
+    fn xor_dispatch_matches_scalar(
+        len in 0usize..300,
+        offset in 0usize..32,
+        seed in any::<u64>(),
+    ) {
+        let source = fill(seed, offset + len);
+        let backing = fill(seed ^ 0x1234, offset + len);
+        let mut simd = backing.clone();
+        let mut scalar = backing.clone();
+        gf256::xor_slice(&mut simd[offset..], &source[offset..]);
+        gf256::xor_slice_scalar(&mut scalar[offset..], &source[offset..]);
+        prop_assert_eq!(simd, scalar);
+    }
+
+    /// `FecCodec::decode_into` with a dirty reused scratch produces exactly
+    /// what the allocating `decode` does, for arbitrary (n, k), shard
+    /// contents, and erasure patterns.
+    #[test]
+    fn decode_into_matches_decode(
+        k in 1usize..8,
+        extra in 1usize..4,
+        shard_len in 1usize..80,
+        seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        let codec = FecCodec::new(n, k).unwrap();
+        let sources: Vec<Vec<u8>> = (0..k)
+            .map(|i| fill(seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15), shard_len))
+            .collect();
+        let refs: Vec<&[u8]> = sources.iter().map(|s| s.as_slice()).collect();
+        let parities = codec.encode(&refs).unwrap();
+
+        let mut shards: Vec<Vec<u8>> = sources;
+        shards.extend(parities);
+        // Survivors: a seed-chosen selection of exactly k of the n shards.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = ((state >> 33) as usize) % (i + 1);
+            order.swap(i, j);
+        }
+        let available: Vec<(usize, &[u8])> = order[..k]
+            .iter()
+            .map(|&i| (i, shards[i].as_slice()))
+            .collect();
+
+        let fresh = codec.decode(&available, shard_len).unwrap();
+        // Scratch deliberately dirty: wrong shard count, wrong lengths,
+        // stale bytes.
+        let mut scratch: Vec<Vec<u8>> = vec![vec![0xEE; shard_len + 17]; k + 3];
+        codec.decode_into(&available, shard_len, &mut scratch).unwrap();
+        prop_assert_eq!(fresh, scratch);
+    }
+}
+
+/// Every one of the 256 coefficients, across lengths that cover the empty
+/// slice, sub-lane tails, exact lane multiples, and lane+tail mixes for
+/// both the 16-byte SSSE3 and 32-byte AVX2 step sizes.
+#[test]
+fn all_256_coefficients_match_scalar_at_lane_boundary_lengths() {
+    for c in 0..=255u8 {
+        for len in [0usize, 1, 7, 15, 16, 17, 31, 32, 33, 48, 64, 100] {
+            let source = fill(u64::from(c) + 1, len);
+            let backing = fill(u64::from(c).wrapping_mul(77) + 3, len);
+
+            let mut simd = backing.clone();
+            let mut scalar = backing.clone();
+            gf256::addmul_slice(&mut simd, &source, c);
+            gf256::addmul_slice_scalar(&mut scalar, &source, c);
+            assert_eq!(simd, scalar, "addmul c={c} len={len}");
+
+            let mut simd = backing.clone();
+            let mut scalar = backing;
+            gf256::mul_slice_into(&mut simd, &source, c);
+            gf256::mul_slice_into_scalar(&mut scalar, &source, c);
+            assert_eq!(simd, scalar, "mul_into c={c} len={len}");
+        }
+    }
+}

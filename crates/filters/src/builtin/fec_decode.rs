@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use rapidware_fec::{BlockReconstructor, FecCodec, FecError};
+use rapidware_fec::{BlockReconstructor, DecodeScratch, FecCodec, FecError};
 use rapidware_packet::{Packet, PacketKind};
 
 use crate::error::FilterError;
@@ -80,6 +80,11 @@ pub struct FecDecoderFilter {
     /// Reused wire-encoding buffer for feeding received source packets into
     /// block reconstructors without a per-packet allocation.
     wire_scratch: Vec<u8>,
+    /// Reused shard buffers for block recovery.  The filter is owned by one
+    /// chain (itself owned by one runtime task), so this doubles as the
+    /// per-task decode arena: steady-state recovery allocates no shard
+    /// buffers.
+    decode_scratch: DecodeScratch,
 }
 
 impl std::fmt::Debug for FecDecoderFilter {
@@ -113,6 +118,7 @@ impl FecDecoderFilter {
             forward_parity: false,
             stats: Arc::new(FecDecoderStats::default()),
             wire_scratch: Vec::new(),
+            decode_scratch: DecodeScratch::new(),
         })
     }
 
@@ -155,6 +161,7 @@ impl FecDecoderFilter {
         k: usize,
         recovered_seqs: &mut HashSet<u64>,
         stats: &FecDecoderStats,
+        scratch: &mut DecodeScratch,
         out: &mut dyn FilterOutput,
     ) -> Result<bool, FilterError> {
         if !state.reconstructor.is_decodable() {
@@ -163,7 +170,7 @@ impl FecDecoderFilter {
         if state.reconstructor.missing_slots().is_empty() {
             return Ok(true);
         }
-        match state.reconstructor.recover() {
+        match state.reconstructor.recover_with(scratch) {
             Ok(recovered) => {
                 for payload in recovered {
                     if payload.data.is_empty() {
@@ -242,28 +249,31 @@ impl FecDecoderFilter {
                 let shard = &payload[8..];
                 let parity_index = usize::from(index).saturating_sub(self.codec.k());
 
-                // Attach any already-seen sources of this block.
+                // Attach any already-seen sources of this block, wire-encoded
+                // through the reused scratch buffer (no per-source clone or
+                // allocation).
                 let k = self.codec.k();
-                let sources: Vec<(usize, Packet)> = (0..k as u64)
-                    .filter_map(|slot| {
-                        self.recent_sources
-                            .get(&(first_seq + slot))
-                            .map(|p| (slot as usize, p.clone()))
-                    })
-                    .collect();
                 let codec = self.codec.clone();
                 let state = self.blocks.entry(first_seq).or_insert_with(|| BlockState {
                     reconstructor: BlockReconstructor::new(codec),
                     first_seq,
                     recovery_attempted: false,
                 });
-                for (slot, source) in &sources {
-                    state
-                        .reconstructor
-                        .add_source(*slot, &source.encode())?;
+                for slot in 0..k {
+                    if let Some(source) = self.recent_sources.get(&(first_seq + slot as u64)) {
+                        source.encode_into(&mut self.wire_scratch);
+                        state.reconstructor.add_source(slot, &self.wire_scratch)?;
+                    }
                 }
                 state.reconstructor.add_parity(parity_index, shard)?;
-                Self::try_recover(state, k, &mut self.recovered_seqs, &self.stats, out)?;
+                Self::try_recover(
+                    state,
+                    k,
+                    &mut self.recovered_seqs,
+                    &self.stats,
+                    &mut self.decode_scratch,
+                    out,
+                )?;
                 if self.forward_parity {
                     out.emit(packet);
                 }
@@ -301,6 +311,7 @@ impl FecDecoderFilter {
                             k as usize,
                             &mut self.recovered_seqs,
                             &stats,
+                            &mut self.decode_scratch,
                             out,
                         )?;
                     }

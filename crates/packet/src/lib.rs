@@ -43,7 +43,7 @@ mod packet;
 mod stats;
 
 pub use buffer::{BufferPush, PacketBuffer};
-pub use crc::{crc32, crc32_finish, crc32_init, crc32_update};
+pub use crc::{crc32, crc32_finish, crc32_init, crc32_update, crc32_update_bytewise};
 pub use id::{BlockId, SeqNo, StreamId};
 pub use kind::{FrameType, PacketKind};
 pub use packet::{DecodeError, Packet, PacketHeader, HEADER_LEN, MAX_PAYLOAD_LEN};

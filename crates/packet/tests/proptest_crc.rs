@@ -1,0 +1,50 @@
+//! Property-based equivalence tests for the slice-by-16 CRC-32 against the
+//! classic byte-at-a-time reference.
+//!
+//! `crc32_update` folds sixteen bytes per step through sixteen derived
+//! tables; `crc32_update_bytewise` is the textbook loop.  These tests pin
+//! the wide path to the reference over arbitrary contents, lengths (seams
+//! at every `len % 16`), split points, and non-initial starting states.
+
+use proptest::prelude::*;
+use rapidware_packet::{crc32, crc32_finish, crc32_init, crc32_update, crc32_update_bytewise};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The wide path equals the byte-wise path on arbitrary input.
+    #[test]
+    fn slice_by_16_matches_bytewise(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        prop_assert_eq!(
+            crc32_update(crc32_init(), &data),
+            crc32_update_bytewise(crc32_init(), &data)
+        );
+    }
+
+    /// Equality also holds from an arbitrary (mid-stream) starting state,
+    /// not just the init value — the form the incremental packet codec
+    /// actually uses.
+    #[test]
+    fn equivalence_from_any_starting_state(
+        state in any::<u32>(),
+        data in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        prop_assert_eq!(
+            crc32_update(state, &data),
+            crc32_update_bytewise(state, &data)
+        );
+    }
+
+    /// Splitting the input at any point and feeding both halves through the
+    /// wide path agrees with the one-shot checksum.
+    #[test]
+    fn incremental_splits_agree_with_one_shot(
+        data in proptest::collection::vec(any::<u8>(), 0..150),
+        split_seed in any::<usize>(),
+    ) {
+        let split = if data.is_empty() { 0 } else { split_seed % (data.len() + 1) };
+        let state = crc32_update(crc32_init(), &data[..split]);
+        let state = crc32_update(state, &data[split..]);
+        prop_assert_eq!(crc32_finish(state), crc32(&data));
+    }
+}

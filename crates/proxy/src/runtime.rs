@@ -1050,10 +1050,13 @@ impl ChainWork {
                 inner.pending_out = leftover;
                 inner.pending_out.is_empty()
             }
-            Err(_) => {
+            Err(error) => {
                 // Sender or receiver closed: the downstream consumer is
-                // gone, so the backlog can only be discarded.
-                inner.pending_out = Vec::new();
+                // gone, so the backlog can only be discarded — keeping its
+                // allocation for the next batch.
+                let mut items = error.into_inner();
+                items.clear();
+                inner.pending_out = items;
                 true
             }
         }
@@ -1374,18 +1377,14 @@ impl TaskWork for Arc<FanoutWork> {
         }
         match self.head_rx.try_recv_up_to(self.batch_size) {
             Ok(batch) => {
-                // Clone to all but the last live lane; move into the last.
-                // Payloads are Arc-backed, so a clone is a refcount bump.
-                let live: Vec<usize> = inner
-                    .lanes
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, lane)| !lane.dead)
-                    .map(|(index, _)| index)
-                    .collect();
-                if let Some((&last, rest)) = live.split_last() {
-                    for &index in rest {
-                        inner.lanes[index].pending = batch.clone();
+                // Clone to all but the last live lane, reusing each lane's
+                // pending allocation (flush_lanes just emptied them); move
+                // the batch itself into the last.  Payloads are Arc-backed,
+                // so a clone is a refcount bump.
+                if let Some(last) = inner.lanes.iter().rposition(|lane| !lane.dead) {
+                    for lane in inner.lanes[..last].iter_mut().filter(|lane| !lane.dead) {
+                        lane.pending.clear();
+                        lane.pending.extend(batch.iter().cloned());
                     }
                     inner.lanes[last].pending = batch;
                 }

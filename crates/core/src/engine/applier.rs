@@ -18,11 +18,15 @@
 //! control packets through untouched and each stage is FIFO, so everything
 //! the window produced is collected, in order, before the engine moves on.
 
-use rapidware_filters::FilterChain;
+use std::sync::Arc;
+
+use rapidware_filters::{ChainSpans, FilterChain};
 use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
-use rapidware_proxy::{FilterRegistry, Proxy, RuntimeConfig};
+use rapidware_proxy::{FilterRegistry, Proxy, Registry, RuntimeConfig};
 use rapidware_raplets::{apply_to_proxy, AdaptationAction};
 use rapidware_streams::{DetachableReceiver, DetachableSender};
+
+use super::report::LatencySummary;
 
 /// Stream id reserved for quiescence markers so they can never collide with
 /// media traffic.
@@ -54,6 +58,13 @@ pub trait ActionApplier {
     /// (e.g. parity for a partial FEC block).  The applier must not be used
     /// afterwards.
     fn finish(&mut self) -> Vec<Packet>;
+
+    /// End-to-end latency percentiles observed by the applier's telemetry
+    /// spans, or `None` for appliers without instrumentation.  Purely
+    /// observational — latency never participates in report equality.
+    fn latency(&self) -> Option<LatencySummary> {
+        None
+    }
 }
 
 /// Applies adaptation actions to a synchronous [`FilterChain`], returning
@@ -122,14 +133,21 @@ fn position_of_kind(chain: &FilterChain, kind: &str) -> Option<usize> {
 pub struct SyncChainApplier {
     chain: FilterChain,
     registry: FilterRegistry,
+    telemetry: Arc<Registry>,
 }
 
 impl SyncChainApplier {
     /// Creates an applier around an empty chain and the built-in registry.
+    /// The chain carries egress telemetry spans so the run's report can
+    /// surface end-to-end latency percentiles.
     pub fn new() -> Self {
+        let telemetry = Registry::new();
+        let mut chain = FilterChain::new();
+        chain.set_spans(ChainSpans::egress(&telemetry, "stream.scenario"));
         Self {
-            chain: FilterChain::new(),
+            chain,
             registry: FilterRegistry::with_builtins(),
+            telemetry,
         }
     }
 }
@@ -164,6 +182,10 @@ impl ActionApplier for SyncChainApplier {
     fn finish(&mut self) -> Vec<Packet> {
         self.chain.flush().expect("scenario filters do not fail")
     }
+
+    fn latency(&self) -> Option<LatencySummary> {
+        LatencySummary::from_snapshot(&self.telemetry.snapshot())
+    }
 }
 
 /// The live applier: one stream on a thread-per-filter [`Proxy`],
@@ -172,6 +194,7 @@ impl ActionApplier for SyncChainApplier {
 pub struct ThreadedProxyApplier {
     proxy: Proxy,
     stream: String,
+    telemetry: Arc<Registry>,
     input: DetachableSender<Packet>,
     output: DetachableReceiver<Packet>,
     next_marker: u64,
@@ -191,6 +214,10 @@ impl ThreadedProxyApplier {
     /// so the only failure is resource exhaustion).
     pub fn new(batch_size: usize, window_hint: usize) -> Self {
         let mut proxy = Proxy::new("scenario-proxy");
+        // Telemetry goes on before the stream exists so its chain picks up
+        // lifecycle spans at creation (spans reach threaded filter workers
+        // when they spawn).
+        let telemetry = proxy.enable_telemetry();
         let capacity = (window_hint.max(32)) * 4;
         let (input, output) = proxy
             .add_stream_batched("scenario", capacity, batch_size.max(1))
@@ -198,6 +225,7 @@ impl ThreadedProxyApplier {
         Self {
             proxy,
             stream: "scenario".to_string(),
+            telemetry,
             input,
             output,
             next_marker: 0,
@@ -281,6 +309,10 @@ impl ActionApplier for ThreadedProxyApplier {
         }
         residue
     }
+
+    fn latency(&self) -> Option<LatencySummary> {
+        LatencySummary::from_snapshot(&self.telemetry.snapshot())
+    }
 }
 
 impl Drop for ThreadedProxyApplier {
@@ -304,6 +336,7 @@ impl Drop for ThreadedProxyApplier {
 pub struct RuntimeApplier {
     proxy: Proxy,
     stream: String,
+    telemetry: Arc<Registry>,
     input: DetachableSender<Packet>,
     output: DetachableReceiver<Packet>,
     next_marker: u64,
@@ -326,12 +359,16 @@ impl RuntimeApplier {
         let capacity = (window_hint.max(32)) * 4;
         let config = RuntimeConfig::new(shards, batch_size).with_pipe_capacity(capacity);
         let mut proxy = Proxy::with_runtime("scenario-proxy", config);
+        // Spans plus runtime profiling (poll / queue-wait histograms) go on
+        // before the stream exists, mirroring the threaded applier.
+        let telemetry = proxy.enable_telemetry();
         let (input, output) = proxy
             .add_stream_pooled("scenario")
             .expect("fresh proxy with a runtime accepts its first pooled stream");
         Self {
             proxy,
             stream: "scenario".to_string(),
+            telemetry,
             input,
             output,
             next_marker: 0,
@@ -383,6 +420,10 @@ impl ActionApplier for RuntimeApplier {
             residue.push(packet);
         }
         residue
+    }
+
+    fn latency(&self) -> Option<LatencySummary> {
+        LatencySummary::from_snapshot(&self.telemetry.snapshot())
     }
 }
 

@@ -35,11 +35,11 @@
 use std::collections::HashSet;
 use std::fmt;
 
-use rapidware_filters::{FecDecoderFilter, FilterChain};
+use rapidware_filters::{ChainSpans, FecDecoderFilter, FilterChain};
 use rapidware_media::{AudioConfig, AudioSource};
 use rapidware_netsim::{ReceiverId, SimTime, WirelessLan};
 use rapidware_packet::{Packet, PacketKind, SeqNo, StreamId};
-use rapidware_proxy::{FilterRegistry, FilterSpec, PooledSession, Session};
+use rapidware_proxy::{FilterRegistry, FilterSpec, PooledSession, Registry, Session};
 use rapidware_raplets::{
     apply_to_session, AdaptationAction, AdaptationEngine, FecResponder, LinkSample,
     LossRateObserver,
@@ -47,7 +47,7 @@ use rapidware_raplets::{
 use rapidware_streams::DetachableReceiver;
 
 use super::applier::{apply_actions_to_chain, marker_stream};
-use super::report::ReceiverOutcome;
+use super::report::{LatencySummary, ReceiverOutcome};
 use super::spec::{validate_regime, LossRegime, RapletSet, SpecError};
 use super::trace::{describe_action, describe_event, ScenarioTrace, TraceEvent};
 use super::TimelineEntry;
@@ -279,6 +279,14 @@ pub trait FanoutApplier {
     /// lane tail, returning each lane's residue in lane order.  The applier
     /// must not be used afterwards.
     fn finish(&mut self) -> Vec<Vec<Packet>>;
+
+    /// End-to-end latency percentiles (head ingress to lane egress, all
+    /// lanes merged) observed by the applier's telemetry spans, or `None`
+    /// for appliers without instrumentation.  Purely observational —
+    /// latency never participates in report equality.
+    fn latency(&self) -> Option<LatencySummary> {
+        None
+    }
 }
 
 /// The synchronous fanout applier: one [`FilterChain`] head, one per lane.
@@ -286,6 +294,7 @@ pub struct SyncFanoutApplier {
     head: FilterChain,
     lanes: Vec<FilterChain>,
     registry: FilterRegistry,
+    telemetry: std::sync::Arc<Registry>,
 }
 
 impl fmt::Debug for SyncFanoutApplier {
@@ -307,17 +316,38 @@ impl SyncFanoutApplier {
     /// expected to reference registered kinds).
     pub fn for_spec(spec: &FanoutSpec) -> Self {
         let registry = FilterRegistry::with_builtins();
+        let telemetry = Registry::new();
         let mut head = FilterChain::new();
+        // Interior spans on the head stamp ingress; egress spans on each
+        // lane close the ingress-to-egress measurement, so lane e2e covers
+        // the full head-plus-tail path.
+        head.set_spans(ChainSpans::interior(
+            &telemetry,
+            format!("session.{}.head", spec.name),
+        ));
         for filter_spec in &spec.head_filters {
             let filter = registry
                 .instantiate(filter_spec)
                 .expect("head filter specs reference registered kinds");
             head.push_back(filter).expect("appending to a fresh chain never fails");
         }
+        let lanes = spec
+            .lanes
+            .iter()
+            .map(|lane| {
+                let mut chain = FilterChain::new();
+                chain.set_spans(ChainSpans::egress(
+                    &telemetry,
+                    format!("session.{}.lane.{}", spec.name, lane.name),
+                ));
+                chain
+            })
+            .collect();
         Self {
             head,
-            lanes: spec.lanes.iter().map(|_| FilterChain::new()).collect(),
+            lanes,
             registry,
+            telemetry,
         }
     }
 }
@@ -378,6 +408,10 @@ impl FanoutApplier for SyncFanoutApplier {
             })
             .collect()
     }
+
+    fn latency(&self) -> Option<LatencySummary> {
+        LatencySummary::from_snapshot(&self.telemetry.snapshot())
+    }
 }
 
 /// The live fanout applier: a threaded [`Session`] (shared head chain,
@@ -390,6 +424,7 @@ impl FanoutApplier for SyncFanoutApplier {
 /// emerges.
 pub struct SessionFanoutApplier {
     session: Session,
+    telemetry: std::sync::Arc<Registry>,
     lane_names: Vec<String>,
     outputs: Vec<DetachableReceiver<Packet>>,
     /// Packets collected for a lane outside its own turn (possible only if
@@ -426,6 +461,10 @@ impl SessionFanoutApplier {
             spec.batch_size.max(1),
         )
         .expect("fresh sessions are always constructible");
+        // Spans go on before head filters and lanes exist so every worker
+        // picks them up when it spawns.
+        let telemetry = Registry::new();
+        session.enable_telemetry(&telemetry);
         for (position, filter_spec) in spec.head_filters.iter().enumerate() {
             session
                 .insert_head_filter(position, filter_spec)
@@ -440,6 +479,7 @@ impl SessionFanoutApplier {
         let lane_count = lane_names.len();
         Self {
             session,
+            telemetry,
             lane_names,
             outputs,
             pending: vec![Vec::new(); lane_count],
@@ -602,6 +642,10 @@ impl FanoutApplier for SessionFanoutApplier {
         drain_lanes_to_eof(&self.outputs, &mut residue);
         residue
     }
+
+    fn latency(&self) -> Option<LatencySummary> {
+        LatencySummary::from_snapshot(&self.telemetry.snapshot())
+    }
 }
 
 impl Drop for SessionFanoutApplier {
@@ -625,6 +669,7 @@ impl Drop for SessionFanoutApplier {
 pub struct RuntimeFanoutApplier {
     runtime: std::sync::Arc<rapidware_proxy::Runtime>,
     session: PooledSession,
+    telemetry: std::sync::Arc<Registry>,
     lane_names: Vec<String>,
     outputs: Vec<DetachableReceiver<Packet>>,
     /// Packets collected for a lane outside its own turn; prepended to that
@@ -666,6 +711,11 @@ impl RuntimeFanoutApplier {
             capacity,
             spec.batch_size.max(1),
         );
+        // Session spans plus runtime profiling go on before the head
+        // filters and lanes exist, mirroring the threaded applier.
+        let telemetry = Registry::new();
+        runtime.enable_telemetry(&telemetry);
+        session.enable_telemetry(&telemetry);
         for (position, filter_spec) in spec.head_filters.iter().enumerate() {
             session
                 .insert_head_filter(position, filter_spec)
@@ -681,6 +731,7 @@ impl RuntimeFanoutApplier {
         Self {
             runtime,
             session,
+            telemetry,
             lane_names,
             outputs,
             pending: vec![Vec::new(); lane_count],
@@ -752,6 +803,10 @@ impl FanoutApplier for RuntimeFanoutApplier {
         drain_lanes_to_eof(&self.outputs, &mut residue);
         residue
     }
+
+    fn latency(&self) -> Option<LatencySummary> {
+        LatencySummary::from_snapshot(&self.telemetry.snapshot())
+    }
 }
 
 impl Drop for RuntimeFanoutApplier {
@@ -797,7 +852,7 @@ impl LaneReport {
 
 /// The outcome of one fanout run: per-lane accounting plus head-chain
 /// state.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct FanoutReport {
     /// Scenario name (from the spec).
     pub scenario: String,
@@ -809,6 +864,24 @@ pub struct FanoutReport {
     pub head_filters: Vec<String>,
     /// Per-lane accounting, in spec order.
     pub lanes: Vec<LaneReport>,
+    /// End-to-end latency percentiles (head ingress to lane egress, all
+    /// lanes merged), when the applier carried telemetry spans.  Excluded
+    /// from `PartialEq`: latency is host- and scheduler-dependent, while
+    /// the rest of the report is deterministic given the seed.
+    pub latency: Option<LatencySummary>,
+}
+
+impl PartialEq for FanoutReport {
+    fn eq(&self, other: &Self) -> bool {
+        // `latency` is deliberately omitted: replayed traces carry no
+        // timing, and cross-applier byte-identity must not depend on
+        // wall-clock measurements.
+        self.scenario == other.scenario
+            && self.seed == other.seed
+            && self.source_packets_sent == other.source_packets_sent
+            && self.head_filters == other.head_filters
+            && self.lanes == other.lanes
+    }
 }
 
 impl FanoutReport {
@@ -834,6 +907,8 @@ impl FanoutReport {
             source_packets_sent: 0,
             head_filters: Vec::new(),
             lanes: Vec::new(),
+            // Traces record packet accounting, not wall-clock timing.
+            latency: None,
         };
         let mut timelines: Vec<(usize, TimelineEntry)> = Vec::new();
         for event in trace.events() {
@@ -1275,6 +1350,7 @@ impl FanoutEngine {
             source_packets_sent: source_packets,
             head_filters,
             lanes: report_lanes,
+            latency: applier.latency(),
         };
         // Per-lane timelines are exactly what replay extracts from the
         // trace; reuse it so the two can never disagree structurally.
@@ -1416,6 +1492,54 @@ mod tests {
         let pooled = engine.run_pooled();
         assert_eq!(sync.trace.canonical_text(), pooled.trace.canonical_text());
         assert_eq!(sync.report, pooled.report);
+    }
+
+    /// Conformance for the latency extension: every instrumented applier
+    /// surfaces end-to-end percentiles, packet accounting stays identical
+    /// across appliers, and the latency field never participates in report
+    /// equality (wall-clock measurements differ run to run, so reports
+    /// would otherwise never compare equal).
+    #[test]
+    fn latency_percentiles_ride_along_without_breaking_report_identity() {
+        let spec = FanoutSpec::wired_plus_lossy_wlan().with_packets(400);
+        let engine = FanoutEngine::new(spec.clone());
+        let sync = engine.run_sync();
+        let pooled = engine.run_pooled();
+
+        // Identical packet accounting, lane by lane.
+        assert_eq!(sync.report, pooled.report);
+        assert_eq!(
+            sync.report.source_packets_sent,
+            pooled.report.source_packets_sent
+        );
+        for (a, b) in sync.report.lanes.iter().zip(&pooled.report.lanes) {
+            assert_eq!(a.outcome, b.outcome, "lane {} accounting", a.name);
+            assert_eq!(a.parity_sent, b.parity_sent, "lane {} parity", a.name);
+        }
+
+        // Both appliers timed every surfaced packet.
+        for (label, outcome) in [("sync", &sync), ("pooled", &pooled)] {
+            let latency = outcome
+                .report
+                .latency
+                .unwrap_or_else(|| panic!("{label} applier is instrumented"));
+            assert!(latency.count > 0, "{label} timed packets");
+            assert!(latency.p50_ns <= latency.p99_ns, "{label} percentiles ordered");
+        }
+
+        // Replay reconstructs the accounting but not the timing, and the
+        // reports still compare equal — latency is excluded from equality.
+        let replayed = FanoutReport::replay(&sync.trace);
+        assert_eq!(replayed.latency, None);
+        assert_eq!(replayed, sync.report);
+
+        // Two reports that differ only in latency are equal; a packet-count
+        // difference still breaks equality.
+        let mut relabelled = sync.report.clone();
+        relabelled.latency = None;
+        assert_eq!(relabelled, sync.report);
+        relabelled.source_packets_sent += 1;
+        assert_ne!(relabelled, sync.report);
     }
 
     #[test]

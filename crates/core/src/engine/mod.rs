@@ -60,7 +60,7 @@ pub use fanout::{
     RuntimeFanoutApplier, SessionFanoutApplier, SyncFanoutApplier,
 };
 pub use generate::{ChurnEvent, GeneratedShape, GeneratedSpec, PlacementKind, PlacementSpec};
-pub use report::{ReceiverOutcome, ScenarioReport, TimelineEntry};
+pub use report::{LatencySummary, ReceiverOutcome, ScenarioReport, TimelineEntry};
 pub use spec::{LossRegime, RapletSet, ScenarioSpec, SpecError};
 pub use trace::{describe_action, describe_event, ScenarioTrace, TraceEvent};
 
@@ -474,6 +474,7 @@ impl ScenarioEngine {
             receivers: outcomes,
             timeline: trace.adaptation_timeline(),
             final_filters,
+            latency: chain.latency(),
         };
         Ok(ScenarioOutcome { report, trace })
     }
@@ -589,6 +590,39 @@ mod tests {
         assert!(outcome.report.recovered_total() > 0, "FEC must repair some losses");
         assert!(outcome.report.converged());
         assert_eq!(outcome.trace.replay(), outcome.report);
+    }
+
+    /// Conformance for the latency extension on the flat engine: the sync
+    /// and pooled appliers report identical packet counts, both surface
+    /// end-to-end percentiles, and latency never participates in report
+    /// equality (replayed traces carry none).
+    #[test]
+    fn latency_percentiles_ride_along_without_breaking_report_identity() {
+        let spec = ScenarioSpec::handoff_cliff().with_packets(400);
+        let engine = ScenarioEngine::new(spec);
+        let sync = engine.run_sync();
+        let pooled = engine.run_pooled();
+
+        assert_eq!(sync.report, pooled.report);
+        assert_eq!(sync.report.receivers, pooled.report.receivers);
+        for (label, outcome) in [("sync", &sync), ("pooled", &pooled)] {
+            let latency = outcome
+                .report
+                .latency
+                .unwrap_or_else(|| panic!("{label} applier is instrumented"));
+            assert!(latency.count > 0, "{label} timed packets");
+            assert!(latency.p50_ns <= latency.p99_ns, "{label} percentiles ordered");
+        }
+
+        let replayed = sync.trace.replay();
+        assert_eq!(replayed.latency, None);
+        assert_eq!(replayed, sync.report, "equality ignores the latency field");
+
+        let mut relabelled = sync.report.clone();
+        relabelled.latency = None;
+        assert_eq!(relabelled, sync.report);
+        relabelled.source_packets_sent += 1;
+        assert_ne!(relabelled, sync.report);
     }
 
     #[test]

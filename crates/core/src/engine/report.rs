@@ -3,6 +3,7 @@
 use std::fmt;
 
 use rapidware_netsim::SimTime;
+use rapidware_proxy::{HistogramSnapshot, TelemetrySnapshot};
 
 /// One timestamped entry of the adaptation timeline (an observer event, an
 /// applied action, or the resulting chain configuration).
@@ -51,9 +52,63 @@ impl ReceiverOutcome {
     }
 }
 
+/// End-to-end latency percentiles observed by an applier's telemetry
+/// spans: wall-clock time from chain ingress to chain egress.
+///
+/// Latency is *observational*: it depends on the host, the scheduler, and
+/// the applier's runtime, so — unlike the packet accounting — it is
+/// **excluded from report equality**.  Two runs that differ only in
+/// latency compare equal, which is what keeps the sync/threaded/pooled
+/// byte-identity and trace-replay invariants intact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Packets timed end-to-end.
+    pub count: u64,
+    /// Median ingress-to-egress latency, in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile ingress-to-egress latency, in nanoseconds.
+    pub p99_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarises one end-to-end histogram; `None` if nothing was timed.
+    pub fn from_histogram(histogram: &HistogramSnapshot) -> Option<Self> {
+        if histogram.is_empty() {
+            return None;
+        }
+        Some(Self {
+            count: histogram.count(),
+            p50_ns: histogram.percentile(0.50),
+            p99_ns: histogram.percentile(0.99),
+        })
+    }
+
+    /// Summarises every end-to-end span in a telemetry snapshot (all
+    /// histograms named `*.e2e_ns`, merged); `None` if nothing was timed.
+    pub fn from_snapshot(snapshot: &TelemetrySnapshot) -> Option<Self> {
+        let mut merged = HistogramSnapshot::default();
+        for (name, histogram) in &snapshot.histograms {
+            if name.ends_with(".e2e_ns") {
+                merged.merge(histogram);
+            }
+        }
+        Self::from_histogram(&merged)
+    }
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p50={}ns p99={}ns over {} packets",
+            self.p50_ns, self.p99_ns, self.count
+        )
+    }
+}
+
 /// The outcome of one closed-loop scenario run: delivery accounting plus
 /// the adaptation timeline.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ScenarioReport {
     /// Scenario name (from the spec).
     pub scenario: String,
@@ -70,6 +125,26 @@ pub struct ScenarioReport {
     pub timeline: Vec<TimelineEntry>,
     /// Filters still installed on the sender chain when the run ended.
     pub final_filters: Vec<String>,
+    /// End-to-end latency percentiles, when the applier was instrumented
+    /// with telemetry spans.  Excluded from `PartialEq`: latency is host-
+    /// and scheduler-dependent, while the rest of the report is
+    /// deterministic given the seed.
+    pub latency: Option<LatencySummary>,
+}
+
+impl PartialEq for ScenarioReport {
+    fn eq(&self, other: &Self) -> bool {
+        // `latency` is deliberately omitted: replayed traces carry no
+        // timing, and cross-applier byte-identity must not depend on
+        // wall-clock measurements.
+        self.scenario == other.scenario
+            && self.seed == other.seed
+            && self.source_packets_sent == other.source_packets_sent
+            && self.parity_packets_sent == other.parity_packets_sent
+            && self.receivers == other.receivers
+            && self.timeline == other.timeline
+            && self.final_filters == other.final_filters
+    }
 }
 
 impl ScenarioReport {
@@ -198,6 +273,7 @@ mod tests {
                 },
             ],
             final_filters: Vec::new(),
+            latency: None,
         }
     }
 

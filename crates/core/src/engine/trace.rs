@@ -370,6 +370,10 @@ impl ScenarioTrace {
             receivers: Vec::new(),
             timeline: self.adaptation_timeline(),
             final_filters: Vec::new(),
+            // Traces record packet accounting, not wall-clock timing, so a
+            // replayed report never carries latency (and equality with the
+            // live report ignores the field).
+            latency: None,
         };
         for event in &self.events {
             match event {

@@ -528,6 +528,24 @@ impl SecureChannelSnapshot {
     }
 }
 
+impl rapidware_telemetry::StatSource for SecureChannelStats {
+    fn snapshot(&self) -> Vec<rapidware_telemetry::Metric> {
+        rapidware_telemetry::StatSource::snapshot(&self.snapshot())
+    }
+}
+
+impl rapidware_telemetry::StatSource for SecureChannelSnapshot {
+    fn snapshot(&self) -> Vec<rapidware_telemetry::Metric> {
+        use rapidware_telemetry::Metric;
+        vec![
+            Metric::new("sealed", self.sealed),
+            Metric::new("opened", self.opened),
+            Metric::new("rejected", self.rejected),
+            Metric::new("rekeys", self.rekeys),
+        ]
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The epoch table shared by both filters.
 // ---------------------------------------------------------------------------

@@ -9,11 +9,14 @@
 //! connected by detachable pipes.
 
 use std::fmt;
+use std::sync::Arc;
 
 use rapidware_packet::Packet;
+use rapidware_telemetry::now_ns;
 
 use crate::error::FilterError;
 use crate::filter::{Filter, FilterDescriptor, InsertionPoint};
+use crate::telemetry::ChainSpans;
 
 /// A record of a reconfiguration performed on a chain, for observability and
 /// tests.
@@ -63,6 +66,7 @@ pub struct FilterChain {
     events: Vec<ChainEvent>,
     packets_in: u64,
     packets_out: u64,
+    spans: Option<Arc<ChainSpans>>,
 }
 
 impl Default for FilterChain {
@@ -92,7 +96,23 @@ impl FilterChain {
             events: Vec::new(),
             packets_in: 0,
             packets_out: 0,
+            spans: None,
         }
+    }
+
+    /// Attaches latency spans: incoming packets are ingress-stamped, every
+    /// batch records its chain-processing duration, per-filter stage
+    /// timings are sampled 1-in-N, and — when `spans` was built with
+    /// [`ChainSpans::egress`] — each packet records its end-to-end latency
+    /// as it leaves the chain.  A chain without spans (the default) takes
+    /// no clock readings at all.
+    pub fn set_spans(&mut self, spans: Arc<ChainSpans>) {
+        self.spans = Some(spans);
+    }
+
+    /// The attached latency spans, if any.
+    pub fn spans(&self) -> Option<&Arc<ChainSpans>> {
+        self.spans.as_ref()
     }
 
     /// Number of active filters (excluding deferred insertions).
@@ -283,13 +303,21 @@ impl FilterChain {
     /// # Errors
     ///
     /// Propagates the first filter error encountered.
-    pub fn process(&mut self, packet: Packet) -> Result<Vec<Packet>, FilterError> {
+    pub fn process(&mut self, mut packet: Packet) -> Result<Vec<Packet>, FilterError> {
+        let span = self.spans.as_ref().map(|spans| {
+            let now = now_ns();
+            packet.stamp_ingress_ns(now);
+            (Arc::clone(spans), now)
+        });
         self.packets_in += 1;
         if !self.pending.is_empty() && packet.is_insertion_boundary() {
             self.apply_pending();
         }
         let out = self.run_from(0, vec![packet])?;
         self.packets_out += out.len() as u64;
+        if let Some((spans, start)) = span {
+            record_exit(&spans, start, &out);
+        }
         Ok(out)
     }
 
@@ -371,10 +399,20 @@ impl FilterChain {
     /// `output` before the error stay appended.
     pub fn process_batch_into(
         &mut self,
-        packets: Vec<Packet>,
+        mut packets: Vec<Packet>,
         output: &mut Vec<Packet>,
     ) -> Result<(), FilterError> {
         let before = output.len();
+        // One clock read stamps the whole batch: packets that crossed an
+        // instrumented boundary upstream keep their original stamp (first
+        // touch wins), locally injected packets start their span here.
+        let span = self.spans.as_ref().map(|spans| {
+            let now = now_ns();
+            for packet in &mut packets {
+                packet.stamp_ingress_ns(now);
+            }
+            (Arc::clone(spans), now)
+        });
         if self.pending.is_empty() {
             self.run_batch_from(0, packets, output)?;
         } else {
@@ -397,6 +435,9 @@ impl FilterChain {
             }
         }
         self.packets_out += (output.len() - before) as u64;
+        if let Some((spans, start)) = span {
+            record_exit(&spans, start, &output[before..]);
+        }
         Ok(())
     }
 
@@ -412,13 +453,26 @@ impl FilterChain {
         // does not inflate packets_in with packets that were never offered
         // to the filters.
         self.packets_in += packets.len() as u64;
+        // Per-filter timing is sampled: most batches take the untimed
+        // branch and pay nothing beyond the `Option` check.
+        let timing = match &self.spans {
+            Some(spans) if spans.sample_stages() => Some(Arc::clone(spans)),
+            _ => None,
+        };
         let mut current = packets;
         for index in start..self.filters.len() {
             if current.is_empty() {
                 break;
             }
             let mut next: Vec<Packet> = Vec::with_capacity(current.len());
-            self.filters[index].process_batch(current, &mut next)?;
+            if let Some(spans) = &timing {
+                let stage_start = now_ns();
+                self.filters[index].process_batch(current, &mut next)?;
+                let elapsed = now_ns().saturating_sub(stage_start);
+                spans.stage_histogram(self.filters[index].name()).record(elapsed);
+            } else {
+                self.filters[index].process_batch(current, &mut next)?;
+            }
             current = next;
         }
         output.append(&mut current);
@@ -478,6 +532,38 @@ impl FilterChain {
             current = next;
         }
         Ok(current)
+    }
+}
+
+/// Records the chain-exit instruments: the whole-batch processing duration
+/// and, when the chain is an egress stage, each emitted packet's
+/// end-to-end latency from its ingress stamp.  One clock read covers the
+/// whole batch.
+fn record_exit(spans: &ChainSpans, start_ns: u64, emitted: &[Packet]) {
+    let now = now_ns();
+    spans.batch_ns().record(now.saturating_sub(start_ns));
+    if let Some(e2e) = spans.e2e() {
+        // Packets stamped at the same upstream boundary share an ingress
+        // timestamp, so a batch typically collapses into one or two runs of
+        // identical latencies — record each run as a group instead of
+        // paying the histogram's shard lookup and atomics per packet.
+        let mut run_value = 0u64;
+        let mut run_count = 0u64;
+        for packet in emitted {
+            let ingress = packet.ingress_ns();
+            if ingress == 0 {
+                continue;
+            }
+            let value = now.saturating_sub(ingress);
+            if run_count > 0 && value == run_value {
+                run_count += 1;
+            } else {
+                e2e.record_n(run_value, run_count);
+                run_value = value;
+                run_count = 1;
+            }
+        }
+        e2e.record_n(run_value, run_count);
     }
 }
 

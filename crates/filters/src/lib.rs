@@ -60,6 +60,7 @@ mod chain;
 mod container;
 mod error;
 mod filter;
+mod telemetry;
 
 pub use builtin::compress::{CompressorFilter, DecompressorFilter};
 pub use builtin::faults::{DropEveryNth, DuplicateFilter, ReorderFilter};
@@ -78,3 +79,4 @@ pub use chain::{ChainEvent, FilterChain};
 pub use container::FilterContainer;
 pub use error::FilterError;
 pub use filter::{FilterDescriptor, Filter, FilterOutput, InsertionPoint};
+pub use telemetry::{ChainSpans, STAGE_SAMPLE_EVERY};

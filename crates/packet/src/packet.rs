@@ -55,11 +55,30 @@ pub struct PacketHeader {
 ///
 /// Packets are cheap to clone: the payload is a reference-counted [`Bytes`]
 /// buffer, so a multicast fan-out to many receivers does not copy the data.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Alongside the wire fields, a packet carries one piece of **non-wire
+/// telemetry metadata**: the ingress stamp ([`Packet::ingress_ns`]), the
+/// span-clock instant at which the packet first entered the local proxy.
+/// It is never encoded, never checksummed, never compared — equality,
+/// hashing, and the encode/decode round trip all ignore it — so latency
+/// instrumentation cannot perturb the data plane's observable behaviour.
+#[derive(Clone)]
 pub struct Packet {
     header: PacketHeader,
     payload: Bytes,
+    /// Span-clock nanoseconds at local ingress; 0 = never stamped.
+    ingress_ns: u64,
 }
+
+impl PartialEq for Packet {
+    fn eq(&self, other: &Self) -> bool {
+        // The ingress stamp is observability metadata, not packet content:
+        // a stamped packet and its unstamped twin are the same packet.
+        self.header == other.header && self.payload == other.payload
+    }
+}
+
+impl Eq for Packet {}
 
 /// Error returned by [`Packet::decode`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,6 +164,7 @@ impl Packet {
                 kind,
             },
             payload: payload.into(),
+            ingress_ns: 0,
         }
     }
 
@@ -153,6 +173,26 @@ impl Packet {
         Self {
             header,
             payload: payload.into(),
+            ingress_ns: 0,
+        }
+    }
+
+    /// The local ingress stamp: span-clock nanoseconds at which this packet
+    /// entered the proxy, or 0 if it was never stamped.  Not a wire field —
+    /// see [`stamp_ingress_ns`](Self::stamp_ingress_ns).
+    pub fn ingress_ns(&self) -> u64 {
+        self.ingress_ns
+    }
+
+    /// Stamps the ingress instant if the packet is not already stamped
+    /// (first touch wins, so a packet crossing several instrumented stages
+    /// keeps its true arrival time).  The stamp survives clones,
+    /// [`with_seq`](Self::with_seq), [`with_payload`](Self::with_payload),
+    /// and payload edits, but not the encode/decode round trip — a decoded
+    /// packet is a fresh arrival and starts unstamped.
+    pub fn stamp_ingress_ns(&mut self, now_ns: u64) {
+        if self.ingress_ns == 0 {
+            self.ingress_ns = now_ns;
         }
     }
 
@@ -313,6 +353,7 @@ impl Packet {
         Packet {
             header,
             payload: self.payload.clone(),
+            ingress_ns: self.ingress_ns,
         }
     }
 
@@ -323,6 +364,7 @@ impl Packet {
         Packet {
             header: self.header,
             payload: payload.into(),
+            ingress_ns: self.ingress_ns,
         }
     }
 
@@ -446,6 +488,7 @@ impl Packet {
                 kind,
             },
             payload: Bytes::copy_from_slice(payload),
+            ingress_ns: 0,
         })
     }
 }
@@ -657,5 +700,30 @@ mod tests {
         };
         assert!(err.to_string().contains("checksum"));
         assert!(DecodeError::Truncated.to_string().contains("shorter"));
+    }
+
+    #[test]
+    fn ingress_stamp_is_first_touch_and_invisible() {
+        let mut packet =
+            Packet::new(StreamId::new(1), SeqNo::new(0), PacketKind::AudioData, vec![1, 2, 3]);
+        let unstamped = packet.clone();
+        assert_eq!(packet.ingress_ns(), 0);
+        packet.stamp_ingress_ns(42);
+        packet.stamp_ingress_ns(99); // first touch wins
+        assert_eq!(packet.ingress_ns(), 42);
+
+        // The stamp rides through clone / with_seq / with_payload / edits…
+        assert_eq!(packet.clone().ingress_ns(), 42);
+        assert_eq!(packet.with_seq(SeqNo::new(7)).ingress_ns(), 42);
+        assert_eq!(packet.with_payload(vec![9]).ingress_ns(), 42);
+        let mut edited = packet.clone();
+        edited.payload_edit(|p| p.push(4));
+        assert_eq!(edited.ingress_ns(), 42);
+
+        // …but never onto the wire, and never into equality.
+        assert_eq!(packet, unstamped);
+        let decoded = Packet::decode(&packet.encode()).expect("round trip");
+        assert_eq!(decoded.ingress_ns(), 0);
+        assert_eq!(decoded, packet);
     }
 }

@@ -21,6 +21,9 @@ use crate::registry::FilterSpec;
 pub enum Command {
     /// Report the proxy's full status.
     Query,
+    /// Report the proxy's telemetry snapshot as JSON (requires
+    /// [`Proxy::enable_telemetry`]).
+    QueryTelemetry,
     /// List the filter kinds the proxy can instantiate.
     ListKinds,
     /// Create a new stream.
@@ -62,6 +65,10 @@ pub enum Response {
     Ok,
     /// Full status snapshot (reply to [`Command::Query`]).
     Status(ProxyStatus),
+    /// Telemetry snapshot as JSON (reply to [`Command::QueryTelemetry`]).
+    /// The one multi-line response in the protocol: the payload is the
+    /// [`Proxy::telemetry_json`] document verbatim.
+    Telemetry(String),
     /// Available filter kinds (reply to [`Command::ListKinds`]).
     Kinds(Vec<String>),
     /// The command failed.
@@ -100,6 +107,7 @@ impl Command {
         };
         match verb {
             "query" => Ok(Command::Query),
+            "telemetry" => Ok(Command::QueryTelemetry),
             "kinds" => Ok(Command::ListKinds),
             "add-stream" => Ok(Command::AddStream {
                 stream: take(&mut fields, "stream")?,
@@ -136,6 +144,7 @@ impl Command {
     pub fn encode(&self) -> String {
         match self {
             Command::Query => "query".to_string(),
+            Command::QueryTelemetry => "telemetry".to_string(),
             Command::ListKinds => "kinds".to_string(),
             Command::AddStream { stream } => format!("add-stream stream={stream}"),
             Command::Insert {
@@ -171,6 +180,7 @@ impl fmt::Display for Response {
             Response::Ok => write!(f, "ok"),
             Response::Kinds(kinds) => write!(f, "kinds {}", kinds.join(",")),
             Response::Error(message) => write!(f, "error {message}"),
+            Response::Telemetry(json) => write!(f, "telemetry {json}"),
             Response::Status(status) => {
                 write!(f, "status proxy={}", status.name)?;
                 for stream in &status.streams {
@@ -225,22 +235,24 @@ impl fmt::Display for Response {
                     }
                 }
                 if !status.secure.is_empty() {
+                    // The stats-struct metrics render in their snapshot
+                    // order: sealed, opened, rejected, rekeys.
                     write!(
                         f,
-                        " secure=sealed:{} opened:{} rejected:{} rekeys:{}",
-                        status.secure.sealed,
-                        status.secure.opened,
-                        status.secure.rejected,
-                        status.secure.rekeys,
+                        " secure={}",
+                        rapidware_telemetry::format_metrics(
+                            &rapidware_telemetry::StatSource::snapshot(&status.secure)
+                        )
                     )?;
                 }
                 if let Some(runtime) = &status.runtime {
                     write!(
                         f,
-                        " runtime=workers:{} live:{} steals:{} depths:[{}]",
+                        " runtime=workers:{} live:{} steals:{} polls:{} depths:[{}]",
                         runtime.workers,
                         runtime.live_tasks,
                         runtime.steals,
+                        runtime.polls,
                         runtime
                             .shards
                             .iter()
@@ -287,6 +299,12 @@ impl ControlManager {
     pub fn execute(&mut self, command: Command) -> Response {
         let result = match command {
             Command::Query => return Response::Status(self.proxy.status()),
+            Command::QueryTelemetry => {
+                return match self.proxy.telemetry_json() {
+                    Some(json) => Response::Telemetry(json),
+                    None => Response::Error("telemetry not enabled".to_string()),
+                };
+            }
             Command::ListKinds => {
                 return Response::Kinds(self.proxy.status().available_kinds);
             }
@@ -325,6 +343,7 @@ mod tests {
     fn command_round_trip_through_text() {
         let commands = vec![
             Command::Query,
+            Command::QueryTelemetry,
             Command::ListKinds,
             Command::AddStream {
                 stream: "audio".into(),
@@ -391,6 +410,24 @@ mod tests {
         let kinds = manager.execute_line("kinds");
         assert!(kinds.starts_with("kinds "));
         assert!(kinds.contains("transcoder"));
+    }
+
+    #[test]
+    fn telemetry_verb_returns_json_once_enabled() {
+        let mut manager = ControlManager::new(Proxy::new("observed"));
+        // Without enable_telemetry the verb reports a clean error.
+        let reply = manager.execute_line("telemetry");
+        assert!(reply.starts_with("error"), "{reply}");
+        assert!(reply.contains("telemetry not enabled"), "{reply}");
+        manager.proxy_mut().enable_telemetry();
+        manager.execute_line("add-stream stream=audio");
+        let reply = manager.execute_line("telemetry");
+        assert!(reply.starts_with("telemetry {"), "{reply}");
+        assert!(reply.contains("\"stream.audio.packets_in\""), "{reply}");
+        match manager.execute(Command::QueryTelemetry) {
+            Response::Telemetry(json) => assert!(json.contains("\"histograms\"")),
+            other => panic!("unexpected response {other:?}"),
+        }
     }
 
     #[test]

@@ -85,3 +85,10 @@ pub use udp::{
 // Re-exported so callers reading `ProxyStatus::transports` (or holding the
 // stats handles in a `Udp*Handle`) need not depend on the transport crate.
 pub use rapidware_transport::{TransportSnapshot, TransportStats};
+// Re-exported so callers consuming `Proxy::telemetry()` snapshots (or
+// registering their own instruments on `Proxy::telemetry_registry()`) need
+// not depend on the telemetry crate.
+pub use rapidware_telemetry::{
+    format_metrics, Counter, Gauge, Histogram, HistogramSnapshot, Metric, Registry, StatSource,
+    TelemetrySnapshot,
+};

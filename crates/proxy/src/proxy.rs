@@ -4,9 +4,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use rapidware_filters::{Filter, SecureChannelSnapshot};
+use rapidware_filters::{ChainSpans, Filter, SecureChannelSnapshot};
 use rapidware_packet::Packet;
 use rapidware_streams::{DetachableReceiver, DetachableSender};
+use rapidware_telemetry::{Registry, StatSource, TelemetrySnapshot};
 
 use rapidware_transport::{SharedUdpEgress, SharedUdpIngress, UdpConfig, UdpEgress, UdpIngress};
 
@@ -151,6 +152,17 @@ pub struct Proxy {
     udp_sessions: BTreeMap<String, UdpSessionTransport>,
     udp_carriers: BTreeMap<String, UdpCarrier>,
     runtime: Option<Arc<Runtime>>,
+    telemetry: Option<Arc<Registry>>,
+}
+
+/// Builds the latency spans for a flat stream (`stream.<name>.*`) and
+/// installs them on whichever chain variant backs it.
+fn attach_stream_spans(registry: &Arc<Registry>, name: &str, chain: &StreamChain) {
+    let spans = ChainSpans::egress(registry, format!("stream.{name}"));
+    match chain {
+        StreamChain::Threaded(chain) => chain.set_spans(spans),
+        StreamChain::Pooled(chain) => chain.set_spans(spans),
+    }
 }
 
 impl fmt::Debug for Proxy {
@@ -182,6 +194,7 @@ impl Proxy {
             udp_sessions: BTreeMap::new(),
             udp_carriers: BTreeMap::new(),
             runtime: None,
+            telemetry: None,
         }
     }
 
@@ -203,8 +216,54 @@ impl Proxy {
     /// pool.
     pub fn enable_runtime(&mut self, config: RuntimeConfig) -> Arc<Runtime> {
         let runtime = Runtime::start(config);
+        if let Some(registry) = &self.telemetry {
+            runtime.enable_telemetry(registry);
+        }
         self.runtime = Some(Arc::clone(&runtime));
         runtime
+    }
+
+    /// Enables the unified telemetry subsystem and returns its registry.
+    ///
+    /// From this call on, every stream and session (existing and future)
+    /// records packet-lifecycle latency spans — per-batch chain latency,
+    /// sampled per-filter stage timings, and ingress-to-egress end-to-end
+    /// histograms — and the sharded runtime (if enabled, in either order)
+    /// records its profiling histograms: task poll duration, run-queue
+    /// wait, and reactor scan latency.  Read the result with
+    /// [`telemetry`](Self::telemetry) / [`telemetry_json`](Self::telemetry_json)
+    /// or the `TELEMETRY` control verb.
+    ///
+    /// Idempotent: repeat calls return the same registry.  For complete
+    /// coverage enable telemetry *before* installing filters on threaded
+    /// chains (their stage workers pick the spans up at spawn) and before
+    /// binding shared-socket carriers (their drain-batch histogram is wired
+    /// at bind time); everything else attaches retroactively.
+    pub fn enable_telemetry(&mut self) -> Arc<Registry> {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Registry::new());
+        }
+        let registry = Arc::clone(self.telemetry.as_ref().expect("installed above"));
+        if let Some(runtime) = &self.runtime {
+            runtime.enable_telemetry(&registry);
+        }
+        for (name, chain) in &self.streams {
+            attach_stream_spans(&registry, name, chain);
+        }
+        for session in self.sessions.values() {
+            session.enable_telemetry(&registry);
+        }
+        for session in self.pooled_sessions.values() {
+            session.enable_telemetry(&registry);
+        }
+        registry
+    }
+
+    /// The telemetry registry, if [`enable_telemetry`](Self::enable_telemetry)
+    /// was called — e.g. to register application-level instruments that
+    /// surface in the same snapshot.
+    pub fn telemetry_registry(&self) -> Option<&Arc<Registry>> {
+        self.telemetry.as_ref()
     }
 
     /// The sharded runtime, if one was enabled.
@@ -299,6 +358,9 @@ impl Proxy {
             StreamChain::Threaded(chain) => (chain.input(), chain.output()),
             StreamChain::Pooled(chain) => (chain.input(), chain.output()),
         };
+        if let Some(registry) = &self.telemetry {
+            attach_stream_spans(registry, &name, &chain);
+        }
         self.streams.insert(name, chain);
         Ok((input, output))
     }
@@ -335,6 +397,9 @@ impl Proxy {
         }
         let session =
             Session::with_config(name.clone(), self.registry.clone(), capacity, batch_size)?;
+        if let Some(registry) = &self.telemetry {
+            session.enable_telemetry(registry);
+        }
         let input = session.input();
         self.sessions.insert(name, session);
         Ok(input)
@@ -365,6 +430,9 @@ impl Proxy {
         }
         let session =
             runtime.add_session_with(name.clone(), self.registry.clone(), capacity, batch_size);
+        if let Some(registry) = &self.telemetry {
+            session.enable_telemetry(registry);
+        }
         let input = session.input();
         self.pooled_sessions.insert(name, session);
         Ok(input)
@@ -613,6 +681,10 @@ impl Proxy {
             SocketInterest::Readable,
             Arc::new(SharedIngressWork {
                 ingress: Arc::clone(&ingress),
+                drain_batch: self
+                    .telemetry
+                    .as_ref()
+                    .map(|registry| registry.histogram(format!("udp.{name}.drain_batch"))),
             }),
         );
         let egress_driver = runtime.drive_socket(
@@ -935,6 +1007,84 @@ impl Proxy {
             transports,
             secure,
         }
+    }
+
+    /// A unified telemetry snapshot, or `None` until
+    /// [`enable_telemetry`](Self::enable_telemetry) is called.
+    ///
+    /// The snapshot carries every registered instrument — the latency
+    /// histograms (`stream.*`/`session.*` batch, per-stage, and end-to-end
+    /// spans), the runtime profiling histograms (`runtime.poll_ns`,
+    /// `runtime.queue_wait_ns`, `runtime.reactor.scan_ns`), and carrier
+    /// drain-batch histograms (`udp.*.drain_batch`) — plus the legacy
+    /// stats structs folded in as flat metrics under the same scopes:
+    /// per-stream chain and secure-channel counters, per-session head and
+    /// lane counters, per-transport rx/tx counters, and the runtime's
+    /// worker/queue/steal/poll counters.
+    pub fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        let registry = self.telemetry.as_ref()?;
+        let mut snapshot = registry.snapshot();
+        for (name, chain) in &self.streams {
+            snapshot.push_stats(&format!("stream.{name}"), chain.stats().snapshot());
+            let secure = chain.secure_snapshot();
+            if !secure.is_empty() {
+                snapshot.push_stats(&format!("stream.{name}.secure"), secure.snapshot());
+            }
+        }
+        let sessions = self
+            .sessions
+            .values()
+            .map(Session::status)
+            .chain(self.pooled_sessions.values().map(PooledSession::status));
+        for session in sessions {
+            let scope = format!("session.{}", session.name);
+            snapshot.push_stats(&format!("{scope}.head"), session.head_stats.snapshot());
+            for lane in &session.lanes {
+                snapshot.push_stats(&format!("{scope}.lane.{}", lane.name), lane.snapshot());
+            }
+            if !session.secure.is_empty() {
+                snapshot.push_stats(&format!("{scope}.secure"), session.secure.snapshot());
+            }
+        }
+        let transports = self
+            .udp_streams
+            .iter()
+            .map(|(name, transport)| transport.status(name))
+            .chain(
+                self.udp_sessions
+                    .iter()
+                    .map(|(name, transport)| transport.status(name)),
+            )
+            .chain(
+                self.udp_carriers
+                    .iter()
+                    .map(|(name, carrier)| carrier.status(name)),
+            );
+        for transport in transports {
+            let scope = format!("udp.{}", transport.name);
+            snapshot.push_stats(&format!("{scope}.ingress"), transport.ingress.snapshot());
+            snapshot.push_stats(&format!("{scope}.egress"), transport.egress.snapshot());
+            if transport.shared {
+                snapshot.push_stats(
+                    &scope,
+                    vec![rapidware_telemetry::Metric::new(
+                        "unknown_streams",
+                        transport.unknown_streams,
+                    )],
+                );
+            }
+        }
+        if let Some(runtime) = &self.runtime {
+            snapshot.push_stats("runtime", runtime.status().snapshot());
+        }
+        Some(snapshot)
+    }
+
+    /// The [`telemetry`](Self::telemetry) snapshot rendered as JSON (the
+    /// payload of the `TELEMETRY` control verb), or `None` until telemetry
+    /// is enabled.
+    pub fn telemetry_json(&self) -> Option<String> {
+        self.telemetry().map(|snapshot| snapshot.to_json())
     }
 
     /// Shuts down every stream, waiting for all filter threads to exit.

@@ -59,13 +59,14 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::net::UdpSocket;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-use rapidware_filters::{FecDecoderStats, Filter, FilterChain};
+use rapidware_filters::{ChainSpans, FecDecoderStats, Filter, FilterChain};
+use rapidware_telemetry::{now_ns, Histogram, Registry};
 use rapidware_packet::Packet;
 use rapidware_streams::{pipe, DetachableReceiver, DetachableSender, PipeWatcher, TryRecvError};
 
@@ -141,6 +142,50 @@ pub struct RuntimeStatus {
     pub live_tasks: usize,
     /// Tasks a worker executed from a shard other than its own.
     pub steals: u64,
+    /// Task steps workers have actually run (a step is one `poll` of a
+    /// chain, fanout, or socket task).
+    pub polls: u64,
+}
+
+impl rapidware_telemetry::StatSource for RuntimeStatus {
+    fn snapshot(&self) -> Vec<rapidware_telemetry::Metric> {
+        use rapidware_telemetry::Metric;
+        let queued: usize = self.shards.iter().map(|shard| shard.queued).sum();
+        let executed: u64 = self.shards.iter().map(|shard| shard.executed).sum();
+        vec![
+            Metric::new("workers", self.workers as u64),
+            Metric::new("live_tasks", self.live_tasks as u64),
+            Metric::new("queued", queued as u64),
+            Metric::new("executed", executed),
+            Metric::new("steals", self.steals),
+            Metric::new("polls", self.polls),
+        ]
+    }
+}
+
+/// The pool's own profiling instruments, installed by
+/// [`Runtime::enable_telemetry`].  Everything here is a registry histogram;
+/// the hot path holds pre-resolved `Arc` handles and records with relaxed
+/// atomics — no locks, no allocation.
+struct RuntimeTelemetry {
+    /// Wall time of each task step (one chain/fanout/socket poll).
+    poll_ns: Arc<Histogram>,
+    /// Delay between a task entering a run queue and a worker picking its
+    /// step up — the scheduling latency the paper's adaptation loop rides
+    /// on.
+    queue_wait_ns: Arc<Histogram>,
+    /// Wall time of each reactor pass over the socket registration table.
+    scan_ns: Arc<Histogram>,
+}
+
+impl RuntimeTelemetry {
+    fn new(registry: &Arc<Registry>) -> Arc<Self> {
+        Arc::new(Self {
+            poll_ns: registry.histogram("runtime.poll_ns"),
+            queue_wait_ns: registry.histogram("runtime.queue_wait_ns"),
+            scan_ns: registry.histogram("runtime.reactor.scan_ns"),
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -179,6 +224,10 @@ struct Task {
     /// Home shard this task is enqueued to when woken.
     shard: usize,
     pool: Weak<PoolShared>,
+    /// When this task last entered a run queue (`now_ns`; 0 = unstamped).
+    /// Only written while pool telemetry is enabled; consumed (and reset)
+    /// by the worker that picks the task up, yielding queue-wait latency.
+    enqueued_ns: AtomicU64,
     work: Box<dyn TaskWork>,
     /// Completion latch `PooledChain::shutdown` waits on.
     done: Mutex<bool>,
@@ -299,6 +348,10 @@ struct PoolShared {
     live_tasks: AtomicUsize,
     next_shard: AtomicUsize,
     steals: AtomicU64,
+    /// Task steps workers have run (every poll, across all shards).
+    polls: AtomicU64,
+    /// Profiling instruments; empty until [`Runtime::enable_telemetry`].
+    telemetry: OnceLock<Arc<RuntimeTelemetry>>,
     #[cfg(any(test, feature = "chaos"))]
     chaos: ChaosState,
 }
@@ -351,6 +404,9 @@ impl ChaosState {
 
 impl PoolShared {
     fn enqueue(&self, task: Arc<Task>) {
+        if self.telemetry.get().is_some() {
+            task.enqueued_ns.store(now_ns(), Ordering::Relaxed);
+        }
         let shard = task.shard;
         self.shards[shard].queue.lock().push_back(task);
         self.queued.fetch_add(1, Ordering::SeqCst);
@@ -393,7 +449,21 @@ fn run_task(task: &Arc<Task>, pool: &PoolShared) {
         // final wake raced its completion); there is nothing left to run.
         return;
     }
-    match task.work.step() {
+    pool.polls.fetch_add(1, Ordering::Relaxed);
+    let telemetry = pool.telemetry.get();
+    let step_start = telemetry.map(|telemetry| {
+        let now = now_ns();
+        let enqueued = task.enqueued_ns.swap(0, Ordering::Relaxed);
+        if enqueued != 0 {
+            telemetry.queue_wait_ns.record(now.saturating_sub(enqueued));
+        }
+        now
+    });
+    let outcome = task.work.step();
+    if let (Some(telemetry), Some(start)) = (telemetry, step_start) {
+        telemetry.poll_ns.record(now_ns().saturating_sub(start));
+    }
+    match outcome {
         StepOutcome::Done => task.finish(),
         StepOutcome::Progress => {
             task.state.store(QUEUED, Ordering::SeqCst);
@@ -486,6 +556,8 @@ impl Runtime {
             live_tasks: AtomicUsize::new(0),
             next_shard: AtomicUsize::new(0),
             steals: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
+            telemetry: OnceLock::new(),
             #[cfg(any(test, feature = "chaos"))]
             chaos: ChaosState::default(),
         });
@@ -517,21 +589,56 @@ impl Runtime {
         self.shared.live_tasks.load(Ordering::SeqCst)
     }
 
-    /// A snapshot of the pool: per-shard queue depths, live tasks, steals.
+    /// A snapshot of the pool: per-shard queue depths, live tasks, steals,
+    /// and total task polls.
+    ///
+    /// The queue depths describe **one coherent instant**: every shard's
+    /// queue lock is held at once while the depths are read, so a task
+    /// migrating between queues (a steal, or a re-enqueue) is never counted
+    /// twice or missed.  The sweep locks shards in index order and every
+    /// other locker holds at most one queue lock at a time, so it cannot
+    /// deadlock.
     pub fn status(&self) -> RuntimeStatus {
+        let guards: Vec<_> = self
+            .shared
+            .shards
+            .iter()
+            .map(|shard| shard.queue.lock())
+            .collect();
+        let shards = guards
+            .iter()
+            .zip(self.shared.shards.iter())
+            .map(|(queue, shard)| ShardStatus {
+                queued: queue.len(),
+                executed: shard.executed.load(Ordering::Relaxed),
+            })
+            .collect();
+        drop(guards);
         RuntimeStatus {
             workers: self.config.shards,
-            shards: self
-                .shared
-                .shards
-                .iter()
-                .map(|shard| ShardStatus {
-                    queued: shard.queue.lock().len(),
-                    executed: shard.executed.load(Ordering::Relaxed),
-                })
-                .collect(),
+            shards,
             live_tasks: self.live_tasks(),
             steals: self.shared.steals.load(Ordering::Relaxed),
+            polls: self.shared.polls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Installs the pool's profiling instruments into `registry`: task poll
+    /// durations (`runtime.poll_ns`), run-queue wait (`runtime.queue_wait_ns`),
+    /// and reactor scan latency (`runtime.reactor.scan_ns`).  Until this is
+    /// called the hot path pays nothing beyond one relaxed poll counter.
+    ///
+    /// Idempotent: the first registry wins; later calls are no-ops.
+    pub fn enable_telemetry(&self, registry: &Arc<Registry>) {
+        let telemetry = Arc::clone(
+            self.shared
+                .telemetry
+                .get_or_init(|| RuntimeTelemetry::new(registry)),
+        );
+        // The reactor may already be running (drive_socket installs the
+        // instruments for the reverse ordering).
+        if let Some(reactor) = self.reactor.lock().as_ref() {
+            let _ = reactor.shared.telemetry.set(telemetry);
         }
     }
 
@@ -543,6 +650,7 @@ impl Runtime {
             state: AtomicU8::new(IDLE),
             shard,
             pool: Arc::downgrade(&self.shared),
+            enqueued_ns: AtomicU64::new(0),
             work,
             done: Mutex::new(false),
             done_cv: Condvar::new(),
@@ -665,6 +773,7 @@ impl Runtime {
             }),
             capacity,
             batch_size,
+            telemetry: Mutex::new(None),
         }
     }
 
@@ -728,7 +837,13 @@ impl Runtime {
             readable: matches!(interest, SocketInterest::Readable),
         };
         let mut slot = self.reactor.lock();
-        slot.get_or_insert_with(ReactorHandle::start).register(entry);
+        let handle = slot.get_or_insert_with(ReactorHandle::start);
+        // A reactor started after enable_telemetry still gets the
+        // instruments (enable_telemetry handles the other ordering).
+        if let Some(telemetry) = self.shared.telemetry.get() {
+            let _ = handle.shared.telemetry.set(Arc::clone(telemetry));
+        }
+        handle.register(entry);
         SocketDriver { task, stop }
     }
 
@@ -867,6 +982,9 @@ struct ReactorEntry {
 struct ReactorShared {
     entries: Mutex<Vec<ReactorEntry>>,
     shutdown: AtomicBool,
+    /// Profiling instruments shared with the pool; empty until telemetry
+    /// is enabled on the owning runtime.
+    telemetry: OnceLock<Arc<RuntimeTelemetry>>,
 }
 
 /// The running reactor: one thread for *all* registered sockets.
@@ -883,6 +1001,7 @@ impl ReactorHandle {
         let shared = Arc::new(ReactorShared {
             entries: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
+            telemetry: OnceLock::new(),
         });
         let loop_shared = Arc::clone(&shared);
         let join = std::thread::Builder::new()
@@ -928,6 +1047,8 @@ fn reactor_loop(shared: &ReactorShared) {
             return;
         }
         {
+            let telemetry = shared.telemetry.get();
+            let scan_start = telemetry.map(|_| now_ns());
             let mut entries = shared.entries.lock();
             entries.retain(|entry| {
                 let Some(task) = entry.task.upgrade() else {
@@ -948,6 +1069,10 @@ fn reactor_loop(shared: &ReactorShared) {
                 }
                 true
             });
+            drop(entries);
+            if let (Some(telemetry), Some(start)) = (telemetry, scan_start) {
+                telemetry.scan_ns.record(now_ns().saturating_sub(start));
+            }
         }
         std::thread::park_timeout(REACTOR_TICK);
     }
@@ -1197,6 +1322,13 @@ impl PooledChain {
         self.work.inner.lock().chain.secure_snapshot()
     }
 
+    /// Attaches latency spans: every batch the chain task processes records
+    /// into `spans`' instruments, and egress spans additionally record each
+    /// packet's ingress-to-exit latency as it leaves the chain.
+    pub fn set_spans(&self, spans: Arc<ChainSpans>) {
+        self.work.inner.lock().chain.set_spans(spans);
+    }
+
     /// Current chain statistics (same counters as a threaded chain).
     pub fn stats(&self) -> ChainStats {
         ChainStats {
@@ -1298,6 +1430,11 @@ impl PooledChain {
             Err(ProxyError::WorkerFailed(format!("pooled chain {}", self.name)))
         }
     }
+}
+
+/// Egress spans for one session lane (`session.<session>.lane.<lane>`).
+fn lane_spans(registry: &Arc<Registry>, session: &str, lane: &str) -> Arc<ChainSpans> {
+    ChainSpans::egress(registry, format!("session.{session}.lane.{lane}"))
 }
 
 fn map_chain_error(err: rapidware_filters::FilterError) -> ProxyError {
@@ -1443,6 +1580,9 @@ pub struct PooledSession {
     lanes: Mutex<PooledLanes>,
     capacity: usize,
     batch_size: usize,
+    /// Registry latency spans are created in, once telemetry is enabled;
+    /// lanes added afterwards attach their own spans from here.
+    telemetry: Mutex<Option<Arc<Registry>>>,
 }
 
 impl fmt::Debug for PooledSession {
@@ -1470,6 +1610,23 @@ impl PooledSession {
         self.lanes.lock().live.iter().map(|l| l.name.clone()).collect()
     }
 
+    /// Enables latency spans on this session: the shared head chain records
+    /// under `session.<name>.head` (interior — packets exit downstream),
+    /// and every lane, current and future, records under
+    /// `session.<name>.lane.<lane>` with per-packet end-to-end latency at
+    /// lane exit.
+    pub fn enable_telemetry(&self, registry: &Arc<Registry>) {
+        self.head
+            .set_spans(ChainSpans::interior(registry, format!("session.{}.head", self.name)));
+        // Publish first, then sweep: a concurrently added lane either sees
+        // the registry itself or is already in the list swept below.
+        *self.telemetry.lock() = Some(Arc::clone(registry));
+        let lanes = self.lanes.lock();
+        for lane in lanes.live.iter().chain(lanes.retired.iter()) {
+            lane.chain.set_spans(lane_spans(registry, &self.name, &lane.name));
+        }
+    }
+
     /// Number of live receiver lanes.
     pub fn lane_count(&self) -> usize {
         self.lanes.lock().live.len()
@@ -1484,6 +1641,10 @@ impl PooledSession {
     /// exists or [`ProxyError::ChainClosed`] after shutdown.
     pub fn add_lane(&self, name: impl Into<String>) -> Result<DetachableReceiver<Packet>, ProxyError> {
         let name = name.into();
+        // Read before taking the lanes lock (enable_telemetry publishes the
+        // registry first and then sweeps the lane list under that lock, so
+        // a lane racing it gets spans from one side or the other).
+        let spans_registry = self.telemetry.lock().clone();
         let mut lanes = self.lanes.lock();
         if lanes.closed {
             return Err(ProxyError::ChainClosed);
@@ -1496,6 +1657,9 @@ impl PooledSession {
             self.capacity,
             self.batch_size,
         );
+        if let Some(registry) = &spans_registry {
+            chain.set_spans(lane_spans(registry, &self.name, &name));
+        }
         let output = chain.output();
         // Wake the fanout task whenever this lane's inbox frees space, and
         // publish the lane input to it; the next batch includes this lane.

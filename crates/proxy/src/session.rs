@@ -54,9 +54,12 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
-use rapidware_filters::{FecDecoderFilter, FecDecoderStats, Filter, SecureChannelSnapshot};
+use rapidware_filters::{
+    ChainSpans, FecDecoderFilter, FecDecoderStats, Filter, SecureChannelSnapshot,
+};
 use rapidware_packet::Packet;
 use rapidware_streams::{DetachableReceiver, DetachableSender};
+use rapidware_telemetry::Registry;
 
 use crate::error::ProxyError;
 use crate::registry::{FilterRegistry, FilterSpec};
@@ -83,6 +86,19 @@ pub struct LaneStatus {
     pub queue_depth: usize,
     /// Full tail-chain counters.
     pub stats: ChainStats,
+}
+
+impl rapidware_telemetry::StatSource for LaneStatus {
+    fn snapshot(&self) -> Vec<rapidware_telemetry::Metric> {
+        use rapidware_telemetry::Metric;
+        let mut metrics = vec![
+            Metric::new("delivered", self.delivered),
+            Metric::new("recovered", self.recovered),
+            Metric::new("queue_depth", self.queue_depth as u64),
+        ];
+        metrics.extend(rapidware_telemetry::StatSource::snapshot(&self.stats));
+        metrics
+    }
 }
 
 /// A status snapshot of a whole fanout session: the shared head chain plus
@@ -137,6 +153,9 @@ pub struct Session {
     fanout: Mutex<Option<JoinHandle<()>>>,
     capacity: usize,
     batch_size: usize,
+    /// Registry latency spans are created in, once telemetry is enabled;
+    /// lanes added afterwards attach their own spans from here.
+    telemetry: Mutex<Option<Arc<Registry>>>,
 }
 
 impl fmt::Debug for Session {
@@ -197,7 +216,28 @@ impl Session {
             fanout: Mutex::new(Some(fanout)),
             capacity,
             batch_size,
+            telemetry: Mutex::new(None),
         })
+    }
+
+    /// Enables latency spans on this session: the shared head chain records
+    /// under `session.<name>.head` (interior — packets exit downstream),
+    /// and every lane, current and future, records under
+    /// `session.<name>.lane.<lane>` with per-packet end-to-end latency at
+    /// lane exit.
+    pub fn enable_telemetry(&self, registry: &Arc<Registry>) {
+        self.head
+            .set_spans(ChainSpans::interior(registry, format!("session.{}.head", self.name)));
+        // Publish first, then sweep: a concurrently added lane either sees
+        // the registry itself or is already in the list swept below.
+        *self.telemetry.lock() = Some(Arc::clone(registry));
+        let inner = self.inner.lock();
+        for lane in &inner.lanes {
+            lane.chain.set_spans(ChainSpans::egress(
+                registry,
+                format!("session.{}.lane.{}", self.name, lane.name),
+            ));
+        }
     }
 
     /// Session name.
@@ -235,6 +275,9 @@ impl Session {
         name: impl Into<String>,
     ) -> Result<DetachableReceiver<Packet>, ProxyError> {
         let name = name.into();
+        // Read before taking the lanes lock (enable_telemetry publishes the
+        // registry first and then sweeps the lane list under that lock).
+        let spans_registry = self.telemetry.lock().clone();
         let mut inner = self.inner.lock();
         if inner.closed {
             return Err(ProxyError::ChainClosed);
@@ -243,6 +286,12 @@ impl Session {
             return Err(ProxyError::Splice(format!("lane {name} already exists")));
         }
         let chain = ThreadedChain::with_batch_size(self.capacity, self.batch_size)?;
+        if let Some(registry) = &spans_registry {
+            chain.set_spans(ChainSpans::egress(
+                registry,
+                format!("session.{}.lane.{name}", self.name),
+            ));
+        }
         let output = chain.output();
         // Publish the lane input to the fanout worker only once the lane is
         // fully constructed; the worker starts feeding it on its next batch.

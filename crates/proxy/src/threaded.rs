@@ -9,13 +9,16 @@
 //! sender and output receiver) carry the stream in and out of the proxy.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
-use rapidware_filters::{Filter, FilterOutput, SecureChannelSnapshot, SecureChannelStats};
+use rapidware_filters::{
+    ChainSpans, Filter, FilterOutput, SecureChannelSnapshot, SecureChannelStats,
+};
+use rapidware_telemetry::now_ns;
 use rapidware_packet::Packet;
 use rapidware_streams::{
     detached_pair, pipe, DetachableReceiver, DetachableSender, RecvError,
@@ -46,6 +49,19 @@ pub struct ChainStats {
     pub filter_errors: u64,
 }
 
+impl rapidware_telemetry::StatSource for ChainStats {
+    fn snapshot(&self) -> Vec<rapidware_telemetry::Metric> {
+        use rapidware_telemetry::Metric;
+        vec![
+            Metric::new("filters", self.filters as u64),
+            Metric::new("packets_in", self.packets_in),
+            Metric::new("packets_out", self.packets_out),
+            Metric::new("splices", self.splices),
+            Metric::new("filter_errors", self.filter_errors),
+        ]
+    }
+}
+
 /// Adapter that lets a filter write into a detachable sender.
 struct SenderOutput<'a> {
     sender: &'a DetachableSender<Packet>,
@@ -67,6 +83,10 @@ struct Stage {
     /// Seal/reject counters captured before the filter moved onto its
     /// worker thread; `None` for filters with no crypto role.
     secure: Option<Arc<SecureChannelStats>>,
+    /// `true` while this stage is the last filter of the chain — the stage
+    /// that records end-to-end latency when spans are attached.  Shared
+    /// with the worker thread and recomputed after every splice.
+    is_tail: Arc<AtomicBool>,
 }
 
 impl fmt::Debug for Stage {
@@ -93,6 +113,9 @@ pub struct ThreadedChain {
     capacity: usize,
     batch_size: usize,
     errors: Arc<AtomicU64>,
+    /// Latency spans handed to every stage spawned after
+    /// [`set_spans`](Self::set_spans).
+    spans: Mutex<Option<Arc<ChainSpans>>>,
 }
 
 impl fmt::Debug for ThreadedChain {
@@ -190,7 +213,17 @@ impl ThreadedChain {
             capacity,
             batch_size,
             errors: Arc::new(AtomicU64::new(0)),
+            spans: Mutex::new(None),
         })
+    }
+
+    /// Attaches latency spans to this chain: stages installed **after**
+    /// this call stamp packet ingress, record sampled per-filter timings,
+    /// and — at the tail stage — whole-batch and (for egress spans)
+    /// per-packet end-to-end latency.  The proxy enables telemetry before
+    /// installing filters, so in practice every stage records.
+    pub fn set_spans(&self, spans: Arc<ChainSpans>) {
+        *self.spans.lock() = Some(spans);
     }
 
     /// Creates a batched null proxy chain with the default pipe capacity
@@ -326,12 +359,15 @@ impl ThreadedChain {
             .reconnect(&right_rx)
             .map_err(|err| ProxyError::Splice(format!("attach new filter downstream: {err}")))?;
 
+        let is_tail = Arc::new(AtomicBool::new(false));
         let worker = spawn_worker(
             filter,
             in_rx.clone(),
             out_tx.clone(),
             Arc::clone(&self.errors),
             self.batch_size,
+            self.spans.lock().clone(),
+            Arc::clone(&is_tail),
         );
         inner.stages.insert(
             position,
@@ -341,9 +377,11 @@ impl ThreadedChain {
                 out_tx,
                 worker: Some(worker),
                 secure,
+                is_tail,
             },
         );
         inner.splices += 1;
+        refresh_tail_flags(&inner.stages);
         Ok(())
     }
 
@@ -417,6 +455,7 @@ impl ThreadedChain {
             .reconnect(&right_rx)
             .map_err(|err| ProxyError::Splice(format!("close the gap after remove: {err}")))?;
         inner.splices += 1;
+        refresh_tail_flags(&inner.stages);
         Ok(filter)
     }
 
@@ -457,31 +496,85 @@ impl Drop for ThreadedChain {
     }
 }
 
+/// Records the tail stage's chain-exit instruments: the batch duration and
+/// (for egress spans) each emitted packet's ingress-to-exit latency.
+fn record_chain_exit(spans: &ChainSpans, start_ns: u64, exit_ns: u64, emitted: &[Packet]) {
+    spans.batch_ns().record(exit_ns.saturating_sub(start_ns));
+    if let Some(e2e) = spans.e2e() {
+        for packet in emitted {
+            let ingress = packet.ingress_ns();
+            if ingress != 0 {
+                e2e.record(exit_ns.saturating_sub(ingress));
+            }
+        }
+    }
+}
+
+/// Re-derives each stage's tail flag after a splice: exactly the last
+/// installed stage records chain-exit latency.
+fn refresh_tail_flags(stages: &[Stage]) {
+    let count = stages.len();
+    for (index, stage) in stages.iter().enumerate() {
+        stage.is_tail.store(index + 1 == count, Ordering::Relaxed);
+    }
+}
+
 /// Spawns the worker thread for one filter stage.
 ///
 /// With `batch_size == 1` the loop receives and processes one packet at a
 /// time (per-packet error isolation); with a larger batch it drains up to
 /// `batch_size` buffered packets per pipe lock and hands them to
 /// [`Filter::process_batch`] as one unit.
+///
+/// With `spans` attached, the worker stamps ingress on every packet it
+/// receives (first-touch-wins, so UDP-stamped packets keep the socket
+/// stamp), records sampled per-filter timings, and — while `is_tail` is
+/// set — the whole-batch duration plus per-packet end-to-end latency.
+#[allow(clippy::too_many_arguments)]
 fn spawn_worker(
     mut filter: Box<dyn Filter>,
     in_rx: DetachableReceiver<Packet>,
     out_tx: DetachableSender<Packet>,
     errors: Arc<AtomicU64>,
     batch_size: usize,
+    spans: Option<Arc<ChainSpans>>,
+    is_tail: Arc<AtomicBool>,
 ) -> JoinHandle<Box<dyn Filter>> {
     std::thread::Builder::new()
         .name(format!("rapidware-filter-{}", filter.name()))
         .spawn(move || {
             loop {
                 let received: Result<(), RecvError> = if batch_size > 1 {
-                    in_rx.recv_up_to(batch_size).map(|batch| {
+                    in_rx.recv_up_to(batch_size).map(|mut batch| {
                         // Collect the filter's output and push it downstream
                         // as one batch: one pipe lock per batch on each side
                         // instead of one per packet.
                         let mut collected: Vec<Packet> = Vec::with_capacity(batch.len());
-                        if filter.process_batch(batch, &mut collected).is_err() {
-                            errors.fetch_add(1, Ordering::Relaxed);
+                        match &spans {
+                            Some(spans) => {
+                                let start = now_ns();
+                                for packet in batch.iter_mut() {
+                                    packet.stamp_ingress_ns(start);
+                                }
+                                let timed = spans.sample_stages();
+                                if filter.process_batch(batch, &mut collected).is_err() {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                                let now = now_ns();
+                                if timed {
+                                    spans
+                                        .stage_histogram(filter.name())
+                                        .record(now.saturating_sub(start));
+                                }
+                                if is_tail.load(Ordering::Relaxed) {
+                                    record_chain_exit(spans, start, now, &collected);
+                                }
+                            }
+                            None => {
+                                if filter.process_batch(batch, &mut collected).is_err() {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
                         }
                         // A closed downstream receiver means the chain is
                         // shutting down; dropping the batch mirrors the
@@ -489,10 +582,33 @@ fn spawn_worker(
                         let _ = out_tx.send_batch(collected);
                     })
                 } else {
-                    in_rx.recv().map(|packet| {
-                        let mut output = SenderOutput { sender: &out_tx };
-                        if filter.process(packet, &mut output).is_err() {
-                            errors.fetch_add(1, Ordering::Relaxed);
+                    in_rx.recv().map(|mut packet| match &spans {
+                        Some(spans) => {
+                            let start = now_ns();
+                            packet.stamp_ingress_ns(start);
+                            let timed = spans.sample_stages();
+                            let mut collected: Vec<Packet> = Vec::new();
+                            if filter.process(packet, &mut collected).is_err() {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let now = now_ns();
+                            if timed {
+                                spans
+                                    .stage_histogram(filter.name())
+                                    .record(now.saturating_sub(start));
+                            }
+                            if is_tail.load(Ordering::Relaxed) {
+                                record_chain_exit(spans, start, now, &collected);
+                            }
+                            for packet in collected {
+                                let _ = out_tx.send(packet);
+                            }
+                        }
+                        None => {
+                            let mut output = SenderOutput { sender: &out_tx };
+                            if filter.process(packet, &mut output).is_err() {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     })
                 };

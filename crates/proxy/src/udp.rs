@@ -48,6 +48,7 @@ use std::sync::Arc;
 
 use rapidware_packet::{Packet, StreamId};
 use rapidware_streams::DetachableSender;
+use rapidware_telemetry::Histogram;
 use rapidware_transport::{
     SharedDrain, SharedFlush, SharedUdpEgress, SharedUdpIngress, TransportSnapshot,
     TransportStats, UdpEgress, UdpIngress,
@@ -699,14 +700,30 @@ impl SharedUdpSessionHandle {
 /// one bounded demux drain.
 pub(crate) struct SharedIngressWork {
     pub(crate) ingress: Arc<SharedUdpIngress>,
+    /// When proxy telemetry is enabled at carrier-bind time, each drain
+    /// pass records how many datagrams it pulled off the socket
+    /// (`udp.<carrier>.drain_batch`) — the batching the reactor actually
+    /// achieves under load.
+    pub(crate) drain_batch: Option<Arc<Histogram>>,
 }
 
 impl SocketWork for SharedIngressWork {
     fn service(&self) -> SocketStep {
-        match self.ingress.drain_batch() {
+        let before = self
+            .drain_batch
+            .as_ref()
+            .map(|_| self.ingress.stats().rx_datagrams());
+        let step = match self.ingress.drain_batch() {
             SharedDrain::MoreReady => SocketStep::Progress,
             SharedDrain::Empty => SocketStep::Idle,
+        };
+        if let (Some(histogram), Some(before)) = (self.drain_batch.as_ref(), before) {
+            let drained = self.ingress.stats().rx_datagrams().saturating_sub(before);
+            if drained != 0 {
+                histogram.record(drained);
+            }
         }
+        step
     }
 }
 

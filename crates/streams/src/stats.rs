@@ -97,6 +97,24 @@ impl PipeStats {
     }
 }
 
+impl rapidware_telemetry::StatSource for PipeStats {
+    fn snapshot(&self) -> Vec<rapidware_telemetry::Metric> {
+        rapidware_telemetry::StatSource::snapshot(&self.snapshot())
+    }
+}
+
+impl rapidware_telemetry::StatSource for StatsSnapshot {
+    fn snapshot(&self) -> Vec<rapidware_telemetry::Metric> {
+        use rapidware_telemetry::Metric;
+        vec![
+            Metric::new("items", self.items),
+            Metric::new("pauses", self.pauses),
+            Metric::new("reconnects", self.reconnects),
+            Metric::new("blocked_sends", self.blocked_sends),
+        ]
+    }
+}
+
 impl StatsSnapshot {
     /// Returns the per-counter difference `self - earlier`, saturating at
     /// zero so that a reset never produces nonsense deltas.

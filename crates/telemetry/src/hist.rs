@@ -1,0 +1,292 @@
+//! Sharded log2-bucketed latency histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets per histogram.
+///
+/// Bucket 0 holds the value 0; bucket `b > 0` holds values in
+/// `[2^(b-1), 2^b)`; the last bucket absorbs everything from `2^62` up.
+/// 64 buckets cover the full `u64` nanosecond range, so no observation is
+/// ever out of range and the bucket array never needs to grow.
+pub const BUCKETS: usize = 64;
+
+/// Number of independent shards per histogram.  Recording threads spread
+/// across shards by a thread-local hint, so concurrent recorders mostly
+/// touch distinct cache lines; snapshots merge all shards.
+const SHARDS: usize = 8;
+
+thread_local! {
+    static SHARD_HINT: usize = {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed) as usize % SHARDS
+    };
+}
+
+/// One shard of a histogram: a fixed bucket array plus sum/min/max.
+struct Shard {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket a value lands in: 0 for 0, otherwise one bucket per power of
+/// two, capped at the last bucket.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The inclusive upper bound of a bucket (used as the percentile estimate).
+fn bucket_upper(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A fixed-size, lock-free latency histogram.
+///
+/// [`record`](Self::record) is a handful of relaxed atomic operations on
+/// one shard — no locks, no allocation, safe from any number of threads.
+/// [`snapshot`](Self::snapshot) merges the shards; because the observation
+/// count is *defined* as the sum of bucket counts, the merge conserves
+/// every completed record exactly.
+pub struct Histogram {
+    shards: Box<[Shard]>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count())
+            .field("min", &snap.min)
+            .field("max", &snap.max)
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Records one observation (typically a span duration in nanoseconds).
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of the same value in one shot — the
+    /// batched form of [`record`](Self::record).  Packets that cross an
+    /// instrumented boundary in the same batch share the same timestamps,
+    /// so recording them as one group amortises the shard lookup and the
+    /// atomic updates over the whole batch.  `n == 0` is a no-op.
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let shard = &self.shards[SHARD_HINT.with(|h| *h)];
+        shard.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        shard.sum.fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        shard.min.fetch_min(value, Ordering::Relaxed);
+        shard.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Merges all shards into a point-in-time [`HistogramSnapshot`].
+    ///
+    /// Records that completed before the snapshot began are always
+    /// included; records racing the snapshot are included atomically per
+    /// bucket (never torn, never double-counted).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::default();
+        for shard in self.shards.iter() {
+            for (bucket, cell) in out.buckets.iter_mut().zip(shard.buckets.iter()) {
+                *bucket += cell.load(Ordering::Relaxed);
+            }
+            out.sum = out.sum.saturating_add(shard.sum.load(Ordering::Relaxed));
+            out.min = out.min.min(shard.min.load(Ordering::Relaxed));
+            out.max = out.max.max(shard.max.load(Ordering::Relaxed));
+        }
+        out
+    }
+}
+
+/// A merged, immutable view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`BUCKETS`] for the layout).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value, or `u64::MAX` when empty.
+    pub min: u64,
+    /// Largest recorded value, or `0` when empty.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total observations: by construction, exactly the sum of the bucket
+    /// counts (the conservation invariant the proptests pin down).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Mean recorded value, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// The value at quantile `p` in `[0, 1]`, estimated as the upper bound
+    /// of the first bucket whose cumulative count reaches `p * count`
+    /// (clamped to the recorded max so a wide last bucket cannot
+    /// overstate).  Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= target {
+                return bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self`, conserving counts exactly.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (bucket, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *bucket += theirs;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+        // Every value falls inside its bucket's range.
+        for v in [1u64, 7, 64, 1_000, 1 << 40, u64::MAX] {
+            let b = bucket_index(v);
+            assert!(v <= bucket_upper(b), "{v} above bucket {b}");
+            if b > 1 {
+                assert!(v > bucket_upper(b - 1), "{v} below bucket {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_conserves_and_min_max_track() {
+        let hist = Histogram::new();
+        for v in [0u64, 1, 5, 5, 1_000, 123_456_789] {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), 6);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 123_456_789);
+        assert_eq!(snap.sum, 123_457_800);
+        assert_eq!(snap.mean(), 123_457_800 / 6);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_data() {
+        let hist = Histogram::new();
+        for _ in 0..99 {
+            hist.record(100);
+        }
+        hist.record(1_000_000);
+        let snap = hist.snapshot();
+        let p50 = snap.percentile(0.50);
+        let p99 = snap.percentile(0.99);
+        let p100 = snap.percentile(1.0);
+        assert!((100..1_000_000).contains(&p50), "p50 = {p50}");
+        assert!(p99 < 1_000_000, "p99 = {p99}");
+        assert_eq!(p100, 1_000_000);
+        assert!(p50 <= p99 && p99 <= p100);
+    }
+
+    #[test]
+    fn empty_snapshot_is_inert() {
+        let snap = Histogram::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.percentile(0.5), 0);
+        assert_eq!(snap.mean(), 0);
+    }
+
+    #[test]
+    fn merge_conserves() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100u64 {
+            a.record(v);
+            b.record(v * 1_000);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 200);
+        assert_eq!(merged.min, 0);
+        assert_eq!(merged.max, 99_000);
+    }
+}

@@ -1,0 +1,126 @@
+//! Sharded counters and gauges.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Number of cells a counter is spread over.  Eight 64-byte-aligned cells
+/// keep concurrent incrementers off each other's cache lines without
+/// making the snapshot sweep expensive.
+const SHARDS: usize = 8;
+
+thread_local! {
+    static SHARD_HINT: usize = {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed) as usize % SHARDS
+    };
+}
+
+/// One cache-line-padded counter cell.
+#[repr(align(64))]
+struct Cell(AtomicU64);
+
+/// A monotonically increasing, sharded counter.
+///
+/// `add` is one relaxed `fetch_add` on the calling thread's home cell;
+/// `value` sums the cells.  The sum is exact for all increments that
+/// happened-before the read.
+pub struct Counter {
+    cells: Box<[Cell]>,
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.value()).finish()
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self {
+            cells: (0..SHARDS).map(|_| Cell(AtomicU64::new(0))).collect(),
+        }
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.cells[SHARD_HINT.with(|h| *h)].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The merged count.
+    pub fn value(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A last-writer-wins signed gauge (queue depths, live-task counts).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let counter = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        counter.inc();
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(counter.value(), 80_000);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let gauge = Gauge::new();
+        gauge.set(5);
+        gauge.add(-2);
+        assert_eq!(gauge.value(), 3);
+        assert!(!format!("{gauge:?}").is_empty());
+    }
+}

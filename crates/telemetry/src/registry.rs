@@ -1,0 +1,299 @@
+//! The metric registry and its merged snapshot.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge};
+use crate::source::Metric;
+
+/// Registered instruments, by name.  The map is behind a plain mutex —
+/// registration and snapshots are control-plane operations; the data plane
+/// only ever touches the `Arc` handles it captured at registration.
+#[derive(Debug, Default)]
+struct Instruments {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A process-local metric registry.
+///
+/// `counter`/`gauge`/`histogram` are get-or-register: the first call for a
+/// name allocates the instrument, later calls return the same handle, so
+/// independently wired subsystems can share one series.  [`snapshot`]
+/// merges everything into a [`TelemetrySnapshot`].
+///
+/// [`snapshot`]: Self::snapshot
+#[derive(Debug, Default)]
+pub struct Registry {
+    instruments: Mutex<Instruments>,
+}
+
+impl Registry {
+    /// An empty registry behind an `Arc`, ready to be shared.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// The counter called `name`, registering it on first use.
+    pub fn counter(&self, name: impl Into<String>) -> Arc<Counter> {
+        let mut instruments = self.instruments.lock().expect("registry mutex");
+        Arc::clone(
+            instruments
+                .counters
+                .entry(name.into())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge called `name`, registering it on first use.
+    pub fn gauge(&self, name: impl Into<String>) -> Arc<Gauge> {
+        let mut instruments = self.instruments.lock().expect("registry mutex");
+        Arc::clone(
+            instruments
+                .gauges
+                .entry(name.into())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram called `name`, registering it on first use.
+    pub fn histogram(&self, name: impl Into<String>) -> Arc<Histogram> {
+        let mut instruments = self.instruments.lock().expect("registry mutex");
+        Arc::clone(
+            instruments
+                .histograms
+                .entry(name.into())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Merges every instrument into a point-in-time snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let instruments = self.instruments.lock().expect("registry mutex");
+        TelemetrySnapshot {
+            counters: instruments
+                .counters
+                .iter()
+                .map(|(name, counter)| (name.clone(), counter.value()))
+                .collect(),
+            gauges: instruments
+                .gauges
+                .iter()
+                .map(|(name, gauge)| (name.clone(), gauge.value()))
+                .collect(),
+            histograms: instruments
+                .histograms
+                .iter()
+                .map(|(name, hist)| (name.clone(), hist.snapshot()))
+                .collect(),
+            stats: Vec::new(),
+        }
+    }
+}
+
+/// One coherent view of every registered instrument plus the legacy stats
+/// folded in by the proxy ([`TelemetrySnapshot::push_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetrySnapshot {
+    /// Counter readings, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge readings, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Legacy stats-struct readings (`StatSource` metrics with a scope
+    /// prefix), in the order the proxy appended them.
+    pub stats: Vec<Metric>,
+}
+
+impl TelemetrySnapshot {
+    /// The counter called `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The gauge called `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram called `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// The legacy stat called `name`, if present.
+    pub fn stat(&self, name: &str) -> Option<u64> {
+        self.stats.iter().find(|m| m.name == name).map(|m| m.value)
+    }
+
+    /// Appends a stats struct's metrics under `scope.` (e.g.
+    /// `stream.audio.pipe` + `items` → `stream.audio.pipe.items`).
+    pub fn push_stats(&mut self, scope: &str, metrics: Vec<Metric>) {
+        self.stats
+            .extend(metrics.into_iter().map(|m| m.prefixed(scope)));
+    }
+
+    /// Every histogram whose name starts with `prefix`, merged into one.
+    pub fn merged_histogram(&self, prefix: &str) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for (name, hist) in &self.histograms {
+            if name.starts_with(prefix) {
+                merged.merge(hist);
+            }
+        }
+        merged
+    }
+
+    /// The snapshot as a pretty-printed JSON document (hand-rolled, like
+    /// the bench reports — the schema is flat and this crate stays
+    /// dependency-free).  Histograms serialise count/sum/min/max, the
+    /// p50/p90/p99 estimates, and only their non-empty buckets as
+    /// `[bucket_index, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (index, (name, value)) in self.counters.iter().enumerate() {
+            let sep = if index == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    {}: {value}", json_string(name));
+        }
+        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        for (index, (name, value)) in self.gauges.iter().enumerate() {
+            let sep = if index == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    {}: {value}", json_string(name));
+        }
+        out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        for (index, (name, hist)) in self.histograms.iter().enumerate() {
+            let sep = if index == 0 { "\n" } else { ",\n" };
+            let min = if hist.is_empty() { 0 } else { hist.min };
+            let _ = write!(
+                out,
+                "{sep}    {}: {{ \"count\": {}, \"sum\": {}, \"min\": {min}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+                json_string(name),
+                hist.count(),
+                hist.sum,
+                hist.max,
+                hist.percentile(0.50),
+                hist.percentile(0.90),
+                hist.percentile(0.99),
+            );
+            let mut first = true;
+            for (bucket, &count) in hist.buckets.iter().enumerate() {
+                if count > 0 {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "[{bucket}, {count}]");
+                    first = false;
+                }
+            }
+            out.push_str("] }");
+        }
+        out.push_str(if self.histograms.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"stats\": {");
+        for (index, metric) in self.stats.iter().enumerate() {
+            let sep = if index == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    {}: {}", json_string(&metric.name), metric.value);
+        }
+        out.push_str(if self.stats.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_instrument() {
+        let registry = Registry::new();
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(registry.snapshot().counter("x"), Some(2));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&registry.histogram("h"), &registry.histogram("h")));
+        assert!(Arc::ptr_eq(&registry.gauge("g"), &registry.gauge("g")));
+    }
+
+    #[test]
+    fn snapshot_merges_all_kinds() {
+        let registry = Registry::new();
+        registry.counter("c").add(5);
+        registry.gauge("g").set(-3);
+        registry.histogram("h").record(1_000);
+        let mut snapshot = registry.snapshot();
+        snapshot.push_stats("scope", vec![Metric::new("items", 9)]);
+        assert_eq!(snapshot.counter("c"), Some(5));
+        assert_eq!(snapshot.gauge("g"), Some(-3));
+        assert_eq!(snapshot.histogram("h").map(|h| h.count()), Some(1));
+        assert_eq!(snapshot.stat("scope.items"), Some(9));
+        assert_eq!(snapshot.counter("missing"), None);
+        assert_eq!(snapshot.gauge("missing"), None);
+        assert!(snapshot.histogram("missing").is_none());
+        assert_eq!(snapshot.stat("missing"), None);
+    }
+
+    #[test]
+    fn merged_histogram_folds_a_prefix_family() {
+        let registry = Registry::new();
+        registry.histogram("lane.0.e2e_ns").record(100);
+        registry.histogram("lane.1.e2e_ns").record(200);
+        registry.histogram("other").record(999);
+        let merged = registry.snapshot().merged_histogram("lane.");
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.max, 200);
+    }
+
+    #[test]
+    fn json_has_all_sections_and_escapes() {
+        let registry = Registry::new();
+        registry.counter("a\"b").add(1);
+        registry.histogram("h").record(7);
+        let mut snapshot = registry.snapshot();
+        snapshot.push_stats("s", vec![Metric::new("v", 2)]);
+        let json = snapshot.to_json();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"a\\\"b\": 1"));
+        assert!(json.contains("\"gauges\": {}"));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"buckets\": [[3, 1]]"));
+        assert!(json.contains("\"s.v\": 2"));
+        assert!(json.ends_with("}\n"));
+        // An empty snapshot is still a valid document.
+        let empty = TelemetrySnapshot::default().to_json();
+        assert!(empty.contains("\"histograms\": {}"));
+        assert!(empty.contains("\"stats\": {}"));
+    }
+}

@@ -1,0 +1,83 @@
+//! The [`StatSource`] trait: one uniform snapshot surface over the
+//! per-subsystem stats structs.
+
+use std::fmt::Write as _;
+
+/// One named numeric reading from a stats struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metric {
+    /// Short metric key (e.g. `items`, `rx-datagrams`, `sealed`).
+    pub name: String,
+    /// The reading.
+    pub value: u64,
+}
+
+impl Metric {
+    /// A metric from any stringish name.
+    pub fn new(name: impl Into<String>, value: u64) -> Self {
+        Self {
+            name: name.into(),
+            value,
+        }
+    }
+
+    /// The same metric with `prefix.` prepended to its key, for folding a
+    /// struct's metrics into a flat registry namespace.
+    pub fn prefixed(self, prefix: &str) -> Self {
+        Self {
+            name: format!("{prefix}.{}", self.name),
+            value: self.value,
+        }
+    }
+}
+
+/// A stats struct that can report itself as a flat list of metrics.
+///
+/// `PipeStats`, `TransportStats`, `SecureChannelStats`, and the per-lane
+/// stats all implement this, so the control protocol renders every status
+/// segment through one [`format_metrics`] helper and `Proxy::telemetry()`
+/// folds every legacy struct into the same [`TelemetrySnapshot`](crate::TelemetrySnapshot)
+/// (registering *into* the snapshot rather than being replaced by it).
+pub trait StatSource {
+    /// The current readings, in display order.
+    fn snapshot(&self) -> Vec<Metric>;
+}
+
+/// Renders metrics as the control protocol's `key:value` pairs, space
+/// separated: `items:42 pauses:1 reconnects:1 blocked-sends:0`.
+pub fn format_metrics(metrics: &[Metric]) -> String {
+    let mut out = String::new();
+    for (index, metric) in metrics.iter().enumerate() {
+        if index > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "{}:{}", metric.name, metric.value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+
+    impl StatSource for Fixed {
+        fn snapshot(&self) -> Vec<Metric> {
+            vec![Metric::new("a", 1), Metric::new("b", 2)]
+        }
+    }
+
+    #[test]
+    fn renders_key_value_pairs() {
+        assert_eq!(format_metrics(&Fixed.snapshot()), "a:1 b:2");
+        assert_eq!(format_metrics(&[]), "");
+    }
+
+    #[test]
+    fn prefixing_builds_registry_names() {
+        let metric = Metric::new("items", 7).prefixed("stream.audio");
+        assert_eq!(metric.name, "stream.audio.items");
+        assert_eq!(metric.value, 7);
+    }
+}

@@ -1,0 +1,168 @@
+//! Conservation properties of the sharded log2 histogram.
+//!
+//! The histogram's contract is that nothing is ever lost: the observation
+//! count *is* the sum of the bucket counts, merging shards conserves it
+//! exactly, and a snapshot taken while other threads are still recording
+//! never undercounts the records that completed before the snapshot began
+//! — and never panics, whatever the interleaving.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rapidware_telemetry::{Histogram, HistogramSnapshot, BUCKETS};
+
+const THREADS: usize = 8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Concurrent recording from 8 threads conserves every observation:
+    /// sum of bucket counts == observations, sum matches, and the lowest /
+    /// highest non-empty buckets bracket the recorded min / max.
+    #[test]
+    fn concurrent_recording_conserves(values in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let hist = Arc::new(Histogram::new());
+        let per_thread: Vec<Vec<u64>> = (0..THREADS)
+            .map(|t| values.iter().skip(t).step_by(THREADS).copied().collect())
+            .collect();
+        let handles: Vec<_> = per_thread
+            .into_iter()
+            .map(|chunk| {
+                let hist = Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for value in chunk {
+                        hist.record(value);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("recorder thread");
+        }
+
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        let expected_sum = values.iter().fold(0u64, |acc, &v| acc.saturating_add(v));
+        prop_assert_eq!(snap.sum, expected_sum);
+        prop_assert_eq!(snap.min, values.iter().copied().min().expect("non-empty"));
+        prop_assert_eq!(snap.max, values.iter().copied().max().expect("non-empty"));
+
+        // Bucket bounds honored: the min lies in the lowest non-empty
+        // bucket's range, the max in the highest non-empty bucket's range.
+        let lowest = snap.buckets.iter().position(|&c| c > 0).expect("non-empty");
+        let highest = snap.buckets.iter().rposition(|&c| c > 0).expect("non-empty");
+        prop_assert!(bucket_holds(lowest, snap.min), "min {} outside bucket {}", snap.min, lowest);
+        prop_assert!(bucket_holds(highest, snap.max), "max {} outside bucket {}", snap.max, highest);
+
+        // Percentiles are monotone and end at the recorded max.
+        let p50 = snap.percentile(0.50);
+        let p90 = snap.percentile(0.90);
+        let p99 = snap.percentile(0.99);
+        prop_assert!(p50 <= p90 && p90 <= p99 && p99 <= snap.max);
+        prop_assert_eq!(snap.percentile(1.0), snap.max);
+    }
+
+    /// Snapshots raced against live recorders never panic and never
+    /// undercount: every snapshot sees at least the records completed
+    /// before it was taken, and the final snapshot sees all of them.
+    #[test]
+    fn snapshot_during_record_never_undercounts(
+        pre_recorded in 0u64..500,
+        concurrent in 1u64..500,
+    ) {
+        let hist = Arc::new(Histogram::new());
+        for value in 0..pre_recorded {
+            hist.record(value);
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let recorders: Vec<_> = (0..THREADS as u64)
+            .map(|t| {
+                let hist = Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for value in 0..concurrent {
+                        hist.record(t * 10_000 + value);
+                    }
+                })
+            })
+            .collect();
+        let snapshotter = {
+            let hist = Arc::clone(&hist);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut taken: Vec<HistogramSnapshot> = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    taken.push(hist.snapshot());
+                }
+                taken
+            })
+        };
+
+        for handle in recorders {
+            handle.join().expect("recorder thread");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let taken = snapshotter.join().expect("snapshot thread");
+
+        let expected = pre_recorded + THREADS as u64 * concurrent;
+        for snap in &taken {
+            // Anything recorded before the snapshot loop started must be
+            // visible, and no snapshot can invent observations.
+            prop_assert!(snap.count() >= pre_recorded);
+            prop_assert!(snap.count() <= expected);
+        }
+        prop_assert_eq!(hist.snapshot().count(), expected);
+    }
+
+    /// Merging snapshots conserves exactly: counts and sums add, min/max
+    /// take the extremes, and merging an empty snapshot is the identity.
+    /// Values stay in the duration-like range where per-shard sums cannot
+    /// wrap (the histogram's contract is nanosecond durations, not
+    /// arbitrary u64s).
+    #[test]
+    fn merging_snapshots_conserves(
+        a in proptest::collection::vec(0u64..=u64::from(u32::MAX), 0..100),
+        b in proptest::collection::vec(0u64..=u64::from(u32::MAX), 0..100),
+    ) {
+        let record_all = |values: &[u64]| {
+            let hist = Histogram::new();
+            for &value in values {
+                hist.record(value);
+            }
+            hist.snapshot()
+        };
+        let snap_a = record_all(&a);
+        let snap_b = record_all(&b);
+
+        let mut merged = snap_a.clone();
+        merged.merge(&snap_b);
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        let expected_sum = a.iter().chain(&b).fold(0u64, |acc, &v| acc.saturating_add(v));
+        prop_assert_eq!(merged.sum, expected_sum);
+        if let Some(min) = a.iter().chain(&b).copied().min() {
+            prop_assert_eq!(merged.min, min);
+            prop_assert_eq!(merged.max, a.iter().chain(&b).copied().max().expect("non-empty"));
+        } else {
+            prop_assert!(merged.is_empty());
+        }
+
+        let mut identity = snap_a.clone();
+        identity.merge(&HistogramSnapshot::default());
+        prop_assert_eq!(identity, snap_a);
+    }
+}
+
+/// `true` if `value` falls inside bucket `index`'s range (bucket 0 holds
+/// only 0; bucket b holds `[2^(b-1), 2^b)`, saturating at the top).
+fn bucket_holds(index: usize, value: u64) -> bool {
+    if index == 0 {
+        value == 0
+    } else if index >= BUCKETS - 1 {
+        value >= 1u64 << (BUCKETS - 2)
+    } else {
+        let lower = 1u64 << (index - 1);
+        let upper = 1u64 << index;
+        value >= lower && value < upper
+    }
+}

@@ -327,7 +327,10 @@ fn pump_ingress(
                 sink.close();
                 return;
             }
-            Ok(packet) => {
+            Ok(mut packet) => {
+                // Stamp the span clock at the socket boundary: end-to-end
+                // latency spans start the moment the datagram left the OS.
+                packet.stamp_ingress_ns(rapidware_telemetry::now_ns());
                 // Received ⇒ counted: the counter moves before the packet
                 // becomes observable to any consumer.
                 stats.record_rx_packet();
@@ -658,6 +661,13 @@ mod tests {
             received.extend(ingress.recv_up_to(16).expect("stream is still open"));
         }
         assert_eq!(received, sent);
+        // Receiving a datagram does not synchronise with the pump's relaxed
+        // counter bump, so give the final increments a moment to land.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        while egress.stats().tx_packets() < 64 {
+            assert!(std::time::Instant::now() < deadline, "tx count never reached 64");
+            std::thread::yield_now();
+        }
         assert_eq!(egress.stats().tx_packets(), 64);
         assert_eq!(ingress.stats().rx_packets(), 64);
         assert_eq!(ingress.stats().decode_errors(), 0);

@@ -241,7 +241,12 @@ impl SharedUdpIngress {
             };
             self.stats.record_rx_datagram();
             match Packet::decode(&scratch[..len]) {
-                Ok(packet) => self.route(packet),
+                Ok(mut packet) => {
+                    // Stamp the span clock at the socket boundary so
+                    // end-to-end latency covers routing and demux time too.
+                    packet.stamp_ingress_ns(rapidware_telemetry::now_ns());
+                    self.route(packet);
+                }
                 Err(_) => self.stats.record_decode_error(),
             }
         }

@@ -120,6 +120,26 @@ impl TransportStats {
     }
 }
 
+impl rapidware_telemetry::StatSource for TransportStats {
+    fn snapshot(&self) -> Vec<rapidware_telemetry::Metric> {
+        rapidware_telemetry::StatSource::snapshot(&self.snapshot())
+    }
+}
+
+impl rapidware_telemetry::StatSource for TransportSnapshot {
+    fn snapshot(&self) -> Vec<rapidware_telemetry::Metric> {
+        use rapidware_telemetry::Metric;
+        vec![
+            Metric::new("rx_datagrams", self.rx_datagrams),
+            Metric::new("rx_packets", self.rx_packets),
+            Metric::new("tx_datagrams", self.tx_datagrams),
+            Metric::new("tx_packets", self.tx_packets),
+            Metric::new("decode_errors", self.decode_errors),
+            Metric::new("dropped", self.dropped),
+        ]
+    }
+}
+
 impl TransportSnapshot {
     /// Merges two snapshots counter-by-counter (used to aggregate the
     /// per-lane egress endpoints of a UDP fanout session).
